@@ -1,0 +1,392 @@
+package stretchsched
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// the §5.3 scheduler-overhead comparison, micro-benchmarks of the solver
+// substrates, and ablations of the design choices called out in DESIGN.md.
+//
+// Table/figure benches run a scaled-down slice of the real experiment (the
+// full reproduction is `go run ./cmd/experiments`); their purpose here is a
+// stable, regression-detecting measurement of each experiment's pipeline.
+
+import (
+	"fmt"
+	"testing"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/exp"
+	"stretchsched/internal/flow"
+	"stretchsched/internal/lp"
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/rat"
+	"stretchsched/internal/sim"
+	"stretchsched/internal/uniproc"
+	"stretchsched/internal/workload"
+)
+
+// benchGrid runs the grid slice selected by the table's filter, subsampled
+// to at most six points so a bench iteration stays in the seconds range.
+func benchGrid(b *testing.B, tableNum int) {
+	b.Helper()
+	spec, err := exp.TableByNumber(tableNum)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []exp.GridPoint
+	for _, p := range exp.DefaultGrid() {
+		if spec.Filter == nil || spec.Filter(p) {
+			points = append(points, p)
+		}
+	}
+	step := (len(points) + 5) / 6
+	var sample []exp.GridPoint
+	for i := 0; i < len(points); i += step {
+		sample = append(sample, points[i])
+	}
+	opts := exp.Options{Runs: 1, Seed: 42, TargetJobs: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := exp.RunGrid(sample, opts)
+		rows := exp.Aggregate(results, nil, core.Table1Names())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable01Aggregate(b *testing.B)      { benchGrid(b, 1) }
+func BenchmarkTable02Sites3(b *testing.B)         { benchGrid(b, 2) }
+func BenchmarkTable03Sites10(b *testing.B)        { benchGrid(b, 3) }
+func BenchmarkTable04Sites20(b *testing.B)        { benchGrid(b, 4) }
+func BenchmarkTable05Density075(b *testing.B)     { benchGrid(b, 5) }
+func BenchmarkTable06Density100(b *testing.B)     { benchGrid(b, 6) }
+func BenchmarkTable07Density125(b *testing.B)     { benchGrid(b, 7) }
+func BenchmarkTable08Density150(b *testing.B)     { benchGrid(b, 8) }
+func BenchmarkTable09Density200(b *testing.B)     { benchGrid(b, 9) }
+func BenchmarkTable10Density300(b *testing.B)     { benchGrid(b, 10) }
+func BenchmarkTable11Databanks3(b *testing.B)     { benchGrid(b, 11) }
+func BenchmarkTable12Databanks10(b *testing.B)    { benchGrid(b, 12) }
+func BenchmarkTable13Databanks20(b *testing.B)    { benchGrid(b, 13) }
+func BenchmarkTable14Availability30(b *testing.B) { benchGrid(b, 14) }
+func BenchmarkTable15Availability60(b *testing.B) { benchGrid(b, 15) }
+func BenchmarkTable16Availability90(b *testing.B) { benchGrid(b, 16) }
+
+// BenchmarkFigure3a measures the max-stretch-degradation sweep pipeline
+// (optimised and non-optimised online vs the offline optimum).
+func BenchmarkFigure3a(b *testing.B) {
+	opts := exp.Fig3Options{
+		Densities: []float64{0.25, 2.0}, JobLengths: []float64{10},
+		Runs: 1, TargetJobs: 10, Seed: 7,
+	}
+	for i := 0; i < b.N; i++ {
+		points := exp.RunFigure3(opts)
+		if len(points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkFigure3b measures the sum-stretch-gain sweep (same pipeline,
+// reported metric differs; kept separate to mirror the paper's two panels).
+func BenchmarkFigure3b(b *testing.B) {
+	opts := exp.Fig3Options{
+		Densities: []float64{0.0125, 4.0}, JobLengths: []float64{10},
+		Runs: 1, TargetJobs: 10, Seed: 11,
+	}
+	for i := 0; i < b.N; i++ {
+		points := exp.RunFigure3(opts)
+		if len(points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func benchInstance(b *testing.B, target int) *model.Instance {
+	b.Helper()
+	inst, err := workload.Config{
+		Sites: 3, Databanks: 3, Availability: 0.6, Density: 1.5,
+		TargetJobs: target, SizeRange: [2]float64{10, 200}, Seed: 20_06,
+	}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkSchedulerOverhead reproduces the §5.3 overhead comparison: the
+// paper reports ~0.28 s for its online heuristics, 0.54 s for the offline
+// optimal and 19.76 s for Bender98 on 3-site/15-minute workloads. The
+// ordering (cheap list policies ≪ online LP ≪ Bender98) is the claim.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	inst := benchInstance(b, 25)
+	for _, name := range []string{"SWRPT", "MCT", "Online", "Online-EGDF", "Offline", "Bender98", "Bender02"} {
+		s := core.MustGet(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkOfflineSolver(b *testing.B) {
+	for _, target := range []int{10, 25, 50} {
+		inst := benchInstance(b, target)
+		prob := offline.FromInstance(inst)
+		b.Run(fmt.Sprintf("jobs=%d", inst.NumJobs()), func(b *testing.B) {
+			var s offline.Solver
+			for i := 0; i < b.N; i++ {
+				if _, err := s.OptimalStretch(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFeasibilityFlow(b *testing.B) {
+	inst := benchInstance(b, 40)
+	prob := offline.FromInstance(inst)
+	f := prob.UpperBound()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !prob.Feasible(f) {
+			b.Fatal("upper bound infeasible")
+		}
+	}
+}
+
+func BenchmarkSystem2Refine(b *testing.B) {
+	inst := benchInstance(b, 40)
+	prob := offline.FromInstance(inst)
+	var s offline.Solver
+	sol, err := s.OptimalStretch(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Refine(sol.Stretch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidEngineSWRPT(b *testing.B) {
+	inst := benchInstance(b, 60)
+	s := core.MustGet("SWRPT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexFloat(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := lp.New[float64](lp.NewFloat64Ops(), 6)
+		p.SetMaximize(true)
+		for v := 0; v < 6; v++ {
+			p.SetObjectiveCoef(v, float64(v+1))
+			row := make([]float64, 6)
+			row[v] = 1
+			p.AddDense(row, lp.LE, 10)
+		}
+		p.AddDense([]float64{1, 1, 1, 1, 1, 1}, lp.LE, 20)
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexRational(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lp.New[rat.Rat](lp.RatOps{}, 6)
+		p.SetMaximize(true)
+		one := rat.One
+		for v := 0; v < 6; v++ {
+			p.SetObjectiveCoef(v, rat.FromInt(int64(v+1)))
+			row := make([]rat.Rat, 6)
+			row[v] = one
+			p.AddDense(row, lp.LE, rat.FromInt(10))
+		}
+		p.AddDense([]rat.Rat{one, one, one, one, one, one}, lp.LE, rat.FromInt(20))
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinCostFlow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := flow.NewMinCost(22, 0)
+		for u := 0; u < 10; u++ {
+			g.AddEdge(20, u, 5, 0)
+			for v := 10; v < 20; v++ {
+				g.AddEdge(u, v, 3, float64((u*v)%7))
+			}
+		}
+		for v := 10; v < 20; v++ {
+			g.AddEdge(v, 21, 5, 0)
+		}
+		g.Run(20, 21)
+	}
+}
+
+// --- ablation benchmarks (design choices from DESIGN.md) ---
+
+// BenchmarkAblationExactRefinement compares the float bisection refinement
+// against the exact rational System (1) LP on the same instance: the price
+// of eliminating the §5.3 precision anomaly.
+func BenchmarkAblationExactRefinement(b *testing.B) {
+	inst := benchInstance(b, 8)
+	prob := offline.FromInstance(inst)
+	b.Run("bisection", func(b *testing.B) {
+		s := offline.Solver{Exact: false}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.OptimalStretch(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-lp", func(b *testing.B) {
+		s := offline.Solver{Exact: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.OptimalStretch(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFeasibilityOracle compares the single-machine EDF
+// feasibility oracle against the general flow oracle on the same
+// uni-processor deadline problems.
+func BenchmarkAblationFeasibilityOracle(b *testing.B) {
+	jobs := make([]uniproc.UJob, 30)
+	for i := range jobs {
+		jobs[i] = uniproc.UJob{Release: float64(i) * 0.7, Size: 1 + float64(i%5)}
+	}
+	inst, err := uniproc.Instance(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := offline.FromInstance(inst)
+	const f = 3.0
+	tasks := make([]uniproc.Task, len(jobs))
+	for i := range inst.Jobs {
+		tasks[i] = uniproc.Task{
+			Release:  inst.Jobs[i].Release,
+			Work:     inst.Jobs[i].Size,
+			Deadline: inst.Jobs[i].Release + f*inst.AloneTime(model.JobID(i)),
+		}
+	}
+	b.Run("edf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			uniproc.FeasibleEDF(tasks, 1)
+		}
+	})
+	b.Run("flow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prob.Feasible(f)
+		}
+	})
+}
+
+// BenchmarkAblationRealizeOrderings compares the two Step-4 realisation
+// orders of the online heuristic on identical allocations.
+func BenchmarkAblationRealizeOrderings(b *testing.B) {
+	inst := benchInstance(b, 30)
+	prob := offline.FromInstance(inst)
+	var s offline.Solver
+	sol, err := s.OptimalStretch(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ord := range []struct {
+		name string
+		o    offline.Ordering
+	}{{"terminal-swrpt", offline.TerminalSWRPT}, {"global-edf", offline.GlobalCompletionEDF}} {
+		b.Run(ord.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sol.Alloc.Realize(ord.o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMaxFlowAlgorithm races the two max-flow implementations
+// on the transportation shape of the feasibility oracle (three layers,
+// many parallel bottlenecks).
+func BenchmarkAblationMaxFlowAlgorithm(b *testing.B) {
+	const tasks, bins = 40, 200
+	build := func() ([][3]float64, float64) {
+		var edges [][3]float64
+		total := 0.0
+		for k := 0; k < tasks; k++ {
+			w := 1 + float64(k%7)
+			total += w
+			edges = append(edges, [3]float64{float64(tasks + bins), float64(k), w})
+			for t := 0; t < bins; t++ {
+				if (k+t)%3 == 0 {
+					edges = append(edges, [3]float64{float64(k), float64(tasks + t), w})
+				}
+			}
+		}
+		for t := 0; t < bins; t++ {
+			edges = append(edges, [3]float64{float64(tasks + t), float64(tasks + bins + 1), 2.5})
+		}
+		return edges, total
+	}
+	edges, _ := build()
+	src, sink := tasks+bins, tasks+bins+1
+	b.Run("dinic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := flow.NewGraph[float64](lp.NewFloat64Ops(), tasks+bins+2)
+			for _, e := range edges {
+				g.AddEdge(int(e[0]), int(e[1]), e[2])
+			}
+			g.MaxFlow(src, sink)
+		}
+	})
+	b.Run("push-relabel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := flow.NewPushRelabel(tasks+bins+2, 0)
+			for _, e := range edges {
+				g.AddEdge(int(e[0]), int(e[1]), e[2])
+			}
+			g.MaxFlow(src, sink)
+		}
+	})
+}
+
+// BenchmarkAblationListVsPlanned contrasts the two engine drivers on the
+// same priority concept: SWRPT as a dynamic list policy vs the offline
+// optimal followed as a fixed timetable.
+func BenchmarkAblationListVsPlanned(b *testing.B) {
+	inst := benchInstance(b, 30)
+	b.Run("list-swrpt", func(b *testing.B) {
+		s := core.MustGet("SWRPT")
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planned-offline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunPlanned(inst, offline.NewPlanner()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation artefacts: the
+// aggregate comparison tables (Tables 1–16) over the 162-configuration
+// grid, and the Figure 3 density sweep comparing the optimised and
+// non-optimised online heuristics.
+//
+// Usage examples:
+//
+//	experiments -table 1 -runs 5            # the headline comparison
+//	experiments -tables all -runs 3         # all sixteen tables, one pass
+//	experiments -figure 3 -runs 10          # both panels of Figure 3
+//	experiments -table 1 -horizon 900       # paper-scale 15-minute windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/exp"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "regenerate one table (1-16)")
+		tables  = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
+		figure  = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
+		runs    = flag.Int("runs", 3, "instances per configuration (paper: 200)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		target  = flag.Int("target", 30, "expected jobs per instance")
+		horizon = flag.Float64("horizon", 0, "fixed arrival window in seconds (0: use -target)")
+		workers = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
+		csvOut  = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
+	)
+	flag.Parse()
+
+	switch {
+	case *figure != "":
+		runFigure(*figure, *runs, *seed, *workers, *csvOut)
+	case *tables == "all":
+		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut)
+	case *table >= 1 && *table <= 16:
+		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut)
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all, or -figure 3|3a|3b")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeCSV(path string, fill func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# raw metrics written to %s\n\n", path)
+}
+
+func allTableNumbers() []int {
+	out := make([]int, 16)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string) {
+	start := time.Now()
+	results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
+		Runs:       runs,
+		Seed:       seed,
+		TargetJobs: target,
+		Horizon:    horizon,
+		Workers:    workers,
+	})
+	errCount := 0
+	for _, r := range results {
+		errCount += len(r.Errs)
+	}
+	fmt.Printf("# grid: %d instances in %v (%d scheduler errors)\n\n",
+		len(results), time.Since(start).Round(time.Second), errCount)
+	if csvOut != "" {
+		writeCSV(csvOut, func(f *os.File) error {
+			return exp.WriteResultsCSV(f, results, core.Table1Names())
+		})
+	}
+	for _, n := range nums {
+		spec, err := exp.TableByNumber(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		rows := exp.Aggregate(results, spec.Filter, core.Table1Names())
+		fmt.Println(exp.Render(fmt.Sprintf("Table %d: %s", spec.Number, spec.Title), rows))
+	}
+}
+
+func runFigure(which string, runs int, seed int64, workers int, csvOut string) {
+	if which != "3" && which != "3a" && which != "3b" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", which)
+		os.Exit(2)
+	}
+	start := time.Now()
+	points := exp.RunFigure3(exp.Fig3Options{Runs: runs, Seed: seed, Workers: workers})
+	fmt.Printf("# figure 3 sweep in %v\n\n", time.Since(start).Round(time.Second))
+	if csvOut != "" {
+		writeCSV(csvOut, func(f *os.File) error {
+			return exp.WriteFigure3CSV(f, points)
+		})
+	}
+	switch which {
+	case "3":
+		fmt.Println(exp.RenderFigure3(points))
+	case "3a":
+		fmt.Println("Figure 3(a) — max-stretch degradation from optimal (%)")
+		fmt.Printf("%10s %14s %14s\n", "density", "optimised", "non-optimised")
+		for _, p := range points {
+			fmt.Printf("%10s %14.3f %14.3f\n",
+				strconv.FormatFloat(p.Density, 'g', -1, 64),
+				p.OptDegradation, p.NonOptDegradation)
+		}
+	case "3b":
+		fmt.Println("Figure 3(b) — sum-stretch gain of the optimised variant (%)")
+		fmt.Printf("%10s %14s\n", "density", "gain")
+		for _, p := range points {
+			fmt.Printf("%10s %14.2f\n",
+				strconv.FormatFloat(p.Density, 'g', -1, 64), p.SumGain)
+		}
+	}
+}

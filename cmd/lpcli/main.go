@@ -1,0 +1,152 @@
+// Command lpcli solves small linear programs with the repository's simplex
+// solver, in float64 or exact rational arithmetic. It exists for debugging
+// the System (1)/(2) programs and as a standalone demonstration of the LP
+// substrate.
+//
+// Input format (one statement per line, '#' comments):
+//
+//	min  3 -2 0.5          # objective coefficients, one per variable
+//	st   1  1  0  <= 10    # constraint rows: coefficients, relation, rhs
+//	st   0  1  1  >= 2
+//	st   1  0 -1  =  0
+//
+// Variables are implicitly nonnegative. Use "max" for maximisation.
+//
+// Usage:
+//
+//	lpcli -exact < program.lp
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stretchsched/internal/lp"
+	"stretchsched/internal/rat"
+)
+
+func main() {
+	exact := flag.Bool("exact", false, "solve with exact rational arithmetic")
+	flag.Parse()
+
+	lines, err := readProgram(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if *exact {
+		solveAndPrint[rat.Rat](lines, lp.RatOps{}, func(v rat.Rat) string { return v.String() })
+	} else {
+		solveAndPrint[float64](lines, lp.NewFloat64Ops(), func(v float64) string {
+			return strconv.FormatFloat(v, 'g', 10, 64)
+		})
+	}
+}
+
+type statement struct {
+	kind  string // "min", "max", "st"
+	coefs []string
+	rel   lp.Rel
+	rhs   string
+}
+
+func readProgram(f *os.File) ([]statement, error) {
+	var out []statement
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "min", "max":
+			out = append(out, statement{kind: fields[0], coefs: fields[1:]})
+		case "st":
+			relIdx := -1
+			var rel lp.Rel
+			for i, f := range fields {
+				switch f {
+				case "<=":
+					relIdx, rel = i, lp.LE
+				case ">=":
+					relIdx, rel = i, lp.GE
+				case "=":
+					relIdx, rel = i, lp.EQ
+				}
+			}
+			if relIdx < 0 || relIdx != len(fields)-2 {
+				return nil, fmt.Errorf("line %d: expected 'st coefs... <=|>=|= rhs'", lineNo)
+			}
+			out = append(out, statement{
+				kind: "st", coefs: fields[1:relIdx], rel: rel, rhs: fields[len(fields)-1],
+			})
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
+		}
+	}
+	return out, sc.Err()
+}
+
+func solveAndPrint[T any](stmts []statement, ops lp.Ops[T], format func(T) string) {
+	var nvars int
+	for _, s := range stmts {
+		if len(s.coefs) > nvars {
+			nvars = len(s.coefs)
+		}
+	}
+	prob := lp.New[T](ops, nvars)
+	parse := func(tok string) T {
+		if r, err := rat.Parse(tok); err == nil {
+			return ops.FromFloat(r.Float())
+		}
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad number %q", tok))
+		}
+		return ops.FromFloat(f)
+	}
+	sawObjective := false
+	for _, s := range stmts {
+		switch s.kind {
+		case "min", "max":
+			if sawObjective {
+				fatal(fmt.Errorf("multiple objectives"))
+			}
+			sawObjective = true
+			prob.SetMaximize(s.kind == "max")
+			for i, tok := range s.coefs {
+				prob.SetObjectiveCoef(i, parse(tok))
+			}
+		case "st":
+			row := make([]T, len(s.coefs))
+			for i, tok := range s.coefs {
+				row[i] = parse(tok)
+			}
+			prob.AddDense(row, s.rel, parse(s.rhs))
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		fmt.Printf("status: %v\n", sol.Status)
+		os.Exit(1)
+	}
+	fmt.Printf("status: optimal (%d iterations)\n", sol.Iterations)
+	fmt.Printf("objective: %s\n", format(sol.Objective))
+	for i, x := range sol.X {
+		fmt.Printf("x%d = %s\n", i+1, format(x))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command profile is a development harness for timing the schedulers on a
+// single heavy instance and for estimating full-grid cost. It is not part
+// of the library's public surface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/exp"
+	"stretchsched/internal/workload"
+)
+
+func main() {
+	grid := flag.Bool("grid", false, "time a full 162-point grid pass instead of one instance")
+	runs := flag.Int("runs", 1, "instances per grid point")
+	target := flag.Int("target", 30, "target jobs per instance")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			panic(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *grid {
+		start := time.Now()
+		results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
+			Runs: *runs, Seed: 1, TargetJobs: *target,
+		})
+		errs := 0
+		for _, r := range results {
+			errs += len(r.Errs)
+		}
+		fmt.Printf("grid: %d instances in %v (%d errors)\n",
+			len(results), time.Since(start).Round(time.Second), errs)
+		rows := exp.Aggregate(results, nil, core.Table1Names())
+		fmt.Println(exp.Render("Table 1 (timing pass)", rows))
+		return
+	}
+
+	inst, err := workload.Config{
+		Sites: 20, Databanks: 20, Availability: 0.9, Density: 3.0,
+		TargetJobs: 40, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
+	}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs:", inst.NumJobs())
+	for _, name := range []string{"Offline", "Online", "Online-EGDF", "SWRPT", "MCT-Div"} {
+		t0 := time.Now()
+		s := core.MustGet(name)
+		sched, err := s.Run(inst)
+		if err != nil {
+			fmt.Println(name, "ERR", err)
+			continue
+		}
+		fmt.Printf("%-12s %8v  max=%.3f sum=%.1f\n",
+			name, time.Since(t0).Round(time.Millisecond),
+			sched.MaxStretch(inst), sched.SumStretch(inst))
+	}
+}

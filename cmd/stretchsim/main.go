@@ -1,0 +1,124 @@
+// Command stretchsim simulates one GriPPS-like scenario and reports, for
+// each selected scheduler, the stretch and flow metrics of the paper —
+// optionally against the offline optimal max-stretch.
+//
+// Usage examples:
+//
+//	stretchsim -sites 3 -dbs 3 -avail 0.6 -density 1.5 -target 40
+//	stretchsim -in workload.json -schedulers Online,SWRPT,MCT -optimal
+//	stretchsim -seed 7 -per-job
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/trace"
+	"stretchsched/internal/workload"
+)
+
+func main() {
+	var (
+		sites   = flag.Int("sites", 3, "number of 10-processor sites")
+		dbs     = flag.Int("dbs", 3, "number of databanks")
+		avail   = flag.Float64("avail", 0.6, "databank availability in (0,1]")
+		density = flag.Float64("density", 1.0, "workload density")
+		target  = flag.Int("target", 40, "expected number of jobs (0: use -horizon)")
+		horizon = flag.Float64("horizon", 0, "arrival window in seconds (paper scale: 900)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		in      = flag.String("in", "", "read instance JSON instead of generating")
+		names   = flag.String("schedulers", strings.Join(core.Table1Names(), ","),
+			"comma-separated scheduler list")
+		optimal = flag.Bool("optimal", false, "also compute the offline optimal max-stretch")
+		perJob  = flag.Bool("per-job", false, "print per-job stretches of the first scheduler")
+		gantt   = flag.Bool("gantt", false, "render an ASCII Gantt chart of the first scheduler")
+	)
+	flag.Parse()
+
+	inst, err := loadInstance(*in, workload.Config{
+		Sites: *sites, Databanks: *dbs, Availability: *avail, Density: *density,
+		TargetJobs: *target, Horizon: *horizon, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d jobs, %d machines, %d databanks, Δ=%.2f, total work %.1f\n",
+		inst.NumJobs(), inst.Platform.NumMachines(), inst.Platform.NumDatabanks(),
+		inst.Delta(), inst.TotalWork())
+
+	if *optimal {
+		t0 := time.Now()
+		opt, err := core.OptimalMaxStretch(inst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offline optimal max-stretch: %.6f (computed in %v)\n",
+			opt, time.Since(t0).Round(time.Millisecond))
+	}
+
+	list := strings.Split(*names, ",")
+	fmt.Printf("%-14s %12s %12s %12s %12s %10s\n",
+		"scheduler", "max-stretch", "sum-stretch", "max-flow", "sum-flow", "time")
+	for _, name := range list {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := core.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		sched, err := s.Run(inst)
+		if err != nil {
+			fmt.Printf("%-14s ERROR: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-14s %12.4f %12.2f %12.2f %12.2f %10v\n",
+			name, sched.MaxStretch(inst), sched.SumStretch(inst),
+			sched.MaxFlow(inst), sched.SumFlow(inst),
+			time.Since(t0).Round(time.Millisecond))
+		if name == strings.TrimSpace(list[0]) {
+			if *perJob {
+				printPerJob(inst, sched)
+			}
+			if *gantt {
+				fmt.Print(trace.Gantt(inst, sched, trace.GanttOptions{}))
+				fmt.Print(trace.Summary(name, inst, sched))
+			}
+		}
+	}
+}
+
+func loadInstance(path string, cfg workload.Config) (*model.Instance, error) {
+	if path == "" {
+		return cfg.Generate()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadInstance(f)
+}
+
+func printPerJob(inst *model.Instance, sched *model.Schedule) {
+	fmt.Printf("  %-8s %10s %10s %10s %10s %10s\n",
+		"job", "release", "size", "complete", "flow", "stretch")
+	for j := range inst.Jobs {
+		id := model.JobID(j)
+		fmt.Printf("  %-8s %10.2f %10.2f %10.2f %10.2f %10.3f\n",
+			inst.Jobs[j].Name, inst.Jobs[j].Release, inst.Jobs[j].Size,
+			sched.Completion[j], sched.Flow(inst, id), sched.Stretch(inst, id))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stretchsim:", err)
+	os.Exit(1)
+}

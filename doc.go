@@ -1,0 +1,13 @@
+// Package stretchsched reproduces "Minimizing the stretch when scheduling
+// flows of biological requests" (Legrand, Su, Vivien; SPAA 2006 / INRIA
+// RR-5724): scheduling divisible biological-sequence-comparison requests on
+// heterogeneous platforms with partially replicated databanks, optimising
+// the max-stretch and sum-stretch metrics.
+//
+// The library lives under internal/ (see DESIGN.md for the system map):
+// internal/core exposes the scheduler registry, internal/offline the
+// polynomial optimal max-stretch algorithm, internal/online the paper's
+// LP-based online heuristics, and internal/exp the harness regenerating
+// every table and figure of the paper's evaluation. The benchmarks in
+// bench_test.go map one-to-one onto Tables 1-16 and Figure 3.
+package stretchsched

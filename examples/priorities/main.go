@@ -1,0 +1,91 @@
+// Priorities: the paper's §4.3.1 algorithm solves max *weighted* flow for
+// arbitrary weights, not just stretch. This example gives one user's
+// requests a priority weight and shows the optimal trade-off curve: as the
+// weight grows, the favoured jobs' flows shrink and everyone else pays.
+//
+//	go run ./examples/priorities
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/sim"
+)
+
+func main() {
+	platform, err := model.Uniform([]float64{25, 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two users submitting interleaved requests. Jobs 0,2,4 belong to the
+	// "VIP" user; 1,3,5 to the other.
+	jobs := []model.Job{
+		{Name: "vip-1", Release: 0, Size: 200, Databank: 0},
+		{Name: "std-1", Release: 0, Size: 300, Databank: 0},
+		{Name: "vip-2", Release: 2, Size: 150, Databank: 0},
+		{Name: "std-2", Release: 3, Size: 250, Databank: 0},
+		{Name: "vip-3", Release: 5, Size: 100, Databank: 0},
+		{Name: "std-3", Release: 6, Size: 350, Databank: 0},
+	}
+	inst, err := model.NewInstance(platform, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vip := map[int]bool{0: true, 2: true, 4: true}
+
+	fmt.Println("Max weighted flow optimisation with growing VIP weight:")
+	fmt.Printf("%8s %18s %18s %14s\n", "weight", "worst VIP flow", "worst std flow", "objective")
+	for _, w := range []float64{1, 2, 5, 10} {
+		weights := make([]float64, inst.NumJobs())
+		for j := range weights {
+			if vip[j] {
+				weights[j] = w
+			} else {
+				weights[j] = 1
+			}
+		}
+		prob, err := offline.FromInstanceWeighted(inst, weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var solver offline.Solver
+		sol, err := solver.OptimalStretch(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := sol.Alloc.Realize(offline.TerminalSWRPT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := sim.RunPlanned(inst, &replay{plan: plan})
+		if err != nil {
+			log.Fatal(err)
+		}
+		worstVIP, worstStd := 0.0, 0.0
+		for j := range jobs {
+			f := sched.Flow(inst, model.JobID(j))
+			if vip[j] && f > worstVIP {
+				worstVIP = f
+			}
+			if !vip[j] && f > worstStd {
+				worstStd = f
+			}
+		}
+		fmt.Printf("%8.0f %16.2fs %16.2fs %14.2f\n", w, worstVIP, worstStd, sol.Stretch)
+	}
+	fmt.Println("\nWeight 1 treats users symmetrically; weight 10 drives the VIP's worst")
+	fmt.Println("flow down while the standard user's requests absorb the delay — the")
+	fmt.Println("deadline machinery of System (1) handles any positive weights.")
+}
+
+// replay is a planner that follows a precomputed full-horizon timetable.
+type replay struct {
+	plan *sim.Plan
+}
+
+func (r *replay) Name() string                     { return "replay" }
+func (r *replay) Init(*model.Instance)             {}
+func (r *replay) Plan(*sim.Ctx) (*sim.Plan, error) { return r.plan, nil }

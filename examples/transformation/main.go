@@ -1,0 +1,95 @@
+// Lemma 1, executable: a uniform divisible platform is exactly one
+// preemptive processor of the aggregate speed. The same priority policy
+// produces identical completion times on both — which is why the paper can
+// import forty years of single-machine scheduling theory wholesale.
+//
+// The demo then breaks uniformity (restricted availability) and shows the
+// equivalence failing, which is precisely why the paper needs linear
+// programs for the general case (Figure 2's "non-comparable" schedules).
+//
+//	go run ./examples/transformation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/uniproc"
+)
+
+func main() {
+	jobs := []model.Job{
+		{Name: "J1", Release: 0, Size: 90, Databank: 0},
+		{Name: "J2", Release: 1, Size: 30, Databank: 0},
+		{Name: "J3", Release: 2, Size: 60, Databank: 0},
+		{Name: "J4", Release: 5, Size: 15, Databank: 0},
+	}
+
+	// Three heterogeneous machines, all holding the databank: uniform.
+	platform, err := model.Uniform([]float64{10, 20, 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := model.NewInstance(platform, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := uniproc.Equivalent(multi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Uniform platform {10,20,30} vs equivalent processor (speed 60):")
+	fmt.Printf("%-8s %18s %18s\n", "job", "divisible (3 mach)", "equivalent (1 proc)")
+	srpt := core.MustGet("SRPT")
+	sm, err := srpt.Run(multi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss, err := srpt.Run(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j := range jobs {
+		fmt.Printf("%-8s %18.4f %18.4f\n", multi.Jobs[j].Name, sm.Completion[j], ss.Completion[j])
+	}
+
+	// Now restrict availability: machine 3 loses the databank for jobs J2
+	// and J4 (they use databank 1 hosted only on machines 1-2). The
+	// aggregate-speed shortcut no longer applies.
+	restricted, err := model.NewPlatform([]model.Machine{
+		{Name: "M1", Speed: 10, Databanks: []model.DatabankID{0, 1}},
+		{Name: "M2", Speed: 20, Databanks: []model.DatabankID{0, 1}},
+		{Name: "M3", Speed: 30, Databanks: []model.DatabankID{0}},
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rjobs := append([]model.Job(nil), jobs...)
+	rjobs[1].Databank = 1
+	rjobs[3].Databank = 1
+	rinst, err := model.NewInstance(restricted, rjobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := srpt.Run(rinst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := core.OptimalMaxStretch(rinst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onl, err := core.MustGet("Online").Run(rinst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRestricted availability (J2, J4 only on M1+M2):")
+	fmt.Printf("  SRPT max-stretch:   %.4f\n", sr.MaxStretch(rinst))
+	fmt.Printf("  Online max-stretch: %.4f\n", onl.MaxStretch(rinst))
+	fmt.Printf("  offline optimum:    %.4f\n", opt)
+	fmt.Println("\nWith restrictions, the greedy list rule is no longer equivalent to a")
+	fmt.Println("single processor; the LP-based scheduler recovers the lost ground.")
+}

@@ -1,0 +1,160 @@
+// Package core is the public entry point of the library: a registry of all
+// eleven schedulers evaluated in the paper (Table 1) plus the refined
+// offline variant, each usable through one call, and a convenience
+// evaluator returning the stretch metrics of any subset of them on an
+// instance.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stretchsched/internal/greedy"
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/online"
+	"stretchsched/internal/policy"
+	"stretchsched/internal/sim"
+)
+
+// Scheduler runs a complete scheduling strategy on an instance.
+type Scheduler interface {
+	Name() string
+	Run(inst *model.Instance) (*model.Schedule, error)
+}
+
+type policyScheduler struct {
+	name string
+	mk   func() sim.Policy
+}
+
+func (s policyScheduler) Name() string { return s.name }
+
+func (s policyScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
+	return sim.RunList(inst, s.mk())
+}
+
+type plannerScheduler struct {
+	name string
+	mk   func() sim.Planner
+}
+
+func (s plannerScheduler) Name() string { return s.name }
+
+func (s plannerScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
+	return sim.RunPlanned(inst, s.mk())
+}
+
+type funcScheduler struct {
+	name string
+	run  func(*model.Instance) (*model.Schedule, error)
+}
+
+func (s funcScheduler) Name() string { return s.name }
+
+func (s funcScheduler) Run(inst *model.Instance) (*model.Schedule, error) { return s.run(inst) }
+
+var registry = map[string]Scheduler{}
+
+func register(s Scheduler) { registry[s.Name()] = s }
+
+func init() {
+	register(plannerScheduler{"Offline", func() sim.Planner { return offline.NewPlanner() }})
+	register(plannerScheduler{"Offline-Refined", func() sim.Planner { return &offline.Planner{Refined: true} }})
+	// Offline-Exact pins the optimum with System (1) on exact rationals —
+	// immune to the §5.3 float anomaly, at a large constant-factor cost;
+	// intended for small instances and verification runs.
+	register(plannerScheduler{"Offline-Exact", func() sim.Planner {
+		return &offline.Planner{Solver: offline.Solver{Exact: true}}
+	}})
+	register(plannerScheduler{"Online", func() sim.Planner { return online.New(online.Plain) }})
+	register(plannerScheduler{"Online-EDF", func() sim.Planner { return online.New(online.EDF) }})
+	register(plannerScheduler{"Online-NonOpt", func() sim.Planner { return online.NewNonOptimized() }})
+	register(policyScheduler{"Online-EGDF", func() sim.Policy { return online.NewEGDF() }})
+	register(policyScheduler{"Bender98", func() sim.Policy { return online.NewBender98() }})
+	register(policyScheduler{"Bender02", func() sim.Policy { return policy.NewBender02() }})
+	register(policyScheduler{"FCFS", func() sim.Policy { return policy.FCFS{} }})
+	register(policyScheduler{"SPT", func() sim.Policy { return policy.SPT{} }})
+	register(policyScheduler{"SWPT", func() sim.Policy { return policy.SWPT{} }})
+	register(policyScheduler{"SRPT", func() sim.Policy { return policy.SRPT{} }})
+	register(policyScheduler{"SWRPT", func() sim.Policy { return policy.SWRPT{} }})
+	register(funcScheduler{"MCT", greedy.MCT})
+	register(funcScheduler{"MCT-Div", greedy.MCTDiv})
+}
+
+// Get returns the named scheduler.
+func Get(name string) (Scheduler, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheduler %q (known: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// MustGet returns the named scheduler and panics if it is unknown. It is
+// meant for registry names fixed at compile time.
+func MustGet(name string) Scheduler {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table1Names returns the eleven heuristics of the paper's Table 1, in the
+// paper's row order.
+func Table1Names() []string {
+	return []string{
+		"Offline", "Online", "Online-EDF", "Online-EGDF", "Bender98",
+		"SWRPT", "SRPT", "SPT", "Bender02", "MCT-Div", "MCT",
+	}
+}
+
+// Metrics summarises one scheduler run on one instance.
+type Metrics struct {
+	Scheduler  string
+	MaxStretch float64
+	SumStretch float64
+	MaxFlow    float64
+	SumFlow    float64
+	Makespan   float64
+}
+
+// Evaluate runs the named schedulers on inst and returns their metrics.
+func Evaluate(inst *model.Instance, names []string) ([]Metrics, error) {
+	out := make([]Metrics, 0, len(names))
+	for _, name := range names {
+		s, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := s.Run(inst)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		out = append(out, Metrics{
+			Scheduler:  name,
+			MaxStretch: sched.MaxStretch(inst),
+			SumStretch: sched.SumStretch(inst),
+			MaxFlow:    sched.MaxFlow(inst),
+			SumFlow:    sched.SumFlow(inst),
+			Makespan:   sched.Makespan(inst),
+		})
+	}
+	return out, nil
+}
+
+// OptimalMaxStretch returns the offline optimal max-stretch of inst.
+func OptimalMaxStretch(inst *model.Instance) (float64, error) {
+	return offline.Optimal(inst)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range Table1Names() {
+		if _, err := Get(name); err != nil {
+			t.Errorf("missing Table 1 scheduler %s: %v", name, err)
+		}
+	}
+	if len(Names()) < 13 {
+		t.Fatalf("registry too small: %v", Names())
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGet("definitely-not-registered")
+}
+
+func testInstance(t *testing.T, seed int64, density float64) *model.Instance {
+	t.Helper()
+	inst, err := workload.Config{
+		Sites:        3,
+		Databanks:    3,
+		Availability: 0.6,
+		Density:      density,
+		TargetJobs:   15,
+		SizeRange:    [2]float64{10, 100},
+		Seed:         seed,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestAllSchedulersEndToEnd is the integration test of the whole stack:
+// every registered scheduler must produce a valid schedule on a realistic
+// GriPPS-like instance, and the offline optimum must not be beaten by more
+// than float tolerance.
+func TestAllSchedulersEndToEnd(t *testing.T) {
+	inst := testInstance(t, 42, 1.5)
+	if inst.NumJobs() == 0 {
+		t.Fatal("empty instance")
+	}
+	optimal, err := OptimalMaxStretch(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		s := MustGet(name)
+		sched, err := s.Run(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sched.Validate(inst, 1e-5); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		if ms := sched.MaxStretch(inst); ms < optimal*(1-1e-4) {
+			t.Fatalf("%s: max-stretch %v beats offline optimum %v beyond tolerance",
+				name, ms, optimal)
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	inst := testInstance(t, 7, 1.0)
+	ms, err := Evaluate(inst, []string{"SWRPT", "MCT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Scheduler != "SWRPT" || ms[1].Scheduler != "MCT" {
+		t.Fatalf("metrics = %+v", ms)
+	}
+	for _, m := range ms {
+		if m.MaxStretch < 1-1e-9 || math.IsNaN(m.MaxStretch) {
+			t.Fatalf("%s: bad max-stretch %v", m.Scheduler, m.MaxStretch)
+		}
+		if m.SumStretch < float64(inst.NumJobs())-1e-6 {
+			t.Fatalf("%s: sum-stretch %v below job count %d", m.Scheduler, m.SumStretch, inst.NumJobs())
+		}
+		if m.Makespan < m.MaxFlow-1e9 || m.SumFlow <= 0 {
+			t.Fatalf("%s: inconsistent flow metrics %+v", m.Scheduler, m)
+		}
+	}
+	if _, err := Evaluate(inst, []string{"bogus"}); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+}
+
+// TestOnlineNearOptimal reproduces the paper's headline experimental claim
+// on a small scale: the LP-based online heuristics are near-optimal for
+// max-stretch, and MCT is far away.
+func TestOnlineNearOptimal(t *testing.T) {
+	var onlineRatio, mctRatio float64
+	n := 0
+	for seed := int64(0); seed < 5; seed++ {
+		inst := testInstance(t, 100+seed, 2.0)
+		if inst.NumJobs() < 3 {
+			continue
+		}
+		optimal, err := OptimalMaxStretch(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := Evaluate(inst, []string{"Online", "MCT"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineRatio += ms[0].MaxStretch / optimal
+		mctRatio += ms[1].MaxStretch / optimal
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no usable instances")
+	}
+	onlineRatio /= float64(n)
+	mctRatio /= float64(n)
+	if onlineRatio > 1.25 {
+		t.Fatalf("Online mean degradation %v too high", onlineRatio)
+	}
+	if mctRatio < onlineRatio {
+		t.Fatalf("MCT (%v) should not beat Online (%v) on loaded systems", mctRatio, onlineRatio)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSchedulerDeterminism: every scheduler is a pure function of the
+// instance — two runs must agree exactly. This guards against hidden
+// global state (the registry hands out fresh policy/planner values) and
+// against map-iteration nondeterminism inside the solvers.
+func TestSchedulerDeterminism(t *testing.T) {
+	inst := testInstance(t, 1234, 1.5)
+	for _, name := range Names() {
+		s := MustGet(name)
+		a, err := s.Run(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := s.Run(inst)
+		if err != nil {
+			t.Fatalf("%s second run: %v", name, err)
+		}
+		for j := range a.Completion {
+			if a.Completion[j] != b.Completion[j] {
+				t.Fatalf("%s: job %d completed at %v then %v",
+					name, j, a.Completion[j], b.Completion[j])
+			}
+		}
+	}
+}
+
+// TestMCTFarFromOptimal reproduces the paper's headline criticism: the
+// production policy (MCT) is far from the best heuristic on max-stretch in
+// loaded configurations — "over ten times worse in all simulation
+// configurations" at paper scale; at this reduced scale we require a clear
+// multiple.
+func TestMCTFarFromOptimal(t *testing.T) {
+	var ratio float64
+	n := 0
+	for seed := int64(500); seed < 506; seed++ {
+		inst := testInstance(t, seed, 2.0)
+		if inst.NumJobs() < 5 {
+			continue
+		}
+		ms, err := Evaluate(inst, []string{"Online", "MCT"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio += ms[1].MaxStretch / ms[0].MaxStretch
+		n++
+	}
+	if n == 0 {
+		t.Skip("no instances large enough")
+	}
+	ratio /= float64(n)
+	if ratio < 1.5 {
+		t.Fatalf("MCT/Online mean max-stretch ratio %v — expected a clear gap", ratio)
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+)
+
+// Example schedules two divisible requests on a two-site platform with the
+// paper's online heuristic and prints the achieved objectives.
+func Example() {
+	platform, err := model.NewPlatform([]model.Machine{
+		{Name: "siteA", Speed: 10, Databanks: []model.DatabankID{0}},
+		{Name: "siteB", Speed: 10, Databanks: []model.DatabankID{0}},
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := model.NewInstance(platform, []model.Job{
+		{Name: "long", Release: 0, Size: 200, Databank: 0},
+		{Name: "short", Release: 1, Size: 20, Databank: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := core.OptimalMaxStretch(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := core.MustGet("Online").Run(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal max-stretch: %.3f\n", optimal)
+	fmt.Printf("online  max-stretch: %.3f\n", sched.MaxStretch(inst))
+	// Output:
+	// optimal max-stretch: 1.100
+	// online  max-stretch: 1.100
+}

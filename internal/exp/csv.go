@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteResultsCSV dumps raw per-instance metrics (one row per scheduler per
+// instance) for external analysis — the harness's tables are aggregates;
+// this is the underlying data.
+func WriteResultsCSV(w io.Writer, results []InstanceResult, schedulers []string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"sites", "databanks", "availability", "density", "run",
+		"jobs", "scheduler", "max_stretch", "sum_stretch"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, name := range schedulers {
+			maxS, okM := r.MaxStretch[name]
+			sumS, okS := r.SumStretch[name]
+			if !okM && !okS {
+				continue
+			}
+			row := []string{
+				strconv.Itoa(r.Point.Sites),
+				strconv.Itoa(r.Point.Databanks),
+				formatFloat(r.Point.Availability),
+				formatFloat(r.Point.Density),
+				strconv.Itoa(r.Run),
+				strconv.Itoa(r.Jobs),
+				name,
+				formatFloat(maxS),
+				formatFloat(sumS),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure3CSV dumps the Figure 3 series.
+func WriteFigure3CSV(w io.Writer, points []Fig3Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"density", "opt_degradation_pct",
+		"nonopt_degradation_pct", "sum_gain_pct", "n"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			formatFloat(p.Density),
+			formatFloat(p.OptDegradation),
+			formatFloat(p.NonOptDegradation),
+			formatFloat(p.SumGain),
+			strconv.Itoa(p.N),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	if math.IsNaN(f) {
+		return "NA"
+	}
+	return fmt.Sprintf("%g", f)
+}

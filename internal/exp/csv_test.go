@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteResultsCSV(t *testing.T) {
+	results := []InstanceResult{
+		{
+			Point: GridPoint{Sites: 3, Databanks: 3, Availability: 0.6, Density: 1},
+			Run:   0, Jobs: 12,
+			MaxStretch: map[string]float64{"SWRPT": 1.5, "Bender98": math.NaN()},
+			SumStretch: map[string]float64{"SWRPT": 14.2, "Bender98": math.NaN()},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, results, []string{"SWRPT", "Bender98", "absent"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + SWRPT + Bender98 (absent scheduler skipped)
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[1][6] != "SWRPT" || rows[1][7] != "1.5" {
+		t.Fatalf("row = %v", rows[1])
+	}
+	if rows[2][7] != "NA" {
+		t.Fatalf("NaN should serialise as NA: %v", rows[2])
+	}
+}
+
+func TestWriteFigure3CSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFigure3CSV(&buf, []Fig3Point{
+		{Density: 0.5, OptDegradation: 1.25, NonOptDegradation: 3, SumGain: 12.5, N: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "density,") || !strings.Contains(out, "0.5,1.25,3,12.5,10") {
+		t.Fatalf("csv = %q", out)
+	}
+}

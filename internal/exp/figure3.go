@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/stats"
+	"stretchsched/internal/workload"
+)
+
+// Fig3Options controls the Figure 3 experiment: the optimised online
+// heuristic (steps 1–4) against the non-optimised baseline (stops after
+// step 2), across workload densities and average job lengths (§5.2).
+type Fig3Options struct {
+	Densities  []float64 // default: the paper's 0.0125–4.0 sweep
+	JobLengths []float64 // average job lengths in seconds (default 3–60)
+	Runs       int       // instances per (density, length) cell (paper: 5000)
+	TargetJobs int       // expected jobs per instance (default 25)
+	Seed       int64
+	Workers    int
+}
+
+func (o Fig3Options) withDefaults() Fig3Options {
+	if len(o.Densities) == 0 {
+		o.Densities = []float64{0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.75, 1.0,
+			1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	}
+	if len(o.JobLengths) == 0 {
+		o.JobLengths = []float64{3, 7.5, 15, 30, 60}
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if o.TargetJobs <= 0 {
+		o.TargetJobs = 25
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// Fig3Point is one plotted point: a workload density with the max-stretch
+// degradation of both online variants (Figure 3a) and the sum-stretch gain
+// of the optimised variant over the non-optimised one (Figure 3b),
+// averaged over job lengths and runs. Percentages, as in the paper.
+type Fig3Point struct {
+	Density           float64
+	OptDegradation    float64 // mean 100·(maxStretch/optimal − 1), optimised
+	NonOptDegradation float64 // same for the non-optimised variant
+	SumGain           float64 // mean 100·(sumNonOpt/sumOpt − 1)
+	N                 int
+}
+
+// RunFigure3 regenerates the data series of Figures 3(a) and 3(b).
+func RunFigure3(opts Fig3Options) []Fig3Point {
+	opts = opts.withDefaults()
+	type cell struct{ di, li, run int }
+	var cells []cell
+	for di := range opts.Densities {
+		for li := range opts.JobLengths {
+			for run := 0; run < opts.Runs; run++ {
+				cells = append(cells, cell{di, li, run})
+			}
+		}
+	}
+	type sample struct {
+		di                   int
+		optDeg, nonDeg, gain float64
+		ok                   bool
+	}
+	samples := make([]sample, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				c := cells[ci]
+				s := sample{di: c.di}
+				s.optDeg, s.nonDeg, s.gain, s.ok = fig3One(opts, c.di, c.li, c.run)
+				samples[ci] = s
+			}
+		}()
+	}
+	for ci := range cells {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+
+	points := make([]Fig3Point, len(opts.Densities))
+	aggs := make([][3]*stats.Agg, len(opts.Densities))
+	for di := range aggs {
+		aggs[di] = [3]*stats.Agg{{}, {}, {}}
+	}
+	for _, s := range samples {
+		if !s.ok {
+			continue
+		}
+		aggs[s.di][0].Add(s.optDeg)
+		aggs[s.di][1].Add(s.nonDeg)
+		aggs[s.di][2].Add(s.gain)
+	}
+	for di, d := range opts.Densities {
+		points[di] = Fig3Point{
+			Density:           d,
+			OptDegradation:    aggs[di][0].Mean(),
+			NonOptDegradation: aggs[di][1].Mean(),
+			SumGain:           aggs[di][2].Mean(),
+			N:                 aggs[di][0].N(),
+		}
+	}
+	return points
+}
+
+func fig3One(opts Fig3Options, di, li, run int) (optDeg, nonDeg, gain float64, ok bool) {
+	length := opts.JobLengths[li]
+	cfg := workload.Config{
+		Sites:        3,
+		Databanks:    3,
+		Availability: 0.6,
+		Density:      opts.Densities[di],
+		TargetJobs:   opts.TargetJobs,
+		// Databank sizes bracket the target average job length: a site has
+		// ~20 MB/s, so sizes of 10·L to 30·L MB average L seconds per site.
+		SizeRange: [2]float64{10 * length, 30 * length},
+		Seed:      opts.Seed + int64(di)*97_001 + int64(li)*13_007 + int64(run)*59,
+	}
+	inst, err := cfg.Generate()
+	if err != nil || inst.NumJobs() == 0 {
+		return 0, 0, 0, false
+	}
+	optimal, err := offline.Optimal(inst)
+	if err != nil || optimal <= 0 {
+		return 0, 0, 0, false
+	}
+	optSched, err := runPlannedSafe(inst, core.MustGet("Online"))
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	nonSched, err := runPlannedSafe(inst, core.MustGet("Online-NonOpt"))
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	optDeg = 100 * (optSched.MaxStretch(inst)/optimal - 1)
+	nonDeg = 100 * (nonSched.MaxStretch(inst)/optimal - 1)
+	if s := optSched.SumStretch(inst); s > 0 {
+		gain = 100 * (nonSched.SumStretch(inst)/s - 1)
+	}
+	// Float dust can make degradations microscopically negative (the
+	// realised schedule beating the bisected optimum); clamp at zero as the
+	// paper's anomaly discussion suggests.
+	return math.Max(optDeg, -100), math.Max(nonDeg, -100), gain, true
+}
+
+func runPlannedSafe(inst *model.Instance, s core.Scheduler) (sched *model.Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return s.Run(inst)
+}
+
+// RenderFigure3 formats the series as an aligned text table (one row per
+// density), mirroring the two panels of the paper's Figure 3.
+func RenderFigure3(points []Fig3Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 3 — optimised vs non-optimised online heuristic")
+	fmt.Fprintf(&b, "%10s | %22s %22s | %18s | %s\n",
+		"density", "(a) degradation opt %", "degradation non-opt %", "(b) sum gain %", "N")
+	fmt.Fprintln(&b, strings.Repeat("-", 88))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.4f | %22.3f %22.3f | %18.2f | %d\n",
+			p.Density, p.OptDegradation, p.NonOptDegradation, p.SumGain, p.N)
+	}
+	return b.String()
+}

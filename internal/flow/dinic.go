@@ -1,0 +1,173 @@
+// Package flow provides network-flow solvers used as fast combinatorial
+// oracles by the stretch schedulers.
+//
+// Checking that every job can meet its deadline d̄_j(F) on a set of uniform
+// machines with restricted availabilities (System (1) of the paper, with F
+// fixed) is exactly a transportation problem: ship W_j units of work from
+// each job to (interval × machine) bins of capacity len(I_t)/p_i, with an
+// edge only when the interval lies inside the job's [r_j, d̄_j] window and
+// the machine hosts the job's databank. Feasibility ⇔ max-flow = ΣW_j, which
+// Dinic answers orders of magnitude faster than the equivalent LP.
+//
+// The sum-stretch-like refinement of System (2) is the same network with a
+// per-interval cost, i.e. a min-cost max-flow problem (see mincost.go).
+//
+// Capacities are generic: float64 for the simulation fast path, exact
+// rationals (via lp.RatOps) to reproduce precision-sensitive cases.
+package flow
+
+import "stretchsched/internal/lp"
+
+// Edge is one directed edge of the residual network.
+type Edge struct {
+	To  int
+	Cap interface{} // diagnostic only; see Graph.EdgeFlow for typed access
+}
+
+// Graph is a flow network under construction. T is the capacity scalar type.
+type Graph[T any] struct {
+	ops  lp.Ops[T]
+	n    int
+	head [][]int // adjacency: node -> indices into edges
+	to   []int
+	cap  []T // residual capacity
+	orig []T // original capacity (to recover flow)
+}
+
+// NewGraph returns an empty network with n nodes.
+func NewGraph[T any](ops lp.Ops[T], n int) *Graph[T] {
+	return &Graph[T]{ops: ops, n: n, head: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph[T]) NumNodes() int { return g.n }
+
+// AddNode appends a fresh node and returns its index.
+func (g *Graph[T]) AddNode() int {
+	g.head = append(g.head, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and returns its
+// identifier, which can later be passed to EdgeFlow.
+func (g *Graph[T]) AddEdge(u, v int, capacity T) int {
+	if g.ops.Sign(capacity) < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, capacity)
+	g.orig = append(g.orig, capacity)
+	g.head[u] = append(g.head[u], id)
+
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, g.ops.Zero())
+	g.orig = append(g.orig, g.ops.Zero())
+	g.head[v] = append(g.head[v], id+1)
+	return id
+}
+
+// EdgeFlow returns the flow currently routed through edge id.
+func (g *Graph[T]) EdgeFlow(id int) T {
+	return g.ops.Sub(g.orig[id], g.cap[id])
+}
+
+// MaxFlow runs Dinic's algorithm from s to t and returns the max-flow value.
+// The graph retains the final residual state, so EdgeFlow is meaningful
+// afterwards. Calling MaxFlow twice continues from the current residual
+// state (returning 0 the second time).
+func (g *Graph[T]) MaxFlow(s, t int) T {
+	ops := g.ops
+	total := ops.Zero()
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.head[u] {
+				v := g.to[id]
+				if level[v] == -1 && ops.Sign(g.cap[id]) > 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit T) T
+	dfs = func(u int, limit T) T {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(g.head[u]); iter[u]++ {
+			id := g.head[u][iter[u]]
+			v := g.to[id]
+			if level[v] != level[u]+1 || ops.Sign(g.cap[id]) <= 0 {
+				continue
+			}
+			pushed := limit
+			if ops.Cmp(g.cap[id], pushed) < 0 {
+				pushed = g.cap[id]
+			}
+			got := dfs(v, pushed)
+			if ops.Sign(got) > 0 {
+				g.cap[id] = ops.Sub(g.cap[id], got)
+				g.cap[id^1] = ops.Add(g.cap[id^1], got)
+				return got
+			}
+		}
+		return ops.Zero()
+	}
+
+	// A limit larger than any possible augmentation: sum of source capacities.
+	inf := ops.One()
+	for _, id := range g.head[s] {
+		inf = ops.Add(inf, g.cap[id])
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			got := dfs(s, inf)
+			if ops.Sign(got) <= 0 {
+				break
+			}
+			total = ops.Add(total, got)
+		}
+	}
+	return total
+}
+
+// MinCutReachable returns, after MaxFlow, the set of nodes reachable from s
+// in the residual network. It certifies the min cut for testing.
+func (g *Graph[T]) MinCutReachable(s int) []bool {
+	ops := g.ops
+	seen := make([]bool, g.n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.head[u] {
+			v := g.to[id]
+			if !seen[v] && ops.Sign(g.cap[id]) > 0 {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,171 @@
+package flow
+
+import "math"
+
+// PushRelabel is a highest-label push-relabel max-flow solver with gap
+// relabeling, over float64 capacities. It solves the same feasibility
+// networks as the Dinic implementation in this package; the offline solver
+// can use either (see the BenchmarkAblationMaxFlowAlgorithm ablation). On
+// the transportation networks of System (1) — three layers, many parallel
+// bottlenecks — Dinic's blocking flows and push-relabel's local operations
+// trade places depending on density, which is why both are kept.
+type PushRelabel struct {
+	n      int
+	head   [][]int32
+	to     []int32
+	cap    []float64
+	orig   []float64
+	excess []float64
+	height []int32
+	eps    float64
+}
+
+// NewPushRelabel returns an empty network with n nodes. eps is the capacity
+// tolerance below which an arc counts as saturated.
+func NewPushRelabel(n int, eps float64) *PushRelabel {
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	return &PushRelabel{n: n, head: make([][]int32, n), eps: eps}
+}
+
+// AddNode appends a node and returns its index.
+func (g *PushRelabel) AddNode() int {
+	g.head = append(g.head, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and returns its
+// identifier for EdgeFlow.
+func (g *PushRelabel) AddEdge(u, v int, capacity float64) int {
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, int32(v))
+	g.cap = append(g.cap, capacity)
+	g.orig = append(g.orig, capacity)
+	g.head[u] = append(g.head[u], int32(id))
+
+	g.to = append(g.to, int32(u))
+	g.cap = append(g.cap, 0)
+	g.orig = append(g.orig, 0)
+	g.head[v] = append(g.head[v], int32(id+1))
+	return id
+}
+
+// EdgeFlow returns the flow routed through edge id after MaxFlow.
+func (g *PushRelabel) EdgeFlow(id int) float64 { return g.orig[id] - g.cap[id] }
+
+// MaxFlow computes the maximum s→t flow.
+func (g *PushRelabel) MaxFlow(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	n := g.n
+	g.excess = make([]float64, n)
+	g.height = make([]int32, n)
+	countAt := make([]int32, 2*n+1) // nodes per height, for gap relabeling
+
+	g.height[s] = int32(n)
+	countAt[0] = int32(n - 1)
+	countAt[n] = 1
+
+	// Buckets of active nodes by height (highest-label selection).
+	buckets := make([][]int32, 2*n+1)
+	highest := 0
+	activate := func(v int) {
+		if v == s || v == t || g.excess[v] <= g.eps {
+			return
+		}
+		h := int(g.height[v])
+		buckets[h] = append(buckets[h], int32(v))
+		if h > highest {
+			highest = h
+		}
+	}
+
+	// Saturate all source arcs.
+	for _, id := range g.head[s] {
+		c := g.cap[id]
+		if c <= g.eps {
+			continue
+		}
+		v := int(g.to[id])
+		g.cap[id] = 0
+		g.cap[id^1] += c
+		g.excess[v] += c
+		g.excess[s] -= c
+		activate(v)
+	}
+
+	iterPtr := make([]int, n)
+	for highest >= 0 {
+		bucket := buckets[highest]
+		if len(bucket) == 0 {
+			highest--
+			continue
+		}
+		u := int(bucket[len(bucket)-1])
+		buckets[highest] = bucket[:len(bucket)-1]
+		if g.excess[u] <= g.eps || int(g.height[u]) != highest {
+			continue // stale entry
+		}
+
+		// Discharge u.
+		for g.excess[u] > g.eps {
+			if iterPtr[u] >= len(g.head[u]) {
+				// Relabel.
+				oldH := g.height[u]
+				minH := int32(2 * n)
+				for _, id := range g.head[u] {
+					if g.cap[id] > g.eps {
+						if h := g.height[g.to[id]]; h < minH {
+							minH = h
+						}
+					}
+				}
+				if minH >= int32(2*n) {
+					g.excess[u] = 0 // disconnected: drop excess
+					break
+				}
+				countAt[oldH]--
+				if countAt[oldH] == 0 && int(oldH) < n {
+					// Gap: every node above the gap (below height n) is
+					// unreachable from t; lift them beyond n+1.
+					for v := 0; v < n; v++ {
+						if h := g.height[v]; h > oldH && h < int32(n) && v != s {
+							countAt[h]--
+							g.height[v] = int32(n + 1)
+							countAt[n+1]++
+						}
+					}
+				}
+				g.height[u] = minH + 1
+				countAt[minH+1]++
+				iterPtr[u] = 0
+				continue
+			}
+			id := g.head[u][iterPtr[u]]
+			v := int(g.to[id])
+			if g.cap[id] > g.eps && g.height[u] == g.height[v]+1 {
+				delta := math.Min(g.excess[u], g.cap[id])
+				g.cap[id] -= delta
+				g.cap[id^1] += delta
+				g.excess[u] -= delta
+				g.excess[v] += delta
+				activate(v)
+			} else {
+				iterPtr[u]++
+			}
+		}
+		if g.excess[u] > g.eps {
+			activate(u)
+		}
+		if h := int(g.height[u]); h > highest {
+			highest = h
+		}
+	}
+	return g.excess[t]
+}

@@ -1,0 +1,131 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPushRelabelTextbook(t *testing.T) {
+	g := NewPushRelabel(6, 0)
+	s, v1, v2, v3, v4, tt := 0, 1, 2, 3, 4, 5
+	g.AddEdge(s, v1, 16)
+	g.AddEdge(s, v2, 13)
+	g.AddEdge(v1, v3, 12)
+	g.AddEdge(v2, v1, 4)
+	g.AddEdge(v2, v4, 14)
+	g.AddEdge(v3, v2, 9)
+	g.AddEdge(v3, tt, 20)
+	g.AddEdge(v4, v3, 7)
+	g.AddEdge(v4, tt, 4)
+	if got := g.MaxFlow(s, tt); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", got)
+	}
+}
+
+func TestPushRelabelDisconnected(t *testing.T) {
+	g := NewPushRelabel(3, 0)
+	g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("max flow = %v", got)
+	}
+}
+
+func TestPushRelabelSourceIsSink(t *testing.T) {
+	g := NewPushRelabel(2, 0)
+	g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Fatalf("s==t flow = %v", got)
+	}
+}
+
+func TestPushRelabelNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPushRelabel(2, 0).AddEdge(0, 1, -1)
+}
+
+func TestPushRelabelAddNode(t *testing.T) {
+	g := NewPushRelabel(1, 0)
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(a, b, 3)
+	if got := g.MaxFlow(a, b); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("flow = %v", got)
+	}
+}
+
+// TestPushRelabelMatchesDinic cross-validates the two max-flow algorithms
+// on random networks, including flow decomposition consistency.
+func TestPushRelabelMatchesDinic(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		gd, _, edges := randomNetwork(rng, n)
+		gp := NewPushRelabel(n, 0)
+		ids := make([]int, len(edges))
+		for i, e := range edges {
+			ids[i] = gp.AddEdge(e[0], e[1], float64(e[2]))
+		}
+		fd := gd.MaxFlow(0, n-1)
+		fp := gp.MaxFlow(0, n-1)
+		if math.Abs(fd-fp) > 1e-9 {
+			t.Fatalf("trial %d: dinic %v vs push-relabel %v", trial, fd, fp)
+		}
+		// The push-relabel flow must itself satisfy conservation.
+		net := make([]float64, n)
+		for i, e := range edges {
+			f := gp.EdgeFlow(ids[i])
+			if f < -1e-9 || f > float64(e[2])+1e-9 {
+				t.Fatalf("trial %d: edge flow %v outside [0,%d]", trial, f, e[2])
+			}
+			net[e[0]] -= f
+			net[e[1]] += f
+		}
+		for v := 1; v < n-1; v++ {
+			if math.Abs(net[v]) > 1e-9 {
+				t.Fatalf("trial %d: node %d imbalance %v", trial, v, net[v])
+			}
+		}
+		if math.Abs(net[n-1]-fp) > 1e-9 {
+			t.Fatalf("trial %d: sink receives %v, flow %v", trial, net[n-1], fp)
+		}
+	}
+}
+
+// TestPushRelabelTransportation exercises the solver on the three-layer
+// transportation shape used by the feasibility oracle.
+func TestPushRelabelTransportation(t *testing.T) {
+	rng := rand.New(rand.NewSource(277))
+	for trial := 0; trial < 15; trial++ {
+		nTasks := 2 + rng.Intn(5)
+		nBins := 2 + rng.Intn(6)
+		g := NewPushRelabel(nTasks+nBins+2, 0)
+		d := f64Graph(nTasks + nBins + 2)
+		src, sink := nTasks+nBins, nTasks+nBins+1
+		for k := 0; k < nTasks; k++ {
+			w := 1 + rng.Float64()*4
+			g.AddEdge(src, k, w)
+			d.AddEdge(src, k, w)
+			for bin := 0; bin < nBins; bin++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(k, nTasks+bin, w)
+					d.AddEdge(k, nTasks+bin, w)
+				}
+			}
+		}
+		for bin := 0; bin < nBins; bin++ {
+			c := rng.Float64() * 5
+			g.AddEdge(nTasks+bin, sink, c)
+			d.AddEdge(nTasks+bin, sink, c)
+		}
+		fp := g.MaxFlow(src, sink)
+		fd := d.MaxFlow(src, sink)
+		if math.Abs(fp-fd) > 1e-9 {
+			t.Fatalf("trial %d: push-relabel %v vs dinic %v", trial, fp, fd)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package greedy implements the two baseline strategies of §5.3: MCT
+// ("minimum completion time", effectively the scheduling policy of the
+// production GriPPS system) and MCT-Div, its divisible extension. Both are
+// non-preemptive and never revisit earlier decisions, which is exactly the
+// weakness the paper's evaluation exposes: small jobs arriving into a loaded
+// system are stretched enormously.
+package greedy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/model"
+)
+
+// MCT schedules each job, in release order, entirely on the eligible
+// machine that offers the earliest completion time given the work already
+// committed there.
+func MCT(inst *model.Instance) (*model.Schedule, error) {
+	sched := model.NewSchedule(inst)
+	avail := make([]float64, inst.Platform.NumMachines())
+	for j := range inst.Jobs {
+		job := &inst.Jobs[j]
+		best := -1
+		bestEnd := math.Inf(1)
+		for _, mid := range inst.Eligible(model.JobID(j)) {
+			m := inst.Platform.Machine(mid)
+			start := math.Max(avail[mid], job.Release)
+			end := start + job.Size/m.Speed
+			if end < bestEnd {
+				best, bestEnd = int(mid), end
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("greedy: job %d has no eligible machine", j)
+		}
+		start := math.Max(avail[best], job.Release)
+		sched.AddSlice(model.Slice{
+			Machine: model.MachineID(best), Job: model.JobID(j), Start: start, End: bestEnd,
+		})
+		avail[best] = bestEnd
+		sched.Completion[j] = bestEnd
+	}
+	return sched, nil
+}
+
+// MCTDiv schedules each job, in release order, divisibly across all its
+// eligible machines so that it completes as early as possible given the
+// work already committed — the classic water-filling allocation: machines
+// are engaged in increasing order of ready time until the common finish
+// time T satisfies Σ_i (T − ready_i)·speed_i = W_j.
+func MCTDiv(inst *model.Instance) (*model.Schedule, error) {
+	sched := model.NewSchedule(inst)
+	avail := make([]float64, inst.Platform.NumMachines())
+	for j := range inst.Jobs {
+		job := &inst.Jobs[j]
+		elig := inst.Eligible(model.JobID(j))
+		if len(elig) == 0 {
+			return nil, fmt.Errorf("greedy: job %d has no eligible machine", j)
+		}
+		type cand struct {
+			mid   model.MachineID
+			ready float64
+			speed float64
+		}
+		cands := make([]cand, 0, len(elig))
+		for _, mid := range elig {
+			cands = append(cands, cand{
+				mid:   mid,
+				ready: math.Max(avail[mid], job.Release),
+				speed: inst.Platform.Machine(mid).Speed,
+			})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].ready < cands[b].ready })
+
+		// Water-filling: find the prefix of machines whose common finish
+		// time T lies before the next machine becomes ready.
+		T := math.Inf(1)
+		used := 0
+		sumSpeed, sumReadySpeed := 0.0, 0.0
+		for k := range cands {
+			sumSpeed += cands[k].speed
+			sumReadySpeed += cands[k].ready * cands[k].speed
+			t := (job.Size + sumReadySpeed) / sumSpeed
+			if k+1 < len(cands) && t > cands[k+1].ready {
+				continue // next machine becomes ready before T: include it
+			}
+			T = t
+			used = k + 1
+			break
+		}
+		for k := 0; k < used; k++ {
+			c := cands[k]
+			if T <= c.ready {
+				continue
+			}
+			sched.AddSlice(model.Slice{Machine: c.mid, Job: model.JobID(j), Start: c.ready, End: T})
+			avail[c.mid] = T
+		}
+		sched.Completion[j] = T
+	}
+	return sched, nil
+}

@@ -1,0 +1,208 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stretchsched/internal/model"
+)
+
+func uniInstance(t *testing.T, speeds []float64, jobs []model.Job) *model.Instance {
+	t.Helper()
+	p, err := model.Uniform(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestMCTPicksFastestIdleMachine(t *testing.T) {
+	inst := uniInstance(t, []float64{1, 4}, []model.Job{{Release: 0, Size: 4, Databank: 0}})
+	s, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-1) > 1e-9 {
+		t.Fatalf("completion = %v, want 1 (machine of speed 4)", s.Completion[0])
+	}
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCTQueuesOnBusyMachine(t *testing.T) {
+	// One machine: jobs queue FIFO without preemption.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 10, Databank: 0},
+		{Release: 1, Size: 1, Databank: 0},
+	})
+	s, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-10) > 1e-9 || math.Abs(s.Completion[1]-11) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+	// The small job's stretch is 10× — the paper's core criticism of MCT.
+	if got := s.Stretch(inst, 1); got < 9 {
+		t.Fatalf("stretch = %v", got)
+	}
+}
+
+func TestMCTBalancesAcrossMachines(t *testing.T) {
+	inst := uniInstance(t, []float64{1, 1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 0, Size: 4, Databank: 0},
+	})
+	s, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-4) > 1e-9 || math.Abs(s.Completion[1]-4) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+}
+
+func TestMCTRespectsEligibility(t *testing.T) {
+	p, err := model.NewPlatform([]model.Machine{
+		{Speed: 10, Databanks: []model.DatabankID{0}},
+		{Speed: 1, Databanks: []model.DatabankID{1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, []model.Job{{Release: 0, Size: 5, Databank: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-5) > 1e-9 {
+		t.Fatalf("completion = %v (must use the slow eligible machine)", s.Completion[0])
+	}
+}
+
+func TestMCTDivWaterFilling(t *testing.T) {
+	// Machine 0 busy until t=2 (job 0), machine 1 free. Job 1 (size 6)
+	// released at 0: runs on machine 1 alone until the water level reaches
+	// machine 0's ready time... here both speeds 1:
+	// T: (T-0)·1 + max(0,T-2)·1 = 6 → T=4.
+	inst := uniInstance(t, []float64{1, 1}, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 0, Size: 6, Databank: 0},
+	})
+	s, err := MCTDiv(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0 water-fills both machines: T=1 on both. Then job 1 starts at 1
+	// on both: (T−1)·2 = 6 → T=4.
+	if math.Abs(s.Completion[0]-1) > 1e-9 || math.Abs(s.Completion[1]-4) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCTDivSkipsLateMachines(t *testing.T) {
+	// A very slow machine that only becomes useful late must not be engaged
+	// when the job finishes before that machine's ready time.
+	p, err := model.NewPlatform([]model.Machine{
+		{Speed: 10, Databanks: []model.DatabankID{0}},
+		{Speed: 0.1, Databanks: []model.DatabankID{0}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, []model.Job{
+		{Release: 0, Size: 100, Databank: 0}, // occupies both briefly
+		{Release: 0, Size: 1, Databank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MCTDiv(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(inst, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCTDivNeverWorseThanMCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 30; trial++ {
+		nm := 1 + rng.Intn(4)
+		speeds := make([]float64, nm)
+		for i := range speeds {
+			speeds[i] = 0.5 + 2*rng.Float64()
+		}
+		nj := 1 + rng.Intn(8)
+		jobs := make([]model.Job, nj)
+		for j := range jobs {
+			jobs[j] = model.Job{Release: rng.Float64() * 10, Size: 0.5 + 4*rng.Float64(), Databank: 0}
+		}
+		inst := uniInstance(t, speeds, jobs)
+		s1, err := MCT(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := MCTDiv(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Validate(inst, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Per-job: the divisible variant commits each job to finish no later
+		// than the best single machine would, at scheduling time. Since both
+		// process jobs in the same order and MCT-Div's machine availability
+		// is pointwise ≤ MCT's... compare makespan, a safe aggregate.
+		if s2.Makespan(inst) > s1.Makespan(inst)+1e-6 {
+			t.Fatalf("trial %d: MCT-Div makespan %v > MCT %v",
+				trial, s2.Makespan(inst), s1.Makespan(inst))
+		}
+	}
+}
+
+func TestQuickWaterFillingInvariants(t *testing.T) {
+	// Property: all machines engaged by MCT-Div for a job finish it at the
+	// same instant T, and T is at most (best single machine completion).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nm := 1 + rng.Intn(4)
+		speeds := make([]float64, nm)
+		for i := range speeds {
+			speeds[i] = 0.5 + 2*rng.Float64()
+		}
+		p, err := model.Uniform(speeds)
+		if err != nil {
+			return false
+		}
+		jobs := []model.Job{{Release: rng.Float64(), Size: 0.5 + 3*rng.Float64(), Databank: 0}}
+		inst, err := model.NewInstance(p, jobs)
+		if err != nil {
+			return false
+		}
+		s, err := MCTDiv(inst)
+		if err != nil {
+			return false
+		}
+		// Single job alone: completes at release + alone time.
+		want := inst.Jobs[0].Release + inst.AloneTime(0)
+		return math.Abs(s.Completion[0]-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

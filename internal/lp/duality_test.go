@@ -1,0 +1,132 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStrongDuality solves random primal LPs
+//
+//	min c·x  st  A x >= b, x >= 0
+//
+// and their explicit duals
+//
+//	max b·y  st  Aᵀ y <= c, y >= 0
+//
+// with the same solver. LP strong duality demands equal optima whenever the
+// primal has one — an end-to-end correctness certificate for the simplex
+// that no single hand-crafted instance provides.
+func TestStrongDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	solved := 0
+	for trial := 0; trial < 60; trial++ {
+		nvars := 2 + rng.Intn(4)
+		ncons := 2 + rng.Intn(4)
+		// Nonnegative data keeps both problems feasible and bounded often
+		// enough to exercise the equality meaningfully.
+		c := make([]float64, nvars)
+		for i := range c {
+			c[i] = float64(rng.Intn(9) + 1)
+		}
+		a := make([][]float64, ncons)
+		bvec := make([]float64, ncons)
+		for r := range a {
+			a[r] = make([]float64, nvars)
+			for i := range a[r] {
+				a[r][i] = float64(rng.Intn(5))
+			}
+			bvec[r] = float64(rng.Intn(10) + 1)
+		}
+
+		primal := New[float64](NewFloat64Ops(), nvars)
+		for i := range c {
+			primal.SetObjectiveCoef(i, c[i])
+		}
+		for r := range a {
+			primal.AddDense(a[r], GE, bvec[r])
+		}
+		psol, perr := primal.Solve()
+
+		dual := New[float64](NewFloat64Ops(), ncons)
+		dual.SetMaximize(true)
+		for r := range bvec {
+			dual.SetObjectiveCoef(r, bvec[r])
+		}
+		for i := 0; i < nvars; i++ {
+			col := make([]float64, ncons)
+			for r := range a {
+				col[r] = a[r][i]
+			}
+			dual.AddDense(col, LE, c[i])
+		}
+		dsol, derr := dual.Solve()
+
+		if perr != nil {
+			// Primal infeasible (some row has all-zero coefficients with
+			// b>0): the dual must then be unbounded or infeasible.
+			if derr == nil {
+				t.Fatalf("trial %d: primal %v but dual optimal %v",
+					trial, psol.Status, dsol.Objective)
+			}
+			continue
+		}
+		if derr != nil {
+			t.Fatalf("trial %d: primal optimal %v but dual %v", trial, psol.Objective, dsol.Status)
+		}
+		if math.Abs(psol.Objective-dsol.Objective) > 1e-6*(1+math.Abs(psol.Objective)) {
+			t.Fatalf("trial %d: duality gap: primal %v dual %v",
+				trial, psol.Objective, dsol.Objective)
+		}
+		// Complementary slackness spot-check: y_r·(A_r x − b_r) ≈ 0.
+		for r := range a {
+			slack := -bvec[r]
+			for i := range c {
+				slack += a[r][i] * psol.X[i]
+			}
+			if dsol.X[r]*slack > 1e-5*(1+math.Abs(psol.Objective)) {
+				t.Fatalf("trial %d: complementary slackness violated at row %d", trial, r)
+			}
+		}
+		solved++
+	}
+	if solved < 30 {
+		t.Fatalf("only %d instances reached optimality; generator too degenerate", solved)
+	}
+}
+
+// TestMaximizeWithMixedRelations exercises the solver on a maximisation
+// with all three relation kinds at once.
+func TestMaximizeWithMixedRelations(t *testing.T) {
+	// max x + 2y st x + y <= 10, x >= 2, y = 3 → x=7, y=3, obj=13.
+	p := New[float64](NewFloat64Ops(), 2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 2)
+	p.AddDense([]float64{1, 1}, LE, 10)
+	p.AddDense([]float64{1, 0}, GE, 2)
+	p.AddDense([]float64{0, 1}, EQ, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-13) > 1e-7 {
+		t.Fatalf("obj = %v, want 13", sol.Objective)
+	}
+}
+
+// TestIterationsReported sanity-checks the iteration counter.
+func TestIterationsReported(t *testing.T) {
+	p := New[float64](NewFloat64Ops(), 2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddDense([]float64{1, 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations <= 0 {
+		t.Fatalf("iterations = %d", sol.Iterations)
+	}
+}

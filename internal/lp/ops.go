@@ -1,0 +1,84 @@
+// Package lp implements a dense two-phase primal simplex solver.
+//
+// The paper's offline max-stretch algorithm (System (1)) and the sum-stretch
+// refinement of its online heuristics (System (2)) are linear programs. The
+// original work used an external LP solver; Go's standard library has none,
+// so this package provides one from scratch. It is generic over the scalar
+// field: a fast float64 backend with tolerances for simulation, and an exact
+// big.Rat backend that eliminates the floating-point milestone anomaly the
+// paper reports in §5.3.
+package lp
+
+import "stretchsched/internal/rat"
+
+// Ops abstracts the arithmetic a simplex tableau needs. Implementations must
+// behave like an ordered field; Sign may incorporate a tolerance (float64).
+type Ops[T any] interface {
+	Add(a, b T) T
+	Sub(a, b T) T
+	Mul(a, b T) T
+	Div(a, b T) T
+	Neg(a T) T
+	Zero() T
+	One() T
+	FromInt(n int64) T
+	FromFloat(f float64) T
+	Float(a T) float64
+	// Sign returns -1, 0, +1; values within the backend tolerance of zero
+	// must report 0.
+	Sign(a T) int
+	Cmp(a, b T) int
+}
+
+// Float64Ops is the fast backend. Eps is the absolute tolerance under which
+// a value is considered zero during pivoting and status tests.
+type Float64Ops struct {
+	Eps float64
+}
+
+// NewFloat64Ops returns a Float64Ops with the default tolerance 1e-9.
+func NewFloat64Ops() Float64Ops { return Float64Ops{Eps: 1e-9} }
+
+func (o Float64Ops) Add(a, b float64) float64    { return a + b }
+func (o Float64Ops) Sub(a, b float64) float64    { return a - b }
+func (o Float64Ops) Mul(a, b float64) float64    { return a * b }
+func (o Float64Ops) Div(a, b float64) float64    { return a / b }
+func (o Float64Ops) Neg(a float64) float64       { return -a }
+func (o Float64Ops) Zero() float64               { return 0 }
+func (o Float64Ops) One() float64                { return 1 }
+func (o Float64Ops) FromInt(n int64) float64     { return float64(n) }
+func (o Float64Ops) FromFloat(f float64) float64 { return f }
+func (o Float64Ops) Float(a float64) float64     { return a }
+
+func (o Float64Ops) Sign(a float64) int {
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-9
+	}
+	switch {
+	case a > eps:
+		return 1
+	case a < -eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func (o Float64Ops) Cmp(a, b float64) int { return o.Sign(a - b) }
+
+// RatOps is the exact backend over immutable rationals.
+type RatOps struct{}
+
+func (RatOps) Add(a, b rat.Rat) rat.Rat    { return a.Add(b) }
+func (RatOps) Sub(a, b rat.Rat) rat.Rat    { return a.Sub(b) }
+func (RatOps) Mul(a, b rat.Rat) rat.Rat    { return a.Mul(b) }
+func (RatOps) Div(a, b rat.Rat) rat.Rat    { return a.Div(b) }
+func (RatOps) Neg(a rat.Rat) rat.Rat       { return a.Neg() }
+func (RatOps) Zero() rat.Rat               { return rat.Zero }
+func (RatOps) One() rat.Rat                { return rat.One }
+func (RatOps) FromInt(n int64) rat.Rat     { return rat.FromInt(n) }
+func (RatOps) FromFloat(f float64) rat.Rat { return rat.FromFloat(f) }
+func (RatOps) Float(a rat.Rat) float64     { return a.Float() }
+func (RatOps) Sign(a rat.Rat) int          { return a.Sign() }
+func (RatOps) Cmp(a, b rat.Rat) int        { return a.Cmp(b) }

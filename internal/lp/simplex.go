@@ -1,0 +1,461 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+const (
+	LE Rel = iota // Σ a_k x_k ≤ b
+	GE            // Σ a_k x_k ≥ b
+	EQ            // Σ a_k x_k = b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrNotOptimal is wrapped by Solve when the problem has no optimum.
+var ErrNotOptimal = errors.New("lp: no optimal solution")
+
+type constraint[T any] struct {
+	coef []T // dense, length nvars; entries beyond stored length are zero
+	rel  Rel
+	rhs  T
+}
+
+// Problem is a linear program over nonnegative variables:
+//
+//	minimise (or maximise)  c·x
+//	subject to              A_k · x  {≤,=,≥}  b_k     for every constraint k
+//	                        x ≥ 0
+//
+// All variables are implicitly nonnegative, which matches every program in
+// this repository (fractions of work and stretch bounds are nonnegative).
+type Problem[T any] struct {
+	ops      Ops[T]
+	nvars    int
+	obj      []T
+	maximize bool
+	cons     []constraint[T]
+}
+
+// New returns an empty problem with nvars nonnegative variables and an
+// all-zero minimisation objective.
+func New[T any](ops Ops[T], nvars int) *Problem[T] {
+	if nvars < 0 {
+		panic("lp: negative variable count")
+	}
+	obj := make([]T, nvars)
+	for i := range obj {
+		obj[i] = ops.Zero()
+	}
+	return &Problem[T]{ops: ops, nvars: nvars, obj: obj}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem[T]) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem[T]) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoef sets the objective coefficient of variable v.
+func (p *Problem[T]) SetObjectiveCoef(v int, c T) {
+	p.obj[v] = c
+}
+
+// SetMaximize switches the problem to maximisation (default is minimisation).
+func (p *Problem[T]) SetMaximize(maximize bool) { p.maximize = maximize }
+
+// AddDense adds the constraint coef·x rel rhs. coef may be shorter than the
+// variable count; missing coefficients are zero. The slice is not retained.
+func (p *Problem[T]) AddDense(coef []T, rel Rel, rhs T) {
+	if len(coef) > p.nvars {
+		panic("lp: constraint wider than variable count")
+	}
+	c := make([]T, len(coef))
+	copy(c, coef)
+	p.cons = append(p.cons, constraint[T]{coef: c, rel: rel, rhs: rhs})
+}
+
+// AddSparse adds the constraint Σ coefs[k]·x[vars[k]] rel rhs.
+func (p *Problem[T]) AddSparse(vars []int, coefs []T, rel Rel, rhs T) {
+	if len(vars) != len(coefs) {
+		panic("lp: vars/coefs length mismatch")
+	}
+	c := make([]T, p.nvars)
+	for i := range c {
+		c[i] = p.ops.Zero()
+	}
+	for k, v := range vars {
+		c[v] = p.ops.Add(c[v], coefs[k])
+	}
+	p.cons = append(p.cons, constraint[T]{coef: c, rel: rel, rhs: rhs})
+}
+
+// Solution is the result of a successful solve.
+type Solution[T any] struct {
+	Status     Status
+	X          []T // variable values, length NumVars
+	Objective  T   // objective value in the problem's own sense
+	Iterations int
+}
+
+// Solve runs the two-phase primal simplex method and returns the optimal
+// solution, or an error wrapping ErrNotOptimal if the problem is infeasible
+// or unbounded.
+func (p *Problem[T]) Solve() (*Solution[T], error) {
+	t := newTableau(p)
+	sol := t.solve()
+	if sol.Status != Optimal {
+		return sol, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
+	}
+	return sol, nil
+}
+
+// tableau is the dense simplex working state in standard equality form
+// min c·x, Ax = b, x ≥ 0 with b ≥ 0.
+type tableau[T any] struct {
+	ops   Ops[T]
+	prob  *Problem[T]
+	m, n  int   // rows, structural+slack columns (artificials appended after n)
+	a     [][]T // m rows × (n + nart) coefficient matrix
+	b     []T   // m, right-hand sides (kept ≥ 0)
+	basis []int // m, column index basic in each row
+	nart  int
+	iters int
+}
+
+const maxIterFactor = 200 // iteration cap = maxIterFactor * (m + n)
+
+func newTableau[T any](p *Problem[T]) *tableau[T] {
+	ops := p.ops
+	m := len(p.cons)
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.rel != EQ {
+			nSlack++
+		}
+	}
+	n := p.nvars + nSlack
+	t := &tableau[T]{ops: ops, prob: p, m: m, n: n}
+	t.a = make([][]T, m)
+	t.b = make([]T, m)
+	t.basis = make([]int, m)
+
+	slack := p.nvars
+	for r, c := range p.cons {
+		row := make([]T, n)
+		for j := range row {
+			row[j] = ops.Zero()
+		}
+		for j, v := range c.coef {
+			row[j] = v
+		}
+		rhs := c.rhs
+		switch c.rel {
+		case LE:
+			row[slack] = ops.One()
+			slack++
+		case GE:
+			row[slack] = ops.Neg(ops.One())
+			slack++
+		}
+		// Normalise to rhs ≥ 0 so phase 1 can start from the artificials.
+		if ops.Sign(rhs) < 0 {
+			for j := range row {
+				row[j] = ops.Neg(row[j])
+			}
+			rhs = ops.Neg(rhs)
+		}
+		t.a[r] = row
+		t.b[r] = rhs
+	}
+	return t
+}
+
+func (t *tableau[T]) solve() *Solution[T] {
+	ops := t.ops
+
+	// Phase 1: add one artificial per row, minimise their sum.
+	t.nart = t.m
+	for r := 0; r < t.m; r++ {
+		col := make([]T, t.nart)
+		for j := range col {
+			col[j] = ops.Zero()
+		}
+		col[r] = ops.One()
+		t.a[r] = append(t.a[r], col...)
+		t.basis[r] = t.n + r
+	}
+	phase1Obj := make([]T, t.n+t.nart)
+	for j := 0; j < t.n; j++ {
+		phase1Obj[j] = ops.Zero()
+	}
+	for j := t.n; j < t.n+t.nart; j++ {
+		phase1Obj[j] = ops.One()
+	}
+	status, val := t.optimize(phase1Obj)
+	if status != Optimal {
+		return &Solution[T]{Status: status, Iterations: t.iters}
+	}
+	if ops.Sign(val) > 0 {
+		return &Solution[T]{Status: Infeasible, Iterations: t.iters}
+	}
+	t.driveOutArtificials()
+	// Drop artificial columns and any redundant row whose artificial could
+	// not be driven out (such rows are identically zero with zero rhs).
+	rows, bs, rhs := t.a[:0], t.basis[:0], t.b[:0]
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] >= t.n {
+			continue
+		}
+		rows = append(rows, t.a[r][:t.n])
+		bs = append(bs, t.basis[r])
+		rhs = append(rhs, t.b[r])
+	}
+	t.a, t.basis, t.b = rows, bs, rhs
+	t.m = len(rows)
+	t.nart = 0
+
+	// Phase 2: original objective (negated if maximising).
+	obj := make([]T, t.n)
+	for j := range obj {
+		obj[j] = ops.Zero()
+	}
+	for j := 0; j < t.prob.nvars; j++ {
+		c := t.prob.obj[j]
+		if t.prob.maximize {
+			c = ops.Neg(c)
+		}
+		obj[j] = c
+	}
+	status, val = t.optimize(obj)
+	if status != Optimal {
+		return &Solution[T]{Status: status, Iterations: t.iters}
+	}
+
+	x := make([]T, t.prob.nvars)
+	for j := range x {
+		x[j] = ops.Zero()
+	}
+	for r, bj := range t.basis {
+		if bj < t.prob.nvars {
+			x[bj] = t.b[r]
+		}
+	}
+	if t.prob.maximize {
+		val = ops.Neg(val)
+	}
+	return &Solution[T]{Status: Optimal, X: x, Objective: val, Iterations: t.iters}
+}
+
+// driveOutArtificials pivots any artificial variable that is still basic at
+// value zero out of the basis (or verifies its row is redundant).
+func (t *tableau[T]) driveOutArtificials() {
+	ops := t.ops
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.n {
+			continue
+		}
+		// Find any non-artificial column with a nonzero coefficient.
+		pivoted := false
+		for j := 0; j < t.n; j++ {
+			if ops.Sign(t.a[r][j]) != 0 {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: every structural coefficient is zero, and so is
+			// b (phase 1 ended at zero). Leave the artificial basic at zero;
+			// it can never turn positive because its row is identically zero.
+			continue
+		}
+	}
+}
+
+// optimize runs primal simplex iterations for the reduced costs of obj.
+// It returns Optimal with the objective value, or Unbounded / IterLimit.
+func (t *tableau[T]) optimize(obj []T) (Status, T) {
+	ops := t.ops
+	width := t.n + t.nart
+	// z[j] = reduced cost of column j; zval = current objective value.
+	z := make([]T, width)
+	limit := maxIterFactor * (t.m + width + 1)
+
+	recompute := func() T {
+		// reduced cost c_j - c_B · B^{-1} A_j, computed from the tableau:
+		// since rows are already B^{-1}A, it is c_j - Σ_r c_basis[r]·a[r][j].
+		val := ops.Zero()
+		for j := 0; j < width; j++ {
+			z[j] = obj[j]
+		}
+		for r := 0; r < t.m; r++ {
+			cb := obj[t.basis[r]]
+			if ops.Sign(cb) == 0 {
+				continue
+			}
+			for j := 0; j < width; j++ {
+				z[j] = ops.Sub(z[j], ops.Mul(cb, t.a[r][j]))
+			}
+			val = ops.Add(val, ops.Mul(cb, t.b[r]))
+		}
+		return val
+	}
+	val := recompute()
+
+	bland := false
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return IterLimit, val
+		}
+		t.iters++
+		// After many Dantzig iterations, switch to Bland's rule, which
+		// guarantees termination in the presence of degeneracy.
+		if iter > 4*(t.m+width) {
+			bland = true
+		}
+
+		enter := -1
+		if bland {
+			for j := 0; j < width; j++ {
+				if t.isBasic(j) {
+					continue
+				}
+				if ops.Sign(z[j]) < 0 {
+					enter = j
+					break
+				}
+			}
+		} else {
+			var best T
+			for j := 0; j < width; j++ {
+				if ops.Sign(z[j]) < 0 && (enter == -1 || ops.Cmp(z[j], best) < 0) {
+					enter, best = j, z[j]
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, val
+		}
+
+		// Ratio test: leaving row minimises b_r / a[r][enter] over positive
+		// pivot entries; ties broken by smallest basis index (lexicographic
+		// enough for our sizes together with the Bland fallback).
+		leave := -1
+		var bestRatio T
+		for r := 0; r < t.m; r++ {
+			arj := t.a[r][enter]
+			if ops.Sign(arj) <= 0 {
+				continue
+			}
+			ratio := ops.Div(t.b[r], arj)
+			if leave == -1 || ops.Cmp(ratio, bestRatio) < 0 ||
+				(ops.Cmp(ratio, bestRatio) == 0 && t.basis[r] < t.basis[leave]) {
+				leave, bestRatio = r, ratio
+			}
+		}
+		if leave == -1 {
+			return Unbounded, val
+		}
+
+		t.pivot(leave, enter)
+
+		// Update reduced costs incrementally: z ← z - z[enter]·(pivot row).
+		ze := z[enter]
+		if ops.Sign(ze) != 0 {
+			row := t.a[leave]
+			for j := 0; j < width; j++ {
+				z[j] = ops.Sub(z[j], ops.Mul(ze, row[j]))
+			}
+			val = ops.Add(val, ops.Mul(ze, t.b[leave]))
+		}
+		z[enter] = ops.Zero()
+	}
+}
+
+func (t *tableau[T]) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column col basic in row row using Gauss-Jordan elimination.
+func (t *tableau[T]) pivot(row, col int) {
+	ops := t.ops
+	width := len(t.a[row])
+	piv := t.a[row][col]
+	if ops.Sign(piv) == 0 {
+		panic("lp: zero pivot")
+	}
+	inv := ops.Div(ops.One(), piv)
+	prow := t.a[row]
+	for j := 0; j < width; j++ {
+		prow[j] = ops.Mul(prow[j], inv)
+	}
+	prow[col] = ops.One() // avoid drift in the float backend
+	t.b[row] = ops.Mul(t.b[row], inv)
+
+	for r := 0; r < t.m; r++ {
+		if r == row {
+			continue
+		}
+		factor := t.a[r][col]
+		if ops.Sign(factor) == 0 {
+			t.a[r][col] = ops.Zero()
+			continue
+		}
+		arow := t.a[r]
+		for j := 0; j < width; j++ {
+			arow[j] = ops.Sub(arow[j], ops.Mul(factor, prow[j]))
+		}
+		arow[col] = ops.Zero()
+		t.b[r] = ops.Sub(t.b[r], ops.Mul(factor, t.b[row]))
+		// Degenerate negative dust from float cancellation: clamp to zero so
+		// the ratio test stays consistent.
+		if ops.Sign(t.b[r]) < 0 {
+			t.b[r] = ops.Zero()
+		}
+	}
+	t.basis[row] = col
+}

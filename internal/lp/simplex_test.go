@@ -1,0 +1,336 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"stretchsched/internal/rat"
+)
+
+func f64Prob(nvars int) *Problem[float64] { return New[float64](NewFloat64Ops(), nvars) }
+
+func ratProb(nvars int) *Problem[rat.Rat] { return New[rat.Rat](RatOps{}, nvars) }
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 → x=2, y=6, obj=36.
+	p := f64Prob(2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(0, 3)
+	p.SetObjectiveCoef(1, 5)
+	p.AddDense([]float64{1, 0}, LE, 4)
+	p.AddDense([]float64{0, 2}, LE, 12)
+	p.AddDense([]float64{3, 2}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-36) > 1e-7 {
+		t.Fatalf("obj = %v, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Fatalf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSimpleMinWithGE(t *testing.T) {
+	// min 2x + 3y st x + y >= 10, x >= 2, y >= 3 → x=7, y=3, obj=23.
+	p := f64Prob(2)
+	p.SetObjectiveCoef(0, 2)
+	p.SetObjectiveCoef(1, 3)
+	p.AddDense([]float64{1, 1}, GE, 10)
+	p.AddDense([]float64{1, 0}, GE, 2)
+	p.AddDense([]float64{0, 1}, GE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-23) > 1e-7 {
+		t.Fatalf("obj = %v, want 23", sol.Objective)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + y st x + 2y = 4, x - y = 1 → x=2, y=1, obj=3.
+	p := f64Prob(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddDense([]float64{1, 2}, EQ, 4)
+	p.AddDense([]float64{1, -1}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-1) > 1e-7 {
+		t.Fatalf("x = %v, want [2 1]", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := f64Prob(1)
+	p.AddDense([]float64{1}, LE, 1)
+	p.AddDense([]float64{1}, GE, 2)
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("err = %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := f64Prob(1)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(0, 1)
+	p.AddDense([]float64{-1}, LE, 0) // -x <= 0, i.e. always true
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("err = %v", err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x st -x <= -5 (x >= 5).
+	p := f64Prob(1)
+	p.SetObjectiveCoef(0, 1)
+	p.AddDense([]float64{-1}, LE, -5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-5) > 1e-7 {
+		t.Fatalf("x = %v, want 5", sol.X[0])
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate equalities must not break phase 2.
+	p := f64Prob(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddDense([]float64{1, 1}, EQ, 3)
+	p.AddDense([]float64{2, 2}, EQ, 6)
+	p.AddDense([]float64{1, 1}, EQ, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-3) > 1e-7 {
+		t.Fatalf("obj = %v, want 3", sol.Objective)
+	}
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example; must terminate via Bland fallback.
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// st   0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5 x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	p := f64Prob(4)
+	p.SetObjectiveCoef(0, -0.75)
+	p.SetObjectiveCoef(1, 150)
+	p.SetObjectiveCoef(2, -0.02)
+	p.SetObjectiveCoef(3, 6)
+	p.AddDense([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddDense([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddDense([]float64{0, 0, 1, 0}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-7 {
+		t.Fatalf("obj = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestRationalExactness(t *testing.T) {
+	// max x + y st 3x + y <= 1, x + 3y <= 1 → x=y=1/4, obj=1/2, exactly.
+	p := ratProb(2)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(0, rat.One)
+	p.SetObjectiveCoef(1, rat.One)
+	p.AddDense([]rat.Rat{rat.FromInt(3), rat.One}, LE, rat.One)
+	p.AddDense([]rat.Rat{rat.One, rat.FromInt(3)}, LE, rat.One)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Objective.Equal(rat.FromFrac(1, 2)) {
+		t.Fatalf("obj = %v, want 1/2", sol.Objective)
+	}
+	if !sol.X[0].Equal(rat.FromFrac(1, 4)) || !sol.X[1].Equal(rat.FromFrac(1, 4)) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSparseEqualsDense(t *testing.T) {
+	pd := f64Prob(3)
+	pd.SetObjectiveCoef(2, 1)
+	pd.AddDense([]float64{1, 0, 2}, GE, 4)
+	ps := f64Prob(3)
+	ps.SetObjectiveCoef(2, 1)
+	ps.AddSparse([]int{2, 0}, []float64{2, 1}, GE, 4)
+	sd, err := pd.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd.Objective-ss.Objective) > 1e-9 {
+		t.Fatalf("dense %v != sparse %v", sd.Objective, ss.Objective)
+	}
+}
+
+func TestSparseDuplicateVarsAccumulate(t *testing.T) {
+	// x appears twice in the sparse row: coefficient should be 3.
+	p := f64Prob(1)
+	p.SetObjectiveCoef(0, 1)
+	p.AddSparse([]int{0, 0}, []float64{1, 2}, GE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 {
+		t.Fatalf("x = %v, want 2", sol.X[0])
+	}
+}
+
+// randomLP builds a bounded, feasible random LP: min c·x st A x <= b with
+// b > 0 (so x = 0 is feasible) plus x_i <= u to guarantee boundedness.
+func randomLP(rng *rand.Rand, nvars, ncons int) (c []float64, a [][]float64, b []float64, u float64) {
+	c = make([]float64, nvars)
+	for i := range c {
+		c[i] = float64(rng.Intn(21) - 10)
+	}
+	a = make([][]float64, ncons)
+	b = make([]float64, ncons)
+	for r := range a {
+		a[r] = make([]float64, nvars)
+		for i := range a[r] {
+			a[r][i] = float64(rng.Intn(11) - 5)
+		}
+		b[r] = float64(rng.Intn(20) + 1)
+	}
+	return c, a, b, 10
+}
+
+// TestFloatMatchesRational cross-checks the two backends on random LPs.
+func TestFloatMatchesRational(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nvars := 2 + rng.Intn(4)
+		ncons := 1 + rng.Intn(4)
+		c, a, b, u := randomLP(rng, nvars, ncons)
+
+		pf := f64Prob(nvars)
+		pr := ratProb(nvars)
+		for i := 0; i < nvars; i++ {
+			pf.SetObjectiveCoef(i, c[i])
+			pr.SetObjectiveCoef(i, rat.FromFloat(c[i]))
+			bound := make([]float64, nvars)
+			bound[i] = 1
+			pf.AddDense(bound, LE, u)
+			rbound := make([]rat.Rat, nvars)
+			for k := range rbound {
+				rbound[k] = rat.Zero
+			}
+			rbound[i] = rat.One
+			pr.AddDense(rbound, LE, rat.FromFloat(u))
+		}
+		for r := range a {
+			pf.AddDense(a[r], LE, b[r])
+			row := make([]rat.Rat, nvars)
+			for i := range row {
+				row[i] = rat.FromFloat(a[r][i])
+			}
+			pr.AddDense(row, LE, rat.FromFloat(b[r]))
+		}
+		sf, errF := pf.Solve()
+		sr, errR := pr.Solve()
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("trial %d: float err=%v rat err=%v", trial, errF, errR)
+		}
+		if errF != nil {
+			continue
+		}
+		if math.Abs(sf.Objective-sr.Objective.Float()) > 1e-6 {
+			t.Fatalf("trial %d: float obj %v != rational obj %v",
+				trial, sf.Objective, sr.Objective.Float())
+		}
+	}
+}
+
+// TestSolutionFeasibility verifies that returned solutions satisfy all
+// constraints within tolerance, over random instances.
+func TestSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		nvars := 2 + rng.Intn(5)
+		ncons := 1 + rng.Intn(5)
+		c, a, b, u := randomLP(rng, nvars, ncons)
+		p := f64Prob(nvars)
+		for i := 0; i < nvars; i++ {
+			p.SetObjectiveCoef(i, c[i])
+			bound := make([]float64, nvars)
+			bound[i] = 1
+			p.AddDense(bound, LE, u)
+		}
+		for r := range a {
+			p.AddDense(a[r], LE, b[r])
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, x := range sol.X {
+			if x < -1e-7 || x > u+1e-7 {
+				t.Fatalf("trial %d: x[%d]=%v out of [0,%v]", trial, i, x, u)
+			}
+		}
+		for r := range a {
+			dot := 0.0
+			for i := range a[r] {
+				dot += a[r][i] * sol.X[i]
+			}
+			if dot > b[r]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, r, dot, b[r])
+			}
+		}
+		// Objective must match c·x.
+		dot := 0.0
+		for i := range c {
+			dot += c[i] * sol.X[i]
+		}
+		if math.Abs(dot-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective mismatch %v != %v", trial, dot, sol.Objective)
+		}
+	}
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := f64Prob(0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Rel strings")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Fatal("Status strings")
+	}
+}

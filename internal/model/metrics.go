@@ -1,0 +1,202 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result holds per-job completion times produced by a scheduler.
+type Result struct {
+	Completion []float64
+}
+
+// NewResult returns a Result sized for inst with completions unset (NaN).
+func NewResult(inst *Instance) *Result {
+	c := make([]float64, inst.NumJobs())
+	for i := range c {
+		c[i] = math.NaN()
+	}
+	return &Result{Completion: c}
+}
+
+// Flow returns F_j = C_j − r_j.
+func (r *Result) Flow(inst *Instance, j JobID) float64 {
+	return r.Completion[j] - inst.Jobs[j].Release
+}
+
+// Stretch returns S_j = F_j / p*_j, the slowdown of job j relative to its
+// execution alone on its eligible machines.
+func (r *Result) Stretch(inst *Instance, j JobID) float64 {
+	return r.Flow(inst, j) / inst.AloneTime(j)
+}
+
+// MaxStretch returns max_j S_j.
+func (r *Result) MaxStretch(inst *Instance) float64 {
+	v := 0.0
+	for j := range inst.Jobs {
+		v = math.Max(v, r.Stretch(inst, JobID(j)))
+	}
+	return v
+}
+
+// SumStretch returns Σ_j S_j.
+func (r *Result) SumStretch(inst *Instance) float64 {
+	v := 0.0
+	for j := range inst.Jobs {
+		v += r.Stretch(inst, JobID(j))
+	}
+	return v
+}
+
+// MaxFlow returns max_j F_j.
+func (r *Result) MaxFlow(inst *Instance) float64 {
+	v := 0.0
+	for j := range inst.Jobs {
+		v = math.Max(v, r.Flow(inst, JobID(j)))
+	}
+	return v
+}
+
+// SumFlow returns Σ_j F_j.
+func (r *Result) SumFlow(inst *Instance) float64 {
+	v := 0.0
+	for j := range inst.Jobs {
+		v += r.Flow(inst, JobID(j))
+	}
+	return v
+}
+
+// Makespan returns max_j C_j.
+func (r *Result) Makespan(inst *Instance) float64 {
+	v := 0.0
+	for j := range r.Completion {
+		v = math.Max(v, r.Completion[j])
+	}
+	return v
+}
+
+// Check verifies that every completion is set and no job completes before
+// its release plus its alone time (a universal lower bound).
+func (r *Result) Check(inst *Instance) error {
+	if len(r.Completion) != inst.NumJobs() {
+		return fmt.Errorf("model: result has %d completions for %d jobs",
+			len(r.Completion), inst.NumJobs())
+	}
+	const tol = 1e-6
+	for j := range inst.Jobs {
+		c := r.Completion[j]
+		if math.IsNaN(c) {
+			return fmt.Errorf("model: job %d has no completion", j)
+		}
+		if earliest := inst.Jobs[j].Release + inst.AloneTime(JobID(j)); c < earliest-tol*(1+earliest) {
+			return fmt.Errorf("model: job %d completes at %v before physical bound %v", j, c, earliest)
+		}
+	}
+	return nil
+}
+
+// Slice is a maximal period during which one machine continuously processes
+// one job. Schedules are unions of slices.
+type Slice struct {
+	Machine MachineID
+	Job     JobID
+	Start   float64
+	End     float64
+}
+
+// Duration returns End − Start.
+func (s Slice) Duration() float64 { return s.End - s.Start }
+
+// Schedule is a full execution trace: per-job completions plus the slices
+// that realise them. Slices allow exact validation of the divisible-load
+// execution rules.
+type Schedule struct {
+	Result
+	Slices []Slice
+}
+
+// NewSchedule returns an empty schedule for inst.
+func NewSchedule(inst *Instance) *Schedule {
+	return &Schedule{Result: *NewResult(inst)}
+}
+
+// AddSlice appends a slice, merging it with the previous slice when it
+// extends the same (machine, job) run contiguously.
+func (s *Schedule) AddSlice(sl Slice) {
+	if sl.End <= sl.Start {
+		return
+	}
+	if n := len(s.Slices); n > 0 {
+		last := &s.Slices[n-1]
+		if last.Machine == sl.Machine && last.Job == sl.Job &&
+			math.Abs(last.End-sl.Start) < 1e-9*(1+math.Abs(sl.Start)) {
+			last.End = sl.End
+			return
+		}
+	}
+	s.Slices = append(s.Slices, sl)
+}
+
+// Validate checks the full divisible-load execution rules:
+//   - each slice runs an eligible machine on a released job;
+//   - no machine runs two jobs simultaneously;
+//   - total processed work equals W_j for every job;
+//   - no work is processed after the recorded completion, and the last
+//     slice of each job ends at its completion time.
+//
+// reltol is the relative numeric tolerance (1e-6 is appropriate for the
+// float64 fluid engine).
+func (s *Schedule) Validate(inst *Instance, reltol float64) error {
+	if reltol <= 0 {
+		reltol = 1e-6
+	}
+	if err := s.Check(inst); err != nil {
+		return err
+	}
+	// Per-machine overlap check.
+	perMachine := make(map[MachineID][]Slice)
+	for _, sl := range s.Slices {
+		if sl.Job < 0 || int(sl.Job) >= inst.NumJobs() {
+			return fmt.Errorf("model: slice references unknown job %d", sl.Job)
+		}
+		if sl.Machine < 0 || int(sl.Machine) >= inst.Platform.NumMachines() {
+			return fmt.Errorf("model: slice references unknown machine %d", sl.Machine)
+		}
+		if !inst.Platform.Machine(sl.Machine).Hosts(inst.Jobs[sl.Job].Databank) {
+			return fmt.Errorf("model: job %d scheduled on ineligible machine %d", sl.Job, sl.Machine)
+		}
+		if rj := inst.Jobs[sl.Job].Release; sl.Start < rj-reltol*(1+rj) {
+			return fmt.Errorf("model: job %d starts at %v before release %v", sl.Job, sl.Start, rj)
+		}
+		perMachine[sl.Machine] = append(perMachine[sl.Machine], sl)
+	}
+	for mid, sls := range perMachine {
+		for a := 1; a < len(sls); a++ {
+			// Slices are appended in time order by all engines; verify.
+			if sls[a].Start < sls[a-1].End-reltol*(1+math.Abs(sls[a-1].End)) {
+				return fmt.Errorf("model: machine %d overlaps: [%v,%v] then [%v,%v]",
+					mid, sls[a-1].Start, sls[a-1].End, sls[a].Start, sls[a].End)
+			}
+		}
+	}
+	// Work conservation and completion consistency.
+	work := make([]float64, inst.NumJobs())
+	lastEnd := make([]float64, inst.NumJobs())
+	for _, sl := range s.Slices {
+		work[sl.Job] += sl.Duration() * inst.Platform.Machine(sl.Machine).Speed
+		if sl.End > lastEnd[sl.Job] {
+			lastEnd[sl.Job] = sl.End
+		}
+	}
+	for j := range inst.Jobs {
+		w := inst.Jobs[j].Size
+		if math.Abs(work[j]-w) > reltol*(1+w) {
+			return fmt.Errorf("model: job %d processed %v of %v work units", j, work[j], w)
+		}
+		c := s.Completion[j]
+		if math.Abs(lastEnd[j]-c) > reltol*(1+math.Abs(c)) {
+			return fmt.Errorf("model: job %d last slice ends at %v, completion %v", j, lastEnd[j], c)
+		}
+	}
+	return nil
+}

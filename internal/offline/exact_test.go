@@ -1,0 +1,69 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/rat"
+)
+
+// TestExactModeRandomCrossValidation: on random restricted-availability
+// instances, the exact rational System (1) refinement and the float
+// bisection agree, the exact optimum is feasible, and anything visibly
+// below it is infeasible — the paper's §5.3 precision anomaly cannot occur
+// in exact mode by construction.
+func TestExactModeRandomCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 8; trial++ {
+		inst := randomInstance(t, rng, 1+rng.Intn(2), 1+rng.Intn(2), 2+rng.Intn(4))
+		prob := FromInstance(inst)
+
+		var fast Solver
+		fsol, err := fast.OptimalStretch(prob)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exact := Solver{Exact: true}
+		esol, err := exact.OptimalStretch(prob)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		if math.Abs(fsol.Stretch-esol.Stretch) > 1e-6*math.Max(1, fsol.Stretch) {
+			t.Fatalf("trial %d: bisection %v vs exact %v", trial, fsol.Stretch, esol.Stretch)
+		}
+		if esol.ExactStretch.Sign() <= 0 {
+			t.Fatalf("trial %d: exact stretch %v not positive", trial, esol.ExactStretch)
+		}
+		if !prob.Feasible(esol.Stretch * (1 + 1e-9)) {
+			t.Fatalf("trial %d: exact optimum infeasible", trial)
+		}
+		if esol.Stretch > prob.LowerBound()*(1+1e-9) && prob.Feasible(esol.Stretch*(1-1e-5)) {
+			t.Fatalf("trial %d: exact optimum not minimal", trial)
+		}
+		// The witness allocation of the exact mode must be valid too.
+		checkAlloc(t, esol.Alloc)
+	}
+}
+
+// TestExactStretchIsRational: the exact solver returns the optimum as a
+// true rational, and its float projection matches Stretch.
+func TestExactStretchIsRational(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 1.0 / 3, Databank: 0},
+		{Release: 0.1, Size: 1.0 / 7, Databank: 0},
+		{Release: 0.2, Size: 1.0 / 11, Databank: 0},
+	})
+	exact := Solver{Exact: true}
+	sol, err := exact.OptimalStretch(FromInstance(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.ExactStretch.Float(); math.Abs(got-sol.Stretch) > 1e-12 {
+		t.Fatalf("rational %v vs float %v", got, sol.Stretch)
+	}
+	if sol.ExactStretch.Cmp(rat.One) < 0 {
+		t.Fatalf("stretch below 1: %v", sol.ExactStretch)
+	}
+}

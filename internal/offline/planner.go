@@ -1,0 +1,77 @@
+package offline
+
+import (
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+// Planner is the offline optimal max-stretch scheduler as a sim.Planner:
+// it knows the whole instance, solves the optimal stretch once at the first
+// decision instant, realises the allocation into a timetable and follows it
+// for the entire run.
+type Planner struct {
+	Solver Solver
+	// Refined additionally applies System (2) at the optimal stretch before
+	// realisation, which improves the (unconstrained) sum-stretch of the
+	// realised schedule without touching the max-stretch.
+	Refined bool
+
+	plan    *sim.Plan
+	stretch float64
+}
+
+// NewPlanner returns an offline planner with the default solver.
+func NewPlanner() *Planner { return &Planner{} }
+
+// Name implements sim.Planner.
+func (pl *Planner) Name() string {
+	if pl.Refined {
+		return "Offline-Refined"
+	}
+	return "Offline"
+}
+
+// Stretch returns the optimal max-stretch computed during the run.
+func (pl *Planner) Stretch() float64 { return pl.stretch }
+
+// Init implements sim.Planner.
+func (pl *Planner) Init(*model.Instance) {
+	pl.plan = nil
+	pl.stretch = 0
+}
+
+// Plan implements sim.Planner. The full-horizon timetable is computed on
+// the first call; re-invocations at later arrivals resume the same plan.
+func (pl *Planner) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
+	if pl.plan != nil {
+		return pl.plan, nil
+	}
+	prob := FromInstance(ctx.Inst)
+	sol, err := pl.Solver.OptimalStretch(prob)
+	if err != nil {
+		return nil, err
+	}
+	pl.stretch = sol.Stretch
+	alloc := sol.Alloc
+	if pl.Refined {
+		if refined, err := prob.Refine(sol.Stretch); err == nil {
+			alloc = refined
+		}
+	}
+	plan, err := alloc.Realize(TerminalSWRPT)
+	if err != nil {
+		return nil, err
+	}
+	pl.plan = plan
+	return plan, nil
+}
+
+// Optimal computes the optimal max-stretch value of a full instance.
+func Optimal(inst *model.Instance) (float64, error) {
+	var s Solver
+	sol, err := s.OptimalStretch(FromInstance(inst))
+	if err != nil {
+		return 0, err
+	}
+	return sol.Stretch, nil
+}

@@ -1,0 +1,159 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+// Ordering selects how an interval's allocated fractions are sequenced on
+// each machine when an Alloc is turned into a concrete timetable. These are
+// the Step-4 variants of the paper's online heuristic (§4.3.2); the offline
+// algorithm uses TerminalSWRPT as well.
+type Ordering int
+
+const (
+	// TerminalSWRPT is the paper's first variant ("Online"): within an
+	// interval, jobs that finish their share on this machine in this
+	// interval run first under the SWRPT order; non-terminal jobs follow.
+	TerminalSWRPT Ordering = iota
+	// GlobalCompletionEDF is the "Online-EDF" variant: each machine orders
+	// its fractions by the interval in which the job's total share (across
+	// all machines) completes, ties broken by SWRPT.
+	GlobalCompletionEDF
+)
+
+// Realize converts an allocation into a per-machine timetable. Work placed
+// in interval t is packed from the interval's start in the selected order;
+// capacity feasibility of the allocation guarantees it fits.
+func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
+	m := a.Problem.Inst.Platform.NumMachines()
+	plan := sim.NewPlan(m)
+	if len(a.Work) == 0 {
+		return plan, nil
+	}
+	n := len(a.Problem.Tasks)
+
+	// Remaining global work of each task before each interval, for SWRPT keys.
+	remBefore := make([][]float64, len(a.Work)+1)
+	remBefore[0] = make([]float64, n)
+	for k := 0; k < n; k++ {
+		remBefore[0][k] = a.Problem.Tasks[k].Work
+	}
+	for t := range a.Work {
+		remBefore[t+1] = append([]float64(nil), remBefore[t]...)
+		for i := range a.Work[t] {
+			for k, w := range a.Work[t][i] {
+				remBefore[t+1][k] -= w
+			}
+		}
+	}
+
+	lastGlobal := make([]int, n)
+	for k := 0; k < n; k++ {
+		lastGlobal[k] = a.LastInterval(k)
+	}
+
+	for t := range a.Work {
+		lo, hi := a.Bounds[t], a.Bounds[t+1]
+		length := hi - lo
+		for i := 0; i < m; i++ {
+			var ks []int
+			totalDur := 0.0
+			speed := a.Problem.Inst.Platform.Machine(model.MachineID(i)).Speed
+			for k, w := range a.Work[t][i] {
+				if w > 0 {
+					ks = append(ks, k)
+					totalDur += w / speed
+				}
+			}
+			if len(ks) == 0 {
+				continue
+			}
+			if totalDur > length*(1+1e-6)+1e-9 {
+				return nil, fmt.Errorf("offline: interval %d machine %d overfull: %v > %v",
+					t, i, totalDur, length)
+			}
+			scale := 1.0
+			if totalDur > length && totalDur > 0 {
+				scale = length / totalDur // absorb float dust
+			}
+			swrpt := func(k int) float64 {
+				return a.Problem.Tasks[k].DeadB * remBefore[t][k]
+			}
+			switch order {
+			case TerminalSWRPT:
+				term := func(k int) bool { return a.LastIntervalOn(k, i) == t }
+				sort.Slice(ks, func(x, y int) bool {
+					kx, ky := ks[x], ks[y]
+					tx, ty := term(kx), term(ky)
+					if tx != ty {
+						return tx
+					}
+					sx, sy := swrpt(kx), swrpt(ky)
+					if sx != sy {
+						return sx < sy
+					}
+					return kx < ky
+				})
+			case GlobalCompletionEDF:
+				sort.Slice(ks, func(x, y int) bool {
+					kx, ky := ks[x], ks[y]
+					if lastGlobal[kx] != lastGlobal[ky] {
+						return lastGlobal[kx] < lastGlobal[ky]
+					}
+					sx, sy := swrpt(kx), swrpt(ky)
+					if sx != sy {
+						return sx < sy
+					}
+					return kx < ky
+				})
+			default:
+				return nil, fmt.Errorf("offline: unknown ordering %d", order)
+			}
+			cursor := lo
+			for _, k := range ks {
+				d := a.Work[t][i][k] / speed * scale
+				end := math.Min(cursor+d, hi)
+				plan.Add(model.MachineID(i), sim.PlanSlice{
+					Job: a.Problem.Tasks[k].Job, Start: cursor, End: end,
+				})
+				cursor = end
+			}
+		}
+	}
+	return plan, nil
+}
+
+// GlobalOrder returns the tasks sorted by the Online-EGDF priority: the
+// interval in which the task's total work completes, ties broken by SWRPT
+// at the allocation start, then by job ID. It is used as a priority list
+// for the greedy spatial rule rather than as an explicit timetable.
+func (a *Alloc) GlobalOrder() []model.JobID {
+	n := len(a.Problem.Tasks)
+	ks := make([]int, n)
+	for k := range ks {
+		ks[k] = k
+	}
+	sort.Slice(ks, func(x, y int) bool {
+		kx, ky := ks[x], ks[y]
+		lx, ly := a.LastInterval(kx), a.LastInterval(ky)
+		if lx != ly {
+			return lx < ly
+		}
+		sx := a.Problem.Tasks[kx].DeadB * a.Problem.Tasks[kx].Work
+		sy := a.Problem.Tasks[ky].DeadB * a.Problem.Tasks[ky].Work
+		if sx != sy {
+			return sx < sy
+		}
+		return a.Problem.Tasks[kx].Job < a.Problem.Tasks[ky].Job
+	})
+	out := make([]model.JobID, n)
+	for i, k := range ks {
+		out[i] = a.Problem.Tasks[k].Job
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/lp"
+	"stretchsched/internal/model"
+	"stretchsched/internal/rat"
+)
+
+// Solver configures the optimal max-stretch computation.
+type Solver struct {
+	// Exact switches the final refinement from float64 bisection to
+	// System (1) solved on exact rationals, eliminating the precision
+	// anomaly of §5.3 at a (substantial) constant-factor cost.
+	Exact bool
+	// RelTol is the relative width at which float bisection stops
+	// (default 1e-10).
+	RelTol float64
+}
+
+// Solution is an optimal max-stretch together with a witness allocation.
+type Solution struct {
+	Stretch      float64
+	ExactStretch rat.Rat // set in Exact mode
+	Alloc        *Alloc
+}
+
+// OptimalStretch computes the minimal achievable max-stretch of p and a
+// deadline-respecting allocation achieving it.
+//
+// The search follows §4.3.1: feasibility of a target stretch F is monotone
+// in F, so a binary search over the sorted milestones brackets the optimum
+// inside one milestone interval, where the epochal-time ordering is fixed
+// and the optimum can be pinned down by bisection (or exactly by LP).
+func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	relTol := s.RelTol
+	if relTol <= 0 {
+		relTol = 1e-10
+	}
+	if len(p.Tasks) == 0 {
+		return &Solution{Stretch: 1, ExactStretch: rat.One,
+			Alloc: &Alloc{Problem: p, Stretch: 1}}, nil
+	}
+
+	lb := p.LowerBound()
+	if p.Feasible(lb) {
+		alloc, ok := p.solveFlow(lb, true)
+		if !ok {
+			return nil, fmt.Errorf("offline: allocation extraction failed at lower bound")
+		}
+		return &Solution{Stretch: lb, ExactStretch: rat.FromFloat(lb), Alloc: alloc}, nil
+	}
+
+	ub := p.UpperBound()
+	for ub < math.Inf(1) && !p.Feasible(ub) {
+		// UpperBound is feasible by construction; this loop is defensive
+		// against float round-off at the boundary.
+		ub *= 2
+		if ub > 1e18 {
+			return nil, fmt.Errorf("offline: no feasible stretch found")
+		}
+	}
+
+	// Bracket the optimum between consecutive candidates.
+	candidates := p.Milestones(lb, ub)
+	candidates = append(candidates, ub)
+	sort.Float64s(candidates)
+	feasIdx := sort.Search(len(candidates), func(i int) bool {
+		return p.Feasible(candidates[i])
+	})
+	if feasIdx == len(candidates) {
+		return nil, fmt.Errorf("offline: feasibility not monotone (upper bound infeasible)")
+	}
+	fhi := candidates[feasIdx]
+	flo := lb
+	if feasIdx > 0 {
+		flo = candidates[feasIdx-1]
+	}
+
+	if s.Exact {
+		return s.refineExact(p, flo, fhi)
+	}
+
+	// Float bisection inside the bracketing interval.
+	for fhi-flo > relTol*math.Max(1, fhi) {
+		mid := flo + (fhi-flo)/2
+		if p.Feasible(mid) {
+			fhi = mid
+		} else {
+			flo = mid
+		}
+	}
+	alloc, ok := p.solveFlow(fhi, true)
+	if !ok {
+		return nil, fmt.Errorf("offline: allocation extraction failed at F=%v", fhi)
+	}
+	return &Solution{Stretch: fhi, ExactStretch: rat.FromFloat(fhi), Alloc: alloc}, nil
+}
+
+// refineExact solves System (1) on [flo, fhi] with exact rational
+// arithmetic: minimise F subject to the interval-capacity and completion
+// constraints, the interval bounds being affine functions of F with the
+// ordering frozen inside the bracket.
+func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
+	mid := flo + (fhi-flo)/2
+	bounds := p.intervalAffines(mid)
+	nT := len(bounds) - 1
+	if nT <= 0 {
+		return nil, fmt.Errorf("offline: empty interval structure")
+	}
+	m := p.Inst.Platform.NumMachines()
+	n := len(p.Tasks)
+
+	// Variable layout: x_{t,i,k} for admissible triples, then F last.
+	type triple struct{ t, i, k int }
+	var vars []triple
+	varOf := map[[3]int]int{}
+	for k := 0; k < n; k++ {
+		tk := &p.Tasks[k]
+		d := tk.Deadline(mid)
+		for t := 0; t < nT; t++ {
+			lo, hi := bounds[t].EvalFloat(mid), bounds[t+1].EvalFloat(mid)
+			tol := 1e-12 * (1 + math.Abs(hi))
+			if !(tk.Release <= lo+tol && d >= hi-tol) {
+				continue
+			}
+			for _, mi := range p.eligible(k) {
+				varOf[[3]int{t, int(mi), k}] = len(vars)
+				vars = append(vars, triple{t, int(mi), k})
+			}
+		}
+	}
+	fVar := len(vars)
+	ops := lp.RatOps{}
+	prob := lp.New[rat.Rat](ops, fVar+1)
+	prob.SetObjectiveCoef(fVar, rat.One)
+
+	// flo ≤ F ≤ fhi.
+	prob.AddSparse([]int{fVar}, []rat.Rat{rat.One}, lp.GE, rat.FromFloat(flo))
+	prob.AddSparse([]int{fVar}, []rat.Rat{rat.One}, lp.LE, rat.FromFloat(fhi))
+
+	// Capacity: Σ_k x_{t,i,k} ≤ speed_i · len_t(F); len_t is affine in F.
+	for t := 0; t < nT; t++ {
+		lenA := bounds[t+1].A.Sub(bounds[t].A)
+		lenB := bounds[t+1].B.Sub(bounds[t].B)
+		for i := 0; i < m; i++ {
+			var vs []int
+			var cs []rat.Rat
+			for k := 0; k < n; k++ {
+				if v, ok := varOf[[3]int{t, i, k}]; ok {
+					vs = append(vs, v)
+					cs = append(cs, rat.One)
+				}
+			}
+			if len(vs) == 0 {
+				continue
+			}
+			speed := rat.FromFloat(p.Inst.Platform.Machine(model.MachineID(i)).Speed)
+			vs = append(vs, fVar)
+			cs = append(cs, speed.Mul(lenB).Neg())
+			prob.AddSparse(vs, cs, lp.LE, speed.Mul(lenA))
+		}
+	}
+	// Completion: Σ_{t,i} x = Work_k.
+	for k := 0; k < n; k++ {
+		var vs []int
+		var cs []rat.Rat
+		for vi, tr := range vars {
+			if tr.k == k {
+				vs = append(vs, vi)
+				cs = append(cs, rat.One)
+			}
+		}
+		if len(vs) == 0 {
+			return nil, fmt.Errorf("offline: task %d has no admissible slot in [%v,%v]", k, flo, fhi)
+		}
+		prob.AddSparse(vs, cs, lp.EQ, rat.FromFloat(p.Tasks[k].Work))
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("offline: System (1) refinement: %w", err)
+	}
+	fstar := sol.X[fVar]
+	alloc := &Alloc{Problem: p, Stretch: fstar.Float()}
+	alloc.Bounds = make([]float64, len(bounds))
+	for i, b := range bounds {
+		alloc.Bounds[i] = b.Eval(fstar).Float()
+	}
+	alloc.Work = make([][][]float64, nT)
+	for t := range alloc.Work {
+		alloc.Work[t] = make([][]float64, m)
+		for i := range alloc.Work[t] {
+			alloc.Work[t][i] = make([]float64, n)
+		}
+	}
+	for vi, tr := range vars {
+		if w := sol.X[vi].Float(); w > 0 {
+			alloc.Work[tr.t][tr.i][tr.k] += w
+		}
+	}
+	return &Solution{Stretch: fstar.Float(), ExactStretch: fstar, Alloc: alloc}, nil
+}
+
+// intervalAffines returns the epochal boundaries as affine functions of F,
+// ordered by their value at the probe point fm (inside a milestone-free
+// interval the order is constant). Boundaries strictly below the earliest
+// release are dropped; duplicates (equal at fm, hence equal on the whole
+// interval) are merged.
+func (p *Problem) intervalAffines(fm float64) []rat.Affine {
+	type item struct {
+		aff rat.Affine
+		val float64
+	}
+	var items []item
+	minRel := math.Inf(1)
+	for k := range p.Tasks {
+		t := &p.Tasks[k]
+		minRel = math.Min(minRel, t.Release)
+		items = append(items,
+			item{rat.Const(rat.FromFloat(t.Release)), t.Release},
+			item{rat.Line(rat.FromFloat(t.DeadA), rat.FromFloat(t.DeadB)), t.Deadline(fm)})
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].val < items[b].val })
+	var out []rat.Affine
+	var lastVal float64
+	for _, it := range items {
+		if it.val < minRel-1e-12*(1+math.Abs(minRel)) {
+			continue
+		}
+		if len(out) > 0 && math.Abs(it.val-lastVal) <= 1e-12*(1+math.Abs(it.val)) {
+			continue
+		}
+		out = append(out, it.aff)
+		lastVal = it.val
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package offline
+
+import (
+	"fmt"
+
+	"stretchsched/internal/model"
+)
+
+// FromInstanceWeighted builds the max *weighted* flow minimisation problem
+// of §4.3.1 in its full generality: minimise max_j w_j·(C_j − r_j) for
+// arbitrary positive weights. The deadline of job j at objective F is
+// d̄_j(F) = r_j + F/w_j, so the stretch problem is the special case
+// w_j = 1/p*_j and max-flow minimisation is the special case w_j = 1.
+func FromInstanceWeighted(inst *model.Instance, weights []float64) (*Problem, error) {
+	if len(weights) != inst.NumJobs() {
+		return nil, fmt.Errorf("offline: %d weights for %d jobs", len(weights), inst.NumJobs())
+	}
+	p := &Problem{Inst: inst}
+	for j := range inst.Jobs {
+		if weights[j] <= 0 {
+			return nil, fmt.Errorf("offline: job %d has nonpositive weight %v", j, weights[j])
+		}
+		p.Tasks = append(p.Tasks, Task{
+			Job:     model.JobID(j),
+			Release: inst.Jobs[j].Release,
+			Work:    inst.Jobs[j].Size,
+			DeadA:   inst.Jobs[j].Release,
+			DeadB:   1 / weights[j],
+		})
+	}
+	return p, nil
+}
+
+// OptimalWeightedFlow returns the minimal achievable max weighted flow of
+// inst under the given positive weights.
+func OptimalWeightedFlow(inst *model.Instance, weights []float64) (float64, error) {
+	p, err := FromInstanceWeighted(inst, weights)
+	if err != nil {
+		return 0, err
+	}
+	var s Solver
+	sol, err := s.OptimalStretch(p)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Stretch, nil
+}

@@ -1,0 +1,117 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+type localFCFS struct{}
+
+func (localFCFS) Name() string         { return "fcfs" }
+func (localFCFS) Init(*model.Instance) {}
+func (localFCFS) OnEvent(*sim.Ctx)     {}
+func (localFCFS) Less(ctx *sim.Ctx, a, b model.JobID) bool {
+	ra, rb := ctx.Inst.Jobs[a].Release, ctx.Inst.Jobs[b].Release
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+// TestUnitWeightsEqualFCFSMaxFlow: with w_j = 1 the weighted-flow optimum
+// is the max-flow optimum, which FCFS attains on a single machine — the
+// §4.1 classical result, reproduced through the general solver.
+func TestUnitWeightsEqualFCFSMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		jobs := make([]model.Job, n)
+		for j := range jobs {
+			jobs[j] = model.Job{Release: rng.Float64() * 6, Size: 0.3 + 2*rng.Float64(), Databank: 0}
+		}
+		inst := uniInstance(t, []float64{1}, jobs)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		opt, err := OptimalWeightedFlow(inst, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := sim.RunList(inst, localFCFS{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcfs := sched.MaxFlow(inst)
+		if math.Abs(opt-fcfs) > 1e-6*(1+fcfs) {
+			t.Fatalf("trial %d: weighted-flow optimum %v vs FCFS max-flow %v", trial, opt, fcfs)
+		}
+	}
+}
+
+// TestStretchWeightsMatchFromInstance: w_j = 1/p*_j reduces the general
+// weighted problem to the stretch problem.
+func TestStretchWeightsMatchFromInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	inst := randomInstance(t, rng, 2, 2, 6)
+	weights := make([]float64, inst.NumJobs())
+	for j := range weights {
+		weights[j] = inst.Weight(model.JobID(j))
+	}
+	viaWeighted, err := OptimalWeightedFlow(inst, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Solver
+	sol, err := s.OptimalStretch(FromInstance(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaWeighted-sol.Stretch) > 1e-6*(1+sol.Stretch) {
+		t.Fatalf("weighted %v vs stretch %v", viaWeighted, sol.Stretch)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{{Release: 0, Size: 1, Databank: 0}})
+	if _, err := FromInstanceWeighted(inst, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FromInstanceWeighted(inst, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := FromInstanceWeighted(inst, []float64{-2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestWeightPrioritisation: boosting one job's weight pushes the solver to
+// finish it earlier at the expense of the objective scale.
+func TestWeightPrioritisation(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 0, Size: 4, Databank: 0},
+	})
+	// Equal weights: optimum F = 8 (both finish by 8, symmetric).
+	opt, err := OptimalWeightedFlow(inst, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-8) > 1e-6 {
+		t.Fatalf("equal weights: %v, want 8", opt)
+	}
+	// Job 1 heavily weighted: it must finish first (by F/10), so
+	// F ≥ 8 for job 0 still, and F/10 ≥ 4 → F* = max(8, 40)=... job 1
+	// finishing at 4 gives weighted flow 40; job 0 at 8 gives 8 → F*=40.
+	opt, err = OptimalWeightedFlow(inst, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-40) > 1e-5 {
+		t.Fatalf("boosted weights: %v, want 40", opt)
+	}
+}

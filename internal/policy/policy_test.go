@@ -1,0 +1,306 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+func uniInstance(t *testing.T, speeds []float64, jobs []model.Job) *model.Instance {
+	t.Helper()
+	p, err := model.Uniform(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func run(t *testing.T, inst *model.Instance, pol sim.Policy) *model.Schedule {
+	t.Helper()
+	s, err := sim.RunList(inst, pol)
+	if err != nil {
+		t.Fatalf("%s: %v", pol.Name(), err)
+	}
+	if err := s.Validate(inst, 1e-6); err != nil {
+		t.Fatalf("%s: %v", pol.Name(), err)
+	}
+	return s
+}
+
+func TestFCFSOrder(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 5, Databank: 0},
+		{Release: 1, Size: 1, Databank: 0},
+	})
+	s := run(t, inst, FCFS{})
+	// FCFS never preempts for a later arrival.
+	if math.Abs(s.Completion[0]-5) > 1e-9 || math.Abs(s.Completion[1]-6) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+}
+
+func TestSRPTPreemptsBigJob(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 5, Databank: 0},
+		{Release: 1, Size: 1, Databank: 0},
+	})
+	s := run(t, inst, SRPT{})
+	if math.Abs(s.Completion[1]-2) > 1e-9 || math.Abs(s.Completion[0]-6) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+}
+
+func TestSPTUsesTotalSizeNotRemaining(t *testing.T) {
+	// J0 size 4 at 0; at t=3 its remaining (1) is below J1's size (2), but
+	// SPT compares total sizes — J1 (smaller total) preempts... it does
+	// not: 2 < 4, so J1 preempts under SPT. Contrast with SWRPT below.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 3, Size: 2, Databank: 0},
+	})
+	s := run(t, inst, SPT{})
+	if math.Abs(s.Completion[1]-5) > 1e-9 || math.Abs(s.Completion[0]-6) > 1e-9 {
+		t.Fatalf("SPT completions = %v", s.Completion)
+	}
+}
+
+func TestSWRPTFinishesAlmostDoneJob(t *testing.T) {
+	// Same instance: SWRPT weighs remaining·total: J0 has 1·4=4, J1 has
+	// 2·2=4 → tie broken by ID, J0 continues; it would also continue for
+	// remaining < 1. This is exactly the weakness of SWPT that SWRPT fixes.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 3, Size: 2, Databank: 0},
+	})
+	s := run(t, inst, SWRPT{})
+	if math.Abs(s.Completion[0]-4) > 1e-9 || math.Abs(s.Completion[1]-6) > 1e-9 {
+		t.Fatalf("SWRPT completions = %v", s.Completion)
+	}
+}
+
+func TestSWPTMatchesSPTOrdering(t *testing.T) {
+	// The paper notes SWPT with stretch weights orders by p_j², i.e. like
+	// SPT. Their schedules must coincide.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 1, Size: 2, Databank: 0},
+		{Release: 2, Size: 3, Databank: 0},
+	})
+	s1 := run(t, inst, SPT{})
+	s2 := run(t, inst, SWPT{})
+	for j := range s1.Completion {
+		if math.Abs(s1.Completion[j]-s2.Completion[j]) > 1e-9 {
+			t.Fatalf("SPT %v vs SWPT %v", s1.Completion, s2.Completion)
+		}
+	}
+}
+
+func TestEDFFollowsDeadlines(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 3, Databank: 0},
+		{Release: 0, Size: 3, Databank: 0},
+	})
+	s := run(t, inst, NewEDF([]float64{100, 5}))
+	if math.Abs(s.Completion[1]-3) > 1e-9 || math.Abs(s.Completion[0]-6) > 1e-9 {
+		t.Fatalf("EDF completions = %v", s.Completion)
+	}
+	// Missing deadlines sort last.
+	e := NewEDF([]float64{1})
+	if got := e.deadlineOf(5); !math.IsInf(got, 1) {
+		t.Fatalf("missing deadline = %v", got)
+	}
+}
+
+func TestBender02PrefersOldJobs(t *testing.T) {
+	// Equal sizes: pseudo-stretch reduces to age; the older job runs first.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 1, Size: 2, Databank: 0},
+	})
+	s := run(t, inst, NewBender02())
+	if s.Completion[0] > s.Completion[1] {
+		t.Fatalf("older job finished later: %v", s.Completion)
+	}
+}
+
+// TestFCFSOptimalMaxFlow verifies the classical result used in §4.1: FCFS
+// minimises max-flow on one processor. No other policy can beat it.
+func TestFCFSOptimalMaxFlow(t *testing.T) {
+	instances := [][]model.Job{
+		{{Release: 0, Size: 5, Databank: 0}, {Release: 1, Size: 1, Databank: 0}},
+		{{Release: 0, Size: 1, Databank: 0}, {Release: 0.5, Size: 3, Databank: 0}, {Release: 1, Size: 0.5, Databank: 0}},
+		{{Release: 0, Size: 2, Databank: 0}, {Release: 0.1, Size: 2, Databank: 0}, {Release: 0.2, Size: 2, Databank: 0}},
+	}
+	rivals := []sim.Policy{SPT{}, SRPT{}, SWRPT{}, NewBender02()}
+	for i, jobs := range instances {
+		inst := uniInstance(t, []float64{1}, jobs)
+		fcfs := run(t, inst, FCFS{}).MaxFlow(inst)
+		for _, pol := range rivals {
+			if got := run(t, inst, pol).MaxFlow(inst); got < fcfs-1e-9 {
+				t.Fatalf("instance %d: %s max-flow %v beats FCFS %v", i, pol.Name(), got, fcfs)
+			}
+		}
+	}
+}
+
+// TestSRPTOptimalSumFlow verifies SRPT's sum-flow optimality (§4.1) against
+// the other list policies on a bank of adversarial instances.
+func TestSRPTOptimalSumFlow(t *testing.T) {
+	instances := [][]model.Job{
+		{{Release: 0, Size: 5, Databank: 0}, {Release: 1, Size: 1, Databank: 0}},
+		{{Release: 0, Size: 3, Databank: 0}, {Release: 0, Size: 1, Databank: 0}, {Release: 2, Size: 2, Databank: 0}},
+		{{Release: 0, Size: 1, Databank: 0}, {Release: 0.2, Size: 1, Databank: 0}, {Release: 0.4, Size: 4, Databank: 0}},
+	}
+	rivals := []sim.Policy{FCFS{}, SPT{}, SWRPT{}, NewBender02()}
+	for i, jobs := range instances {
+		inst := uniInstance(t, []float64{1}, jobs)
+		srpt := run(t, inst, SRPT{}).SumFlow(inst)
+		for _, pol := range rivals {
+			if got := run(t, inst, pol).SumFlow(inst); got < srpt-1e-9 {
+				t.Fatalf("instance %d: %s sum-flow %v beats SRPT %v", i, pol.Name(), got, srpt)
+			}
+		}
+	}
+}
+
+// TestTheorem1StarvationAntagonism reproduces Theorem 1's construction: a
+// job of size ∆ released at 0 followed by a stream of unit jobs released
+// every time unit. Sum-stretch-competitive policies (SRPT, SWRPT) must
+// starve the big job, so their max-stretch degrades linearly in the stream
+// length while the optimal max-stretch stays bounded.
+func TestTheorem1StarvationAntagonism(t *testing.T) {
+	const delta = 4.0
+	ratioAt := func(k int) float64 {
+		jobs := []model.Job{{Release: 0, Size: delta, Databank: 0}}
+		for i := 0; i < k; i++ {
+			jobs = append(jobs, model.Job{Release: float64(i), Size: 1, Databank: 0})
+		}
+		inst := uniInstance(t, []float64{1}, jobs)
+		srpt := run(t, inst, SRPT{})
+		// SRPT runs every unit job on release: the big job ends at k+∆.
+		if got := srpt.Completion[0]; math.Abs(got-(float64(k)+delta)) > 1e-6 {
+			t.Fatalf("k=%d: SRPT big-job completion %v, want %v", k, got, float64(k)+delta)
+		}
+		// Optimal max-stretch is bounded: run the big job first, then the
+		// units FCFS; max-stretch ≤ 1+∆ independent of k.
+		fcfsLike := run(t, inst, NewEDF(append([]float64{0}, infSlice(k)...)))
+		opt := fcfsLike.MaxStretch(inst)
+		if opt > delta+1+1e-6 {
+			t.Fatalf("k=%d: witness schedule max-stretch %v exceeds 1+∆", k, opt)
+		}
+		return srpt.MaxStretch(inst) / opt
+	}
+	// For k ≤ ∆² the two schedules tie (both reach 1+∆); beyond that the
+	// starvation ratio grows linearly in the stream length.
+	r32, r128 := ratioAt(32), ratioAt(128)
+	if r32 < 1.5 {
+		t.Fatalf("SRPT should starve at k=32: ratio %v", r32)
+	}
+	if r128 < 3*r32 {
+		t.Fatalf("starvation should grow with the stream: ratio(32)=%v ratio(128)=%v", r32, r128)
+	}
+}
+
+func infSlice(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	return out
+}
+
+// theorem2Instance builds the Appendix A construction for a given ε and
+// unit-stream length l.
+func theorem2Instance(t *testing.T, eps float64, l int) *model.Instance {
+	alpha := 1 - eps/3
+	n := int(math.Ceil(math.Log2(math.Log2(3 * (1 + alpha) / eps))))
+	k := int(math.Ceil(-math.Log2(-math.Log2(alpha))))
+	pow := func(e float64) float64 { return math.Pow(2, math.Pow(2, e)) }
+
+	var jobs []model.Job
+	size0 := pow(float64(n))
+	jobs = append(jobs, model.Job{Release: 0, Size: size0, Databank: 0})
+	r1 := pow(float64(n)) - pow(float64(n-2))
+	size1 := pow(float64(n - 1))
+	jobs = append(jobs, model.Job{Release: r1, Size: size1, Databank: 0})
+	r2 := r1 + size1 - alpha
+	size2 := pow(float64(n - 2))
+	jobs = append(jobs, model.Job{Release: r2, Size: size2, Databank: 0})
+	r, size := r2, size2
+	for j := 3; j <= n; j++ {
+		r += size
+		size = pow(float64(n - j))
+		jobs = append(jobs, model.Job{Release: r, Size: size, Databank: 0})
+	}
+	for j := 1; j <= k; j++ {
+		r += size
+		size = pow(-float64(j))
+		jobs = append(jobs, model.Job{Release: r, Size: size, Databank: 0})
+	}
+	for j := 1; j <= l; j++ {
+		r += size
+		size = 1
+		jobs = append(jobs, model.Job{Release: r, Size: size, Databank: 0})
+	}
+	return uniInstance(t, []float64{1}, jobs)
+}
+
+// TestTheorem2SWRPTLowerBound reproduces Theorem 2: on the Appendix A
+// instance, SWRPT's sum-stretch approaches twice SRPT's (hence at least
+// (2−ε)× the optimum, since the optimum is at most SRPT's value).
+func TestTheorem2SWRPTLowerBound(t *testing.T) {
+	const eps = 0.5
+	inst := theorem2Instance(t, eps, 400)
+	swrpt := run(t, inst, SWRPT{}).SumStretch(inst)
+	srpt := run(t, inst, SRPT{}).SumStretch(inst)
+	ratio := swrpt / srpt
+	// The proof shows ratio → (1+α)/(1+2^{-2^{n-1}}) − ε/3 ≥ 2−ε for the
+	// chosen parameters; with finite l we must clearly exceed 2−ε−margin.
+	want := 2 - eps - 0.15
+	if ratio < want {
+		t.Fatalf("SWRPT/SRPT sum-stretch ratio %v, want ≥ %v", ratio, want)
+	}
+	// And SRPT itself must behave as the proof computes: stretch 1 for all
+	// but the starved second job.
+	if s := run(t, inst, SRPT{}); s.Stretch(inst, 1) < 2 {
+		t.Fatalf("SRPT should delay J1 to the very end (stretch %v)", s.Stretch(inst, 1))
+	}
+}
+
+// TestSRPT2CompetitiveSumStretch spot-checks the known 2-competitiveness of
+// SRPT for sum-stretch [13]: on every instance in a randomised bank, SRPT
+// is within 2× of the best schedule any of our policies finds.
+func TestSRPT2CompetitiveSumStretch(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		inst := randomUniInstance(t, seed, 7)
+		best := math.Inf(1)
+		for _, pol := range []sim.Policy{FCFS{}, SPT{}, SWRPT{}, NewBender02()} {
+			best = math.Min(best, run(t, inst, pol).SumStretch(inst))
+		}
+		srpt := run(t, inst, SRPT{}).SumStretch(inst)
+		if srpt > 2*best+1e-9 {
+			t.Fatalf("seed %d: SRPT sum-stretch %v > 2×best %v", seed, srpt, best)
+		}
+	}
+}
+
+func randomUniInstance(t *testing.T, seed int64, n int) *model.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]model.Job, n)
+	for i := range jobs {
+		jobs[i] = model.Job{
+			Release:  rng.Float64() * 10,
+			Size:     0.25 + rng.Float64()*4,
+			Databank: 0,
+		}
+	}
+	return uniInstance(t, []float64{1}, jobs)
+}

@@ -1,0 +1,198 @@
+// Package rat provides immutable exact rational scalars on top of math/big,
+// plus one-dimensional affine forms a + b·x used by the milestone machinery
+// of the offline max-stretch solver.
+//
+// The paper (§5.3) reports that its offline solver is "occasionally beaten"
+// by online heuristics because of floating-point precision loss when two
+// epochal times nearly coincide. Exact rationals remove that failure mode,
+// at a constant-factor cost; the fast float64 paths elsewhere in this
+// repository fall back to this package whenever exactness matters.
+package rat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rat is an immutable rational number. The zero value is 0.
+//
+// Immutability is the point of the wrapper: math/big.Rat has an imperative,
+// aliasing API that is easy to misuse inside solver pivots. All arithmetic
+// here allocates a fresh value and never mutates operands.
+type Rat struct {
+	r *big.Rat // nil means zero
+}
+
+// Zero is the rational 0.
+var Zero = Rat{}
+
+// One is the rational 1.
+var One = FromInt(1)
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{big.NewRat(n, 1)} }
+
+// FromFrac returns the rational num/den. It panics if den == 0.
+func FromFrac(num, den int64) Rat {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	return Rat{big.NewRat(num, den)}
+}
+
+// FromFloat returns the exact rational value of f.
+// It panics if f is NaN or ±Inf, which have no rational representation.
+func FromFloat(f float64) Rat {
+	r := new(big.Rat).SetFloat64(f)
+	if r == nil {
+		panic(fmt.Sprintf("rat: cannot represent %v", f))
+	}
+	return Rat{r}
+}
+
+// FromBig returns a Rat holding a copy of r.
+func FromBig(r *big.Rat) Rat { return Rat{new(big.Rat).Set(r)} }
+
+// Parse reads a rational from a string in "a/b" or decimal notation.
+func Parse(s string) (Rat, error) {
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return Rat{r}, nil
+}
+
+func (a Rat) big() *big.Rat {
+	if a.r == nil {
+		return new(big.Rat)
+	}
+	return a.r
+}
+
+// Float returns the nearest float64 to a.
+func (a Rat) Float() float64 {
+	f, _ := a.big().Float64()
+	return f
+}
+
+// Big returns a copy of a as a *big.Rat.
+func (a Rat) Big() *big.Rat { return new(big.Rat).Set(a.big()) }
+
+// Add returns a + b.
+func (a Rat) Add(b Rat) Rat { return Rat{new(big.Rat).Add(a.big(), b.big())} }
+
+// Sub returns a - b.
+func (a Rat) Sub(b Rat) Rat { return Rat{new(big.Rat).Sub(a.big(), b.big())} }
+
+// Mul returns a * b.
+func (a Rat) Mul(b Rat) Rat { return Rat{new(big.Rat).Mul(a.big(), b.big())} }
+
+// Div returns a / b. It panics if b is zero.
+func (a Rat) Div(b Rat) Rat {
+	if b.Sign() == 0 {
+		panic("rat: division by zero")
+	}
+	return Rat{new(big.Rat).Quo(a.big(), b.big())}
+}
+
+// Neg returns -a.
+func (a Rat) Neg() Rat { return Rat{new(big.Rat).Neg(a.big())} }
+
+// Inv returns 1/a. It panics if a is zero.
+func (a Rat) Inv() Rat {
+	if a.Sign() == 0 {
+		panic("rat: inverse of zero")
+	}
+	return Rat{new(big.Rat).Inv(a.big())}
+}
+
+// Abs returns |a|.
+func (a Rat) Abs() Rat {
+	if a.Sign() < 0 {
+		return a.Neg()
+	}
+	return a
+}
+
+// Sign returns -1, 0 or +1 according to the sign of a.
+func (a Rat) Sign() int { return a.big().Sign() }
+
+// Cmp compares a and b and returns -1, 0 or +1.
+func (a Rat) Cmp(b Rat) int { return a.big().Cmp(b.big()) }
+
+// Equal reports whether a == b.
+func (a Rat) Equal(b Rat) bool { return a.Cmp(b) == 0 }
+
+// Less reports whether a < b.
+func (a Rat) Less(b Rat) bool { return a.Cmp(b) < 0 }
+
+// LessEq reports whether a <= b.
+func (a Rat) LessEq(b Rat) bool { return a.Cmp(b) <= 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b Rat) Rat {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Rat) Rat {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// String formats a in exact "a/b" notation.
+func (a Rat) String() string { return a.big().RatString() }
+
+// Affine is the one-dimensional affine form A + B·x with exact coefficients.
+// Epochal times in the offline solver are affine functions of the stretch
+// objective F: release dates are constants, deadlines are r_j + F·p*_j.
+type Affine struct {
+	A Rat // constant term
+	B Rat // slope
+}
+
+// Const returns the constant affine form c.
+func Const(c Rat) Affine { return Affine{A: c} }
+
+// Line returns the affine form a + b·x.
+func Line(a, b Rat) Affine { return Affine{A: a, B: b} }
+
+// Eval returns f(x) = A + B·x.
+func (f Affine) Eval(x Rat) Rat { return f.A.Add(f.B.Mul(x)) }
+
+// EvalFloat evaluates f at a float64 point in float arithmetic.
+func (f Affine) EvalFloat(x float64) float64 { return f.A.Float() + f.B.Float()*x }
+
+// Add returns f + g.
+func (f Affine) Add(g Affine) Affine { return Affine{f.A.Add(g.A), f.B.Add(g.B)} }
+
+// Sub returns f - g.
+func (f Affine) Sub(g Affine) Affine { return Affine{f.A.Sub(g.A), f.B.Sub(g.B)} }
+
+// Scale returns c·f.
+func (f Affine) Scale(c Rat) Affine { return Affine{f.A.Mul(c), f.B.Mul(c)} }
+
+// IsConst reports whether the slope of f is zero.
+func (f Affine) IsConst() bool { return f.B.Sign() == 0 }
+
+// Intersect returns the x at which f(x) == g(x) and whether it is unique
+// (parallel lines have none or infinitely many; ok is false for both).
+func (f Affine) Intersect(g Affine) (x Rat, ok bool) {
+	db := f.B.Sub(g.B)
+	if db.Sign() == 0 {
+		return Rat{}, false
+	}
+	return g.A.Sub(f.A).Div(db), true
+}
+
+// Root returns the x at which f(x) == 0 and whether it is unique.
+func (f Affine) Root() (Rat, bool) { return f.Intersect(Affine{}) }
+
+func (f Affine) String() string {
+	return fmt.Sprintf("%s + %s·x", f.A, f.B)
+}

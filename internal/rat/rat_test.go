@@ -1,0 +1,255 @@
+package rat
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var z Rat
+	if z.Sign() != 0 {
+		t.Fatalf("zero value sign = %d", z.Sign())
+	}
+	if got := z.Add(One); !got.Equal(One) {
+		t.Fatalf("0+1 = %v", got)
+	}
+	if got := One.Mul(z); got.Sign() != 0 {
+		t.Fatalf("1*0 = %v", got)
+	}
+	if z.String() != "0" {
+		t.Fatalf("zero String = %q", z.String())
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	a := FromFrac(1, 3)
+	b := FromFrac(1, 6)
+	if got := a.Add(b); !got.Equal(FromFrac(1, 2)) {
+		t.Errorf("1/3+1/6 = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(FromFrac(1, 6)) {
+		t.Errorf("1/3-1/6 = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(FromFrac(1, 18)) {
+		t.Errorf("1/3*1/6 = %v", got)
+	}
+	if got := a.Div(b); !got.Equal(FromInt(2)) {
+		t.Errorf("(1/3)/(1/6) = %v", got)
+	}
+	if got := a.Neg().Abs(); !got.Equal(a) {
+		t.Errorf("|-1/3| = %v", got)
+	}
+	if got := FromFrac(-2, 4); got.String() != "-1/2" {
+		t.Errorf("normalisation: %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zero.Inv()
+}
+
+func TestFromFracZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromFrac(1, 0)
+}
+
+func TestFromFloatExact(t *testing.T) {
+	f := 0.1 + 0.2 // the classic 0.30000000000000004
+	r := FromFloat(f)
+	if r.Equal(FromFrac(3, 10)) {
+		t.Fatal("FromFloat should be exact, not decimal-rounded")
+	}
+	if got := r.Float(); got != f {
+		t.Fatalf("round trip %v != %v", got, f)
+	}
+}
+
+func TestFromFloatNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nan := 0.0
+	FromFloat(nan / nan)
+}
+
+func TestParse(t *testing.T) {
+	r, err := Parse("22/7")
+	if err != nil || !r.Equal(FromFrac(22, 7)) {
+		t.Fatalf("Parse 22/7 = %v, %v", r, err)
+	}
+	r, err = Parse("0.25")
+	if err != nil || !r.Equal(FromFrac(1, 4)) {
+		t.Fatalf("Parse 0.25 = %v, %v", r, err)
+	}
+	if _, err = Parse("abc"); err == nil {
+		t.Fatal("Parse(abc) should fail")
+	}
+}
+
+func TestCompareHelpers(t *testing.T) {
+	a, b := FromFrac(2, 3), FromFrac(3, 4)
+	if !a.Less(b) || b.Less(a) || !a.LessEq(a) {
+		t.Fatal("ordering broken")
+	}
+	if !Min(a, b).Equal(a) || !Max(a, b).Equal(b) {
+		t.Fatal("min/max broken")
+	}
+	if !Min(b, a).Equal(a) || !Max(b, a).Equal(b) {
+		t.Fatal("min/max not symmetric")
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := FromFrac(1, 2)
+	b := FromFrac(1, 3)
+	_ = a.Add(b)
+	_ = a.Mul(b)
+	_ = a.Neg()
+	if !a.Equal(FromFrac(1, 2)) || !b.Equal(FromFrac(1, 3)) {
+		t.Fatal("operands were mutated")
+	}
+}
+
+func TestFromBigCopies(t *testing.T) {
+	src := big.NewRat(3, 7)
+	r := FromBig(src)
+	src.SetInt64(99)
+	if !r.Equal(FromFrac(3, 7)) {
+		t.Fatal("FromBig must copy its argument")
+	}
+	got := r.Big()
+	got.SetInt64(5)
+	if !r.Equal(FromFrac(3, 7)) {
+		t.Fatal("Big must return a copy")
+	}
+}
+
+func ratFromPair(n, d int64) Rat {
+	if d == 0 {
+		d = 1
+	}
+	return FromFrac(n, d)
+}
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	commAdd := func(an, ad, bn, bd int64) bool {
+		a, b := ratFromPair(an%1000, ad%1000), ratFromPair(bn%1000, bd%1000)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(commAdd, cfg); err != nil {
+		t.Error(err)
+	}
+	assocMul := func(an, ad, bn, bd, cn, cd int64) bool {
+		a := ratFromPair(an%100, ad%100)
+		b := ratFromPair(bn%100, bd%100)
+		c := ratFromPair(cn%100, cd%100)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(assocMul, cfg); err != nil {
+		t.Error(err)
+	}
+	distrib := func(an, ad, bn, bd, cn, cd int64) bool {
+		a := ratFromPair(an%100, ad%100)
+		b := ratFromPair(bn%100, bd%100)
+		c := ratFromPair(cn%100, cd%100)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Error(err)
+	}
+	inverse := func(an, ad int64) bool {
+		a := ratFromPair(an%1000, ad%1000)
+		if a.Sign() == 0 {
+			return true
+		}
+		return a.Mul(a.Inv()).Equal(One) && a.Add(a.Neg()).Sign() == 0
+	}
+	if err := quick.Check(inverse, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineEval(t *testing.T) {
+	f := Line(FromInt(3), FromInt(2)) // 3 + 2x
+	if got := f.Eval(FromInt(5)); !got.Equal(FromInt(13)) {
+		t.Fatalf("f(5) = %v", got)
+	}
+	if got := f.EvalFloat(5); got != 13 {
+		t.Fatalf("f(5) float = %v", got)
+	}
+	if !Const(One).IsConst() || f.IsConst() {
+		t.Fatal("IsConst broken")
+	}
+}
+
+func TestAffineAlgebra(t *testing.T) {
+	f := Line(FromInt(1), FromInt(2))
+	g := Line(FromInt(3), FromInt(-1))
+	x := FromFrac(7, 5)
+	if got := f.Add(g).Eval(x); !got.Equal(f.Eval(x).Add(g.Eval(x))) {
+		t.Fatal("Add not pointwise")
+	}
+	if got := f.Sub(g).Eval(x); !got.Equal(f.Eval(x).Sub(g.Eval(x))) {
+		t.Fatal("Sub not pointwise")
+	}
+	c := FromInt(4)
+	if got := f.Scale(c).Eval(x); !got.Equal(c.Mul(f.Eval(x))) {
+		t.Fatal("Scale not pointwise")
+	}
+}
+
+func TestAffineIntersect(t *testing.T) {
+	f := Line(FromInt(1), FromInt(2))
+	g := Line(FromInt(7), FromInt(-1))
+	x, ok := f.Intersect(g)
+	if !ok || !x.Equal(FromInt(2)) {
+		t.Fatalf("intersect = %v, %v", x, ok)
+	}
+	if !f.Eval(x).Equal(g.Eval(x)) {
+		t.Fatal("intersection point not on both lines")
+	}
+	if _, ok := f.Intersect(Line(FromInt(5), FromInt(2))); ok {
+		t.Fatal("parallel lines should not intersect uniquely")
+	}
+	r, ok := Line(FromInt(-6), FromInt(3)).Root()
+	if !ok || !r.Equal(FromInt(2)) {
+		t.Fatalf("root = %v, %v", r, ok)
+	}
+}
+
+func TestQuickIntersectOnBothLines(t *testing.T) {
+	prop := func(a1, b1, a2, b2 int16) bool {
+		f := Line(FromInt(int64(a1)), FromInt(int64(b1)))
+		g := Line(FromInt(int64(a2)), FromInt(int64(b2)))
+		x, ok := f.Intersect(g)
+		if !ok {
+			return int64(b1) == int64(b2)
+		}
+		return f.Eval(x).Equal(g.Eval(x))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

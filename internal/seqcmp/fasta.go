@@ -1,0 +1,82 @@
+package seqcmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFASTA serialises a databank in FASTA format: a '>' header line with
+// the sequence identifier, then residue lines wrapped at 60 columns.
+func WriteFASTA(w io.Writer, bank *Databank) error {
+	bw := bufio.NewWriter(w)
+	for i := range bank.Sequences {
+		s := &bank.Sequences[i]
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.ID); err != nil {
+			return err
+		}
+		for off := 0; off < len(s.Residues); off += 60 {
+			end := off + 60
+			if end > len(s.Residues) {
+				end = len(s.Residues)
+			}
+			if _, err := fmt.Fprintln(bw, s.Residues[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses a FASTA stream into a databank. Residues are validated
+// against the amino acid alphabet; blank lines are ignored; the header's
+// first whitespace-delimited token is the identifier.
+func ReadFASTA(r io.Reader, name string) (*Databank, error) {
+	bank := &Databank{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var id string
+	var body strings.Builder
+	lineNo := 0
+	flush := func() {
+		if id != "" {
+			bank.Sequences = append(bank.Sequences, Sequence{ID: id, Residues: body.String()})
+		}
+		body.Reset()
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			flush()
+			fields := strings.Fields(line[1:])
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("seqcmp: line %d: empty FASTA header", lineNo)
+			}
+			id = fields[0]
+			continue
+		}
+		if id == "" {
+			return nil, fmt.Errorf("seqcmp: line %d: residues before any header", lineNo)
+		}
+		upper := strings.ToUpper(line)
+		for k := 0; k < len(upper); k++ {
+			if !strings.ContainsRune(Alphabet, rune(upper[k])) {
+				return nil, fmt.Errorf("seqcmp: line %d: invalid residue %q", lineNo, upper[k])
+			}
+		}
+		body.WriteString(upper)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(bank.Sequences) == 0 {
+		return nil, fmt.Errorf("seqcmp: no sequences in FASTA input")
+	}
+	return bank, nil
+}

@@ -1,0 +1,99 @@
+package seqcmp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFASTARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig := RandomDatabank("rt", 12, 150, rng)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sequences) != len(orig.Sequences) {
+		t.Fatalf("%d sequences, want %d", len(back.Sequences), len(orig.Sequences))
+	}
+	for i := range orig.Sequences {
+		if back.Sequences[i].ID != orig.Sequences[i].ID ||
+			back.Sequences[i].Residues != orig.Sequences[i].Residues {
+			t.Fatalf("sequence %d changed", i)
+		}
+	}
+	if back.TotalResidues() != orig.TotalResidues() {
+		t.Fatal("residue count changed")
+	}
+}
+
+func TestWriteFASTAWraps(t *testing.T) {
+	bank := &Databank{Sequences: []Sequence{{ID: "x", Residues: strings.Repeat("A", 130)}}}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, bank); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 60 + 60 + 10
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if len(lines[1]) != 60 || len(lines[3]) != 10 {
+		t.Fatalf("wrapping wrong: %d/%d", len(lines[1]), len(lines[3]))
+	}
+}
+
+func TestReadFASTAVariants(t *testing.T) {
+	in := ">sp|P1 description here\nacd\nEFG\n\n>sp|P2\nHIK\n"
+	bank, err := ReadFASTA(strings.NewReader(in), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bank.Sequences) != 2 {
+		t.Fatalf("sequences = %d", len(bank.Sequences))
+	}
+	if bank.Sequences[0].ID != "sp|P1" || bank.Sequences[0].Residues != "ACDEFG" {
+		t.Fatalf("first = %+v", bank.Sequences[0])
+	}
+	if bank.Sequences[1].Residues != "HIK" {
+		t.Fatalf("second = %+v", bank.Sequences[1])
+	}
+}
+
+func TestReadFASTARejects(t *testing.T) {
+	cases := []string{
+		"",           // no sequences
+		"ACD\n",      // residues before header
+		">\nACD\n",   // empty header
+		">x\nAC1D\n", // invalid residue
+		">x\nACB\n",  // B is not an amino acid in our alphabet
+	}
+	for i, in := range cases {
+		if _, err := ReadFASTA(strings.NewReader(in), "bad"); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestFASTAScanAgreesAfterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	bank := RandomDatabank("scan", 20, 80, rng)
+	motif := RandomMotif(4, rng)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, bank); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf, "scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Scan(bank, motif), Scan(back, motif)
+	if a.Ops != b.Ops || len(a.Matches) != len(b.Matches) {
+		t.Fatalf("scan results diverge after round trip: %d/%d ops, %d/%d matches",
+			a.Ops, b.Ops, len(a.Matches), len(b.Matches))
+	}
+}

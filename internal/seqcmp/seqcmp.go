@@ -1,0 +1,235 @@
+// Package seqcmp is the application substrate of the paper: protein
+// databank scanning for motif matches, in the style of the GriPPS protein
+// comparison framework (§2).
+//
+// The scheduling model rests on three empirical properties of this
+// computation, which the paper validates experimentally and this package
+// makes checkable in tests:
+//
+//   - a motif is a compact pattern, so shipping it is negligible against
+//     scanning a databank (communication-free divisible load);
+//   - scanning cost is linear in the amount of databank scanned, so a
+//     request may be split across sites at no loss (divisibility);
+//   - relative machine speeds do not depend on the motif (uniformity).
+//
+// Motifs use a PROSITE-like alphabet: a concrete amino acid matches
+// itself, 'x' matches anything, a bracket group [ALT] matches any listed
+// residue, and an {EXC} group matches anything but the listed residues.
+package seqcmp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Alphabet is the 20 standard amino acids, one letter each.
+const Alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// Sequence is one protein: an identifier and its residue string.
+type Sequence struct {
+	ID       string
+	Residues string
+}
+
+// Databank is an ordered set of protein sequences.
+type Databank struct {
+	Name      string
+	Sequences []Sequence
+}
+
+// TotalResidues returns the summed length of all sequences — the "size"
+// that the scheduling model's job sizes are proportional to.
+func (d *Databank) TotalResidues() int {
+	n := 0
+	for i := range d.Sequences {
+		n += len(d.Sequences[i].Residues)
+	}
+	return n
+}
+
+// Slice returns the sub-bank of sequences [from, to) — the unit of
+// divisible work distribution.
+func (d *Databank) Slice(from, to int) *Databank {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(d.Sequences) {
+		to = len(d.Sequences)
+	}
+	if from > to {
+		from = to
+	}
+	return &Databank{Name: d.Name, Sequences: d.Sequences[from:to]}
+}
+
+// RandomDatabank generates a synthetic databank with the given number of
+// sequences and mean length (uniform in [mean/2, 3·mean/2)).
+func RandomDatabank(name string, numSeqs, meanLen int, rng *rand.Rand) *Databank {
+	bank := &Databank{Name: name}
+	for i := 0; i < numSeqs; i++ {
+		n := meanLen/2 + rng.Intn(meanLen+1)
+		var sb strings.Builder
+		sb.Grow(n)
+		for k := 0; k < n; k++ {
+			sb.WriteByte(Alphabet[rng.Intn(len(Alphabet))])
+		}
+		bank.Sequences = append(bank.Sequences, Sequence{
+			ID:       fmt.Sprintf("%s|seq%05d", name, i+1),
+			Residues: sb.String(),
+		})
+	}
+	return bank
+}
+
+// position is one compiled motif position.
+type position struct {
+	exact   byte   // nonzero: match this residue
+	any     bool   // 'x': match anything
+	set     string // bracket group members
+	negated bool   // {…}: match anything not in set
+}
+
+// Motif is a compiled amino acid pattern.
+type Motif struct {
+	Pattern   string
+	positions []position
+}
+
+// CompileMotif parses a PROSITE-like pattern such as "C-x-[DE]-{FW}-H".
+// Dashes between positions are optional.
+func CompileMotif(pattern string) (*Motif, error) {
+	m := &Motif{Pattern: pattern}
+	s := strings.ReplaceAll(pattern, "-", "")
+	for i := 0; i < len(s); {
+		switch c := s[i]; {
+		case c == 'x':
+			m.positions = append(m.positions, position{any: true})
+			i++
+		case c == '[' || c == '{':
+			close := byte(']')
+			if c == '{' {
+				close = '}'
+			}
+			j := strings.IndexByte(s[i:], close)
+			if j < 0 {
+				return nil, fmt.Errorf("seqcmp: unterminated group in %q", pattern)
+			}
+			group := s[i+1 : i+j]
+			if group == "" {
+				return nil, fmt.Errorf("seqcmp: empty group in %q", pattern)
+			}
+			for k := 0; k < len(group); k++ {
+				if !strings.ContainsRune(Alphabet, rune(group[k])) {
+					return nil, fmt.Errorf("seqcmp: invalid residue %q in %q", group[k], pattern)
+				}
+			}
+			m.positions = append(m.positions, position{set: group, negated: c == '{'})
+			i += j + 1
+		case strings.ContainsRune(Alphabet, rune(c)):
+			m.positions = append(m.positions, position{exact: c})
+			i++
+		default:
+			return nil, fmt.Errorf("seqcmp: invalid character %q in %q", c, pattern)
+		}
+	}
+	if len(m.positions) == 0 {
+		return nil, fmt.Errorf("seqcmp: empty pattern %q", pattern)
+	}
+	return m, nil
+}
+
+// Len returns the number of motif positions.
+func (m *Motif) Len() int { return len(m.positions) }
+
+func (p *position) matches(c byte) bool {
+	switch {
+	case p.any:
+		return true
+	case p.exact != 0:
+		return p.exact == c
+	case p.negated:
+		return !strings.Contains(p.set, string(c))
+	default:
+		return strings.Contains(p.set, string(c))
+	}
+}
+
+// Match is one motif occurrence.
+type Match struct {
+	SequenceID string
+	Offset     int
+}
+
+// ScanResult reports the matches found and the work performed. Ops counts
+// residue-position comparisons — the unit in which the cost model is
+// linear, playing the role of the paper's Mflop.
+type ScanResult struct {
+	Matches []Match
+	Ops     int
+}
+
+// Scan searches every sequence of the bank for the motif.
+func Scan(bank *Databank, motif *Motif) ScanResult {
+	var res ScanResult
+	for i := range bank.Sequences {
+		seq := &bank.Sequences[i]
+		res.Ops += scanSequence(seq, motif, &res.Matches)
+	}
+	return res
+}
+
+func scanSequence(seq *Sequence, motif *Motif, out *[]Match) int {
+	ops := 0
+	r := seq.Residues
+	n := len(r)
+	k := motif.Len()
+	for start := 0; start+k <= n; start++ {
+		matched := true
+		for p := 0; p < k; p++ {
+			ops++
+			if !motif.positions[p].matches(r[start+p]) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			*out = append(*out, Match{SequenceID: seq.ID, Offset: start})
+		}
+	}
+	return ops
+}
+
+// RandomMotif draws a plausible random motif: length positions, each
+// either exact (60%), wildcard (20%) or a small bracket group (20%).
+func RandomMotif(length int, rng *rand.Rand) *Motif {
+	var sb strings.Builder
+	for i := 0; i < length; i++ {
+		if i > 0 {
+			sb.WriteByte('-')
+		}
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			sb.WriteByte(Alphabet[rng.Intn(len(Alphabet))])
+		case r < 0.8:
+			sb.WriteByte('x')
+		default:
+			sb.WriteByte('[')
+			g := 2 + rng.Intn(2)
+			var group []byte
+			for len(group) < g {
+				c := Alphabet[rng.Intn(len(Alphabet))]
+				if !strings.Contains(string(group), string(c)) {
+					group = append(group, c)
+				}
+			}
+			sb.Write(group)
+			sb.WriteByte(']')
+		}
+	}
+	m, err := CompileMotif(sb.String())
+	if err != nil {
+		panic(err) // generator emits only valid patterns
+	}
+	return m
+}

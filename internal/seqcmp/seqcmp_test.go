@@ -1,0 +1,211 @@
+package seqcmp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileMotifForms(t *testing.T) {
+	m, err := CompileMotif("C-x-[DE]-{FW}-H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	// Dashes optional.
+	m2, err := CompileMotif("Cx[DE]{FW}H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 5 {
+		t.Fatal("dashless parse")
+	}
+}
+
+func TestCompileMotifRejects(t *testing.T) {
+	for _, bad := range []string{"", "C-[", "C-[]", "C-[Z1]", "B", "c", "C-{", "-"} {
+		if _, err := CompileMotif(bad); err == nil {
+			t.Errorf("pattern %q accepted", bad)
+		}
+	}
+}
+
+func scanOne(t *testing.T, residues, pattern string) []Match {
+	t.Helper()
+	m, err := CompileMotif(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := &Databank{Sequences: []Sequence{{ID: "s", Residues: residues}}}
+	return Scan(bank, m).Matches
+}
+
+func TestScanExact(t *testing.T) {
+	got := scanOne(t, "ACDCACDC", "ACDC")
+	if len(got) != 2 || got[0].Offset != 0 || got[1].Offset != 4 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestScanOverlapping(t *testing.T) {
+	got := scanOne(t, "AAAA", "AA")
+	if len(got) != 3 {
+		t.Fatalf("overlapping matches = %v", got)
+	}
+}
+
+func TestScanWildcardAndGroups(t *testing.T) {
+	// C-x-[DE] matches CAD, CAE, C?D... in "CADCEECFD":
+	// offsets 0 (CAD), 3 (CEE), 6 (CFD: F allowed by x, D in group).
+	got := scanOne(t, "CADCEECFD", "C-x-[DE]")
+	if len(got) != 3 {
+		t.Fatalf("matches = %v", got)
+	}
+	// Negated group: C-{DE} must not match CD or CE.
+	got = scanOne(t, "CDCECA", "C-{DE}")
+	if len(got) != 1 || got[0].Offset != 4 {
+		t.Fatalf("negated matches = %v", got)
+	}
+}
+
+func TestScanTooShortSequence(t *testing.T) {
+	if got := scanOne(t, "AC", "ACDC"); len(got) != 0 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestRandomDatabankShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bank := RandomDatabank("sp", 50, 100, rng)
+	if len(bank.Sequences) != 50 {
+		t.Fatal("sequence count")
+	}
+	if bank.TotalResidues() < 50*50 || bank.TotalResidues() > 50*151 {
+		t.Fatalf("total residues %d outside generator bounds", bank.TotalResidues())
+	}
+	for _, s := range bank.Sequences {
+		for i := 0; i < len(s.Residues); i++ {
+			if !strings.ContainsRune(Alphabet, rune(s.Residues[i])) {
+				t.Fatalf("invalid residue %q", s.Residues[i])
+			}
+		}
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bank := RandomDatabank("sp", 10, 20, rng)
+	if got := bank.Slice(-5, 100); len(got.Sequences) != 10 {
+		t.Fatal("clamping failed")
+	}
+	if got := bank.Slice(7, 3); len(got.Sequences) != 0 {
+		t.Fatal("inverted range not empty")
+	}
+}
+
+// TestParallelMatchesSequential: the divisibility property — splitting the
+// scan across workers changes neither the match set nor the total work.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bank := RandomDatabank("sp", 40, 80, rng)
+	motif := RandomMotif(4, rng)
+	seq := Scan(bank, motif)
+	for _, workers := range []int{1, 2, 3, 7, 40, 100} {
+		par := ScanParallel(bank, motif, workers)
+		if par.Ops != seq.Ops {
+			t.Fatalf("workers=%d: ops %d != %d", workers, par.Ops, seq.Ops)
+		}
+		if len(par.Matches) != len(seq.Matches) {
+			t.Fatalf("workers=%d: %d matches != %d", workers, len(par.Matches), len(seq.Matches))
+		}
+	}
+}
+
+// TestLinearCostModel verifies the paper's §2 premise on the synthetic
+// engine: per-residue scanning cost is (nearly) constant across databank
+// fractions, i.e. cost is linear in the amount scanned.
+func TestLinearCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bank := RandomDatabank("sp", 60, 120, rng)
+	motif := RandomMotif(5, rng)
+	costs := CostModel(bank, motif, 6)
+	if len(costs) != 6 {
+		t.Fatal("steps")
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, c := range costs {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	if lo <= 0 {
+		t.Fatal("zero cost")
+	}
+	// Motif-edge effects keep this from being exactly constant; a 15%
+	// envelope certifies linearity for scheduling purposes.
+	if (hi-lo)/lo > 0.15 {
+		t.Fatalf("per-residue cost varies %.1f%%: %v", 100*(hi-lo)/lo, costs)
+	}
+}
+
+// TestQuickMatchesAreValid: every reported match really matches when
+// checked independently, and offsets are in range (property-based).
+func TestQuickMatchesAreValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bank := RandomDatabank("q", 1+rng.Intn(8), 30, rng)
+		motif := RandomMotif(1+rng.Intn(5), rng)
+		res := Scan(bank, motif)
+		byID := map[string]string{}
+		for _, s := range bank.Sequences {
+			byID[s.ID] = s.Residues
+		}
+		for _, m := range res.Matches {
+			r, ok := byID[m.SequenceID]
+			if !ok || m.Offset < 0 || m.Offset+motif.Len() > len(r) {
+				return false
+			}
+			for p := 0; p < motif.Len(); p++ {
+				if !motif.positions[p].matches(r[m.Offset+p]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpsBounds: work is at least one op per window and at most
+// windows × motif length (property-based).
+func TestQuickOpsBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bank := RandomDatabank("q", 1+rng.Intn(5), 25, rng)
+		motif := RandomMotif(1+rng.Intn(4), rng)
+		res := Scan(bank, motif)
+		windows := 0
+		for _, s := range bank.Sequences {
+			if w := len(s.Residues) - motif.Len() + 1; w > 0 {
+				windows += w
+			}
+		}
+		return res.Ops >= windows && res.Ops <= windows*motif.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomMotifDeterministic(t *testing.T) {
+	a := RandomMotif(6, rand.New(rand.NewSource(42)))
+	b := RandomMotif(6, rand.New(rand.NewSource(42)))
+	if a.Pattern != b.Pattern {
+		t.Fatalf("same seed, different motifs: %q vs %q", a.Pattern, b.Pattern)
+	}
+}

@@ -1,0 +1,261 @@
+// Package sim is the discrete-event simulation engine for divisible loads
+// with negligible communication — the repository's substitute for the
+// SimGrid toolkit used by the paper (§5).
+//
+// The model makes an exact fluid simulation possible: at any instant each
+// machine serves at most one job at its full speed, a job may span several
+// machines, and rates only change at events (releases, completions, plan
+// breakpoints). The engine therefore advances from event to event in closed
+// form; there is no time-stepping error.
+//
+// Two drivers are provided:
+//
+//   - RunList executes a priority-list policy with the greedy spatial rule
+//     of §3: "while some processors are idle, select the job with the
+//     highest priority and distribute its processing on all appropriate
+//     available processors".
+//   - RunPlanned executes schedulers that emit explicit per-machine
+//     timetables (the offline optimal and the LP-based online heuristics),
+//     re-invoking the planner at every job arrival.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/model"
+)
+
+// Ctx is the read-only state handed to policies and planners at each
+// decision instant.
+type Ctx struct {
+	Inst      *model.Instance
+	Now       float64
+	Remaining []float64 // remaining work per job (0 when done)
+	Released  []bool
+	Done      []bool
+}
+
+// Active returns the released, unfinished jobs in ID order.
+func (c *Ctx) Active() []model.JobID {
+	var out []model.JobID
+	for j := range c.Remaining {
+		if c.Released[j] && !c.Done[j] {
+			out = append(out, model.JobID(j))
+		}
+	}
+	return out
+}
+
+// RemainingAloneTime returns the time job j would still need alone on its
+// eligible machines: ρ_j(t) / Σ_{i∈elig(j)} speed_i.
+func (c *Ctx) RemainingAloneTime(j model.JobID) float64 {
+	return c.Remaining[j] / c.Inst.Platform.AggregateSpeed(c.Inst.Jobs[j].Databank)
+}
+
+// Policy is a dynamic priority order over active jobs. OnEvent runs at every
+// decision instant (start, release, completion) before comparisons, letting
+// stateful policies (deadline-based, pseudo-stretch) refresh themselves.
+type Policy interface {
+	Name() string
+	Init(inst *model.Instance)
+	OnEvent(ctx *Ctx)
+	// Less reports whether a must be served strictly before b.
+	Less(ctx *Ctx, a, b model.JobID) bool
+}
+
+// relTol is the relative numeric tolerance of the engine.
+const relTol = 1e-9
+
+// maxEvents caps the number of engine iterations as a defence against
+// non-advancing policies; realistic runs are far below it.
+const maxEvents = 10_000_000
+
+// RunList simulates inst under the given priority policy and returns the
+// complete schedule trace.
+func RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
+	pol.Init(inst)
+	st := newState(inst)
+	sched := model.NewSchedule(inst)
+
+	for ev := 0; ; ev++ {
+		if ev > maxEvents {
+			return nil, fmt.Errorf("sim: %s exceeded event budget", pol.Name())
+		}
+		if st.allDone() {
+			return sched, nil
+		}
+		if !st.anyActive() {
+			if !st.advanceToNextArrival() {
+				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pol.Name())
+			}
+			continue
+		}
+		pol.OnEvent(&st.ctx)
+		order := st.ctx.Active()
+		sort.SliceStable(order, func(a, b int) bool {
+			ja, jb := order[a], order[b]
+			if pol.Less(&st.ctx, ja, jb) {
+				return true
+			}
+			if pol.Less(&st.ctx, jb, ja) {
+				return false
+			}
+			return ja < jb
+		})
+
+		assign, rate := st.allocate(order)
+
+		// Horizon: next arrival or earliest completion at current rates.
+		dt := st.timeToNextArrival()
+		for _, j := range order {
+			if rate[j] > 0 {
+				dt = math.Min(dt, st.ctx.Remaining[j]/rate[j])
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("sim: %s has active jobs with no eligible machine and no future arrivals", pol.Name())
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		st.advance(dt, assign, rate, sched)
+	}
+}
+
+// state is the mutable engine state shared by both drivers.
+type state struct {
+	ctx     Ctx
+	inst    *model.Instance
+	nextArr int // index into inst.Jobs of the next unreleased job
+	doneCnt int
+	workTol []float64 // absolute completion tolerance per job
+}
+
+func newState(inst *model.Instance) *state {
+	n := inst.NumJobs()
+	st := &state{
+		inst: inst,
+		ctx: Ctx{
+			Inst:      inst,
+			Remaining: make([]float64, n),
+			Released:  make([]bool, n),
+			Done:      make([]bool, n),
+		},
+		workTol: make([]float64, n),
+	}
+	// The completion tolerance is relative to the whole instance, not just
+	// the job: planners built on float solvers (max-flow, LP) are accurate
+	// to ~relTol·ΣW, and a plan may under-serve one small job by that much.
+	total := inst.TotalWork()
+	for j := range inst.Jobs {
+		st.ctx.Remaining[j] = inst.Jobs[j].Size
+		st.workTol[j] = relTol * (inst.Jobs[j].Size + total)
+	}
+	st.releaseUpTo(st.startTime())
+	st.ctx.Now = st.startTime()
+	return st
+}
+
+func (st *state) startTime() float64 {
+	if st.inst.NumJobs() == 0 {
+		return 0
+	}
+	return st.inst.Jobs[0].Release
+}
+
+func (st *state) releaseUpTo(t float64) {
+	for st.nextArr < st.inst.NumJobs() && st.inst.Jobs[st.nextArr].Release <= t+relTol*(1+t) {
+		st.ctx.Released[st.nextArr] = true
+		st.nextArr++
+	}
+}
+
+func (st *state) allDone() bool { return st.doneCnt == st.inst.NumJobs() }
+
+func (st *state) anyActive() bool {
+	for j := range st.ctx.Remaining {
+		if st.ctx.Released[j] && !st.ctx.Done[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *state) timeToNextArrival() float64 {
+	if st.nextArr >= st.inst.NumJobs() {
+		return math.Inf(1)
+	}
+	dt := st.inst.Jobs[st.nextArr].Release - st.ctx.Now
+	if dt < 0 {
+		return 0
+	}
+	return dt
+}
+
+func (st *state) advanceToNextArrival() bool {
+	if st.nextArr >= st.inst.NumJobs() {
+		return false
+	}
+	st.ctx.Now = st.inst.Jobs[st.nextArr].Release
+	st.releaseUpTo(st.ctx.Now)
+	return true
+}
+
+// allocate applies the §3 spatial rule: walk jobs in priority order, give
+// each all still-free eligible machines. It returns machine→job assignment
+// (-1 for idle) and per-job aggregate rates.
+func (st *state) allocate(order []model.JobID) (assign []int, rate []float64) {
+	m := st.inst.Platform.NumMachines()
+	assign = make([]int, m)
+	for i := range assign {
+		assign[i] = -1
+	}
+	rate = make([]float64, st.inst.NumJobs())
+	free := m
+	for _, j := range order {
+		if free == 0 {
+			break
+		}
+		for _, mid := range st.inst.Eligible(j) {
+			if assign[mid] == -1 {
+				assign[mid] = int(j)
+				rate[j] += st.inst.Platform.Machine(mid).Speed
+				free--
+			}
+		}
+	}
+	return assign, rate
+}
+
+// advance moves time forward by dt under the given machine assignment,
+// emitting slices and completing jobs whose remaining work reaches zero.
+func (st *state) advance(dt float64, assign []int, rate []float64, sched *model.Schedule) {
+	t0 := st.ctx.Now
+	t1 := t0 + dt
+	if dt > 0 {
+		for mid, j := range assign {
+			if j >= 0 {
+				sched.AddSlice(model.Slice{
+					Machine: model.MachineID(mid), Job: model.JobID(j), Start: t0, End: t1,
+				})
+			}
+		}
+		for j := range rate {
+			if rate[j] > 0 {
+				st.ctx.Remaining[j] -= rate[j] * dt
+			}
+		}
+	}
+	st.ctx.Now = t1
+	for j := range rate {
+		if !st.ctx.Done[j] && st.ctx.Released[j] && rate[j] > 0 && st.ctx.Remaining[j] <= st.workTol[j] {
+			st.ctx.Remaining[j] = 0
+			st.ctx.Done[j] = true
+			st.doneCnt++
+			sched.Completion[j] = t1
+		}
+	}
+	st.releaseUpTo(t1)
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+// TestFigure2Scenario is the executable form of the paper's Figure 2: on a
+// uniform platform, fully distributing work (situation B) dominates leaving
+// jobs on single machines (situation A) — every completion time improves.
+// Under restricted availability (situation C) the completion vectors become
+// incomparable, which is exactly why the multi-machine problem needs the
+// LP/flow machinery instead of a greedy exchange argument.
+func TestFigure2Scenario(t *testing.T) {
+	// Situation A/B: two machines, two simultaneous jobs, uniform.
+	uni, err := model.Uniform([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB, err := model.NewInstance(uni, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 0, Size: 4, Databank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Situation A: each job on its own machine (a hand-built plan).
+	planA := NewPlan(2)
+	planA.Add(0, PlanSlice{Job: 0, Start: 0, End: 2})
+	planA.Add(1, PlanSlice{Job: 1, Start: 0, End: 4})
+	schedA, err := RunPlanned(instB, &fixedPlanner{planA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Situation B: both jobs spread over both machines, shorter first.
+	schedB, err := RunList(instB, srpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range schedA.Completion {
+		if schedB.Completion[j] > schedA.Completion[j]+1e-9 {
+			t.Fatalf("uniform processing must dominate: job %d %v vs %v",
+				j, schedB.Completion[j], schedA.Completion[j])
+		}
+	}
+	if schedB.Completion[0] >= schedA.Completion[0] {
+		t.Fatal("sharing should strictly help the short job")
+	}
+
+	// Situation C: restricted availability — job 1 only on machine 1.
+	restr, err := model.NewPlatform([]model.Machine{
+		{Speed: 1, Databanks: []model.DatabankID{0}},
+		{Speed: 1, Databanks: []model.DatabankID{0, 1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instC, err := model.NewInstance(restr, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 0, Size: 4, Databank: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribution 1: job 0 takes both machines first (SRPT order).
+	schedC1, err := RunList(instC, srpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribution 2: job 1 keeps machine 1 to itself (hand-built).
+	planC2 := NewPlan(2)
+	planC2.Add(0, PlanSlice{Job: 0, Start: 0, End: 2})
+	planC2.Add(1, PlanSlice{Job: 1, Start: 0, End: 4})
+	schedC2, err := RunPlanned(instC, &fixedPlanner{planC2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two completion vectors must be incomparable: each schedule wins
+	// on one job.
+	c1Better0 := schedC1.Completion[0] < schedC2.Completion[0]-1e-9
+	c2Better1 := schedC2.Completion[1] < schedC1.Completion[1]-1e-9
+	if !c1Better0 || !c2Better1 {
+		t.Fatalf("expected incomparable vectors, got %v vs %v",
+			schedC1.Completion, schedC2.Completion)
+	}
+}
+
+// TestListEngineWorkConservationOverTime verifies a stronger invariant than
+// end-state validation: at every slice boundary, cumulative processed work
+// never exceeds elapsed capacity and never regresses.
+func TestListEngineWorkConservationOverTime(t *testing.T) {
+	inst := uniInstance(t, []float64{1.5, 0.5}, []model.Job{
+		{Release: 0, Size: 3, Databank: 0},
+		{Release: 0.5, Size: 1, Databank: 0},
+		{Release: 1.5, Size: 2, Databank: 0},
+	})
+	sched, err := RunList(inst, srpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSpeed := inst.Platform.TotalSpeed()
+	work := 0.0
+	for _, sl := range sched.Slices {
+		work += sl.Duration() * inst.Platform.Machine(sl.Machine).Speed
+		if sl.End > 0 && work > totalSpeed*sl.End+1e-9 {
+			t.Fatalf("work %v exceeds capacity %v by t=%v", work, totalSpeed*sl.End, sl.End)
+		}
+	}
+	if math.Abs(work-inst.TotalWork()) > 1e-9*(1+inst.TotalWork()) {
+		t.Fatalf("total processed %v != total work %v", work, inst.TotalWork())
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/model"
+)
+
+// PlanSlice schedules one job on one machine over [Start, End).
+type PlanSlice struct {
+	Job   model.JobID
+	Start float64
+	End   float64
+}
+
+// Plan is a per-machine timetable. Each machine's slices must be sorted by
+// start time and non-overlapping; gaps are idle time. Plans are advisory
+// beyond the next arrival: the executor truncates and re-plans there.
+type Plan struct {
+	PerMachine [][]PlanSlice
+}
+
+// NewPlan returns an empty plan for m machines.
+func NewPlan(m int) *Plan { return &Plan{PerMachine: make([][]PlanSlice, m)} }
+
+// Add appends a slice to machine mid's timetable (kept sorted by caller or
+// normalised by Normalize).
+func (p *Plan) Add(mid model.MachineID, s PlanSlice) {
+	if s.End > s.Start {
+		p.PerMachine[mid] = append(p.PerMachine[mid], s)
+	}
+}
+
+// Normalize sorts each machine's slices by start time and validates
+// non-overlap. It returns an error describing the first violation.
+func (p *Plan) Normalize() error {
+	for mid := range p.PerMachine {
+		sl := p.PerMachine[mid]
+		sort.Slice(sl, func(a, b int) bool { return sl[a].Start < sl[b].Start })
+		for k := 1; k < len(sl); k++ {
+			if sl[k].Start < sl[k-1].End-1e-9*(1+math.Abs(sl[k-1].End)) {
+				return fmt.Errorf("sim: plan overlap on machine %d at t=%v", mid, sl[k].Start)
+			}
+		}
+		p.PerMachine[mid] = sl
+	}
+	return nil
+}
+
+// Planner produces timetables for the planned driver. Plan is invoked at
+// the simulation start and at every subsequent job release; the returned
+// plan is followed until the next release. The planner sees the true
+// remaining work of every released job in ctx.
+type Planner interface {
+	Name() string
+	Init(inst *model.Instance)
+	Plan(ctx *Ctx) (*Plan, error)
+}
+
+// RunPlanned simulates inst under a planning scheduler and returns the
+// schedule trace.
+func RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
+	pl.Init(inst)
+	st := newState(inst)
+	sched := model.NewSchedule(inst)
+
+	for ev := 0; ; ev++ {
+		if ev > maxEvents {
+			return nil, fmt.Errorf("sim: %s exceeded event budget", pl.Name())
+		}
+		if st.allDone() {
+			return sched, nil
+		}
+		if !st.anyActive() {
+			if !st.advanceToNextArrival() {
+				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pl.Name())
+			}
+			continue
+		}
+		plan, err := pl.Plan(&st.ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", pl.Name(), err)
+		}
+		if err := plan.Normalize(); err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", pl.Name(), err)
+		}
+		horizon := st.ctx.Now + st.timeToNextArrival()
+		progressed, err := st.executePlan(plan, horizon, sched, pl.Name())
+		if err != nil {
+			return nil, err
+		}
+		if math.IsInf(horizon, 1) {
+			if !st.allDone() {
+				return nil, fmt.Errorf("sim: %s final plan leaves %d jobs unfinished",
+					pl.Name(), inst.NumJobs()-st.doneCnt)
+			}
+			return sched, nil
+		}
+		if !progressed && st.ctx.Now < horizon {
+			// The plan had nothing before the next arrival; skip ahead.
+			st.ctx.Now = horizon
+			st.releaseUpTo(horizon)
+		}
+	}
+}
+
+// executePlan advances the engine along the timetable until horizon,
+// splitting at slice boundaries and completion instants. It reports whether
+// any time was consumed.
+func (st *state) executePlan(plan *Plan, horizon float64, sched *model.Schedule, name string) (bool, error) {
+	m := st.inst.Platform.NumMachines()
+	cursor := make([]int, m) // next plan slice index per machine
+	progressed := false
+
+	for {
+		t := st.ctx.Now
+		if t >= horizon-relTol*(1+math.Abs(horizon)) {
+			st.ctx.Now = math.Min(horizon, st.ctx.Now)
+			return progressed, nil
+		}
+		// Determine, per machine, the slice active at t (if any) and the
+		// next breakpoint.
+		next := horizon
+		assign := make([]int, m)
+		rate := make([]float64, st.inst.NumJobs())
+		anyWork := false
+		for mid := 0; mid < m; mid++ {
+			assign[mid] = -1
+			sl := plan.PerMachine[mid]
+			c := cursor[mid]
+			for c < len(sl) && sl[c].End <= t+relTol*(1+math.Abs(t)) {
+				c++
+			}
+			cursor[mid] = c
+			if c >= len(sl) {
+				continue
+			}
+			s := sl[c]
+			if s.Start > t+relTol*(1+math.Abs(t)) {
+				next = math.Min(next, s.Start)
+				continue
+			}
+			j := s.Job
+			if st.ctx.Done[j] || !st.ctx.Released[j] {
+				// Plan slack (job finished early); machine idles this slice.
+				next = math.Min(next, s.End)
+				continue
+			}
+			assign[mid] = int(j)
+			rate[j] += st.inst.Platform.Machine(model.MachineID(mid)).Speed
+			next = math.Min(next, s.End)
+			anyWork = true
+		}
+		if !anyWork {
+			if next <= t+relTol*(1+math.Abs(t)) {
+				// No runnable work and no future breakpoint before horizon.
+				st.ctx.Now = horizon
+				st.releaseUpTo(horizon)
+				return progressed, nil
+			}
+			st.ctx.Now = next
+			st.releaseUpTo(next)
+			continue
+		}
+		// Completion instants may precede the next breakpoint.
+		dt := next - t
+		for j, r := range rate {
+			if r > 0 {
+				dt = math.Min(dt, st.ctx.Remaining[j]/r)
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		st.advance(dt, assign, rate, sched)
+		progressed = progressed || dt > 0
+		if dt == 0 {
+			// Avoid an infinite loop on a degenerate zero-length segment.
+			st.ctx.Now = math.Min(next, horizon)
+			st.releaseUpTo(st.ctx.Now)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+// fixedPlanner returns a precomputed full-horizon plan on the first call and
+// the same plan thereafter (the executor resumes at Ctx.Now on re-plans).
+type fixedPlanner struct {
+	plan *Plan
+}
+
+func (f *fixedPlanner) Name() string             { return "fixed" }
+func (f *fixedPlanner) Init(*model.Instance)     {}
+func (f *fixedPlanner) Plan(*Ctx) (*Plan, error) { return f.plan, nil }
+
+func TestRunPlannedSingleMachine(t *testing.T) {
+	inst := uniInstance(t, []float64{2}, []model.Job{{Release: 0, Size: 6, Databank: 0}})
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 3})
+	s, err := RunPlanned(inst, &fixedPlanner{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-3) > 1e-9 {
+		t.Fatalf("completion = %v", s.Completion[0])
+	}
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlannedParallelSlices(t *testing.T) {
+	// Job 0 split across two machines with different speeds; job 1 follows
+	// on machine 1 after an idle gap on machine 0.
+	inst := uniInstance(t, []float64{1, 2}, []model.Job{
+		{Release: 0, Size: 6, Databank: 0},
+		{Release: 0, Size: 2, Databank: 0},
+	})
+	plan := NewPlan(2)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 2}) // 2 units
+	plan.Add(1, PlanSlice{Job: 0, Start: 0, End: 2}) // 4 units → job 0 done at 2
+	plan.Add(1, PlanSlice{Job: 1, Start: 2, End: 3}) // 2 units → job 1 done at 3
+	s, err := RunPlanned(inst, &fixedPlanner{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-2) > 1e-9 || math.Abs(s.Completion[1]-3) > 1e-9 {
+		t.Fatalf("completions = %v", s.Completion)
+	}
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlannedEarlyCompletionMidSlice(t *testing.T) {
+	// Plan over-allocates: slice is longer than the work requires; the job
+	// must complete exactly when its work is done and the machine idle after.
+	inst := uniInstance(t, []float64{1}, []model.Job{{Release: 0, Size: 2, Databank: 0}})
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 10})
+	s, err := RunPlanned(inst, &fixedPlanner{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Completion[0]-2) > 1e-9 {
+		t.Fatalf("completion = %v, want 2", s.Completion[0])
+	}
+}
+
+// replanCounter verifies the executor calls Plan at start and at each later
+// release, planning only released jobs.
+type replanCounter struct {
+	calls int
+}
+
+func (r *replanCounter) Name() string         { return "replan" }
+func (r *replanCounter) Init(*model.Instance) {}
+
+func (r *replanCounter) Plan(ctx *Ctx) (*Plan, error) {
+	r.calls++
+	plan := NewPlan(ctx.Inst.Platform.NumMachines())
+	t := ctx.Now
+	// Serial plan over released jobs in ID order on machine 0.
+	for j := range ctx.Remaining {
+		if !ctx.Released[j] || ctx.Done[j] {
+			continue
+		}
+		if !ctx.Released[j] {
+			return nil, fmt.Errorf("planning unreleased job %d", j)
+		}
+		d := ctx.Remaining[j] / ctx.Inst.Platform.Machine(0).Speed
+		plan.Add(0, PlanSlice{Job: model.JobID(j), Start: t, End: t + d})
+		t += d
+	}
+	return plan, nil
+}
+
+func TestRunPlannedReplansAtArrivals(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 1, Size: 2, Databank: 0},
+		{Release: 9, Size: 1, Databank: 0},
+	})
+	pl := &replanCounter{}
+	s, err := RunPlanned(inst, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.calls != 3 {
+		t.Fatalf("Plan called %d times, want 3", pl.calls)
+	}
+	want := []float64{2, 4, 10}
+	for j, w := range want {
+		if math.Abs(s.Completion[j]-w) > 1e-9 {
+			t.Fatalf("completion[%d] = %v, want %v", j, s.Completion[j], w)
+		}
+	}
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlannedDetectsIncompletePlan(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{{Release: 0, Size: 5, Databank: 0}})
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 1}) // only 1 of 5 units
+	if _, err := RunPlanned(inst, &fixedPlanner{plan}); err == nil {
+		t.Fatal("expected error for plan leaving work unfinished")
+	}
+}
+
+func TestPlanNormalizeRejectsOverlap(t *testing.T) {
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 2})
+	plan.Add(0, PlanSlice{Job: 1, Start: 1, End: 3})
+	if err := plan.Normalize(); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestPlanNormalizeSorts(t *testing.T) {
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 1, Start: 2, End: 3})
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 1})
+	if err := plan.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.PerMachine[0][0].Job != 0 {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestPlanAddSkipsEmptySlices(t *testing.T) {
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 1, End: 1})
+	if len(plan.PerMachine[0]) != 0 {
+		t.Fatal("empty slice stored")
+	}
+}

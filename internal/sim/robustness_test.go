@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+// lpt is an adversarially bad priority: longest remaining time first. The
+// engine must still terminate with a valid schedule — scheduling quality is
+// a policy property, correctness is an engine property.
+type lpt struct{}
+
+func (lpt) Name() string         { return "lpt" }
+func (lpt) Init(*model.Instance) {}
+func (lpt) OnEvent(*Ctx)         {}
+func (lpt) Less(ctx *Ctx, a, b model.JobID) bool {
+	return ctx.RemainingAloneTime(a) > ctx.RemainingAloneTime(b)
+}
+
+// flipflop alternates its preference at every event — a pathological
+// dynamic priority that maximises preemption churn.
+type flipflop struct{ parity bool }
+
+func (f *flipflop) Name() string         { return "flipflop" }
+func (f *flipflop) Init(*model.Instance) { f.parity = false }
+func (f *flipflop) OnEvent(*Ctx)         { f.parity = !f.parity }
+func (f *flipflop) Less(ctx *Ctx, a, b model.JobID) bool {
+	if f.parity {
+		return a < b
+	}
+	return a > b
+}
+
+func TestEngineSurvivesAdversarialPolicies(t *testing.T) {
+	inst := uniInstance(t, []float64{1, 2}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 0.5, Size: 1, Databank: 0},
+		{Release: 1, Size: 2, Databank: 0},
+		{Release: 1.5, Size: 0.5, Databank: 0},
+	})
+	for _, pol := range []Policy{lpt{}, &flipflop{}} {
+		s, err := RunList(inst, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if err := s.Validate(inst, 1e-6); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+	}
+}
+
+// TestPlannedExecutorIgnoresUnreleasedJobs: a plan slice for a job that has
+// not been released yet must be treated as idle slack, not executed early.
+func TestPlannedExecutorIgnoresUnreleasedJobs(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 1, Databank: 0},
+		{Release: 5, Size: 1, Databank: 0},
+	})
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 1})
+	plan.Add(0, PlanSlice{Job: 1, Start: 1, End: 2}) // before release 5!
+	plan.Add(0, PlanSlice{Job: 1, Start: 5, End: 6})
+	s, err := RunPlanned(inst, &fixedPlanner{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completion[1] < 6-1e-9 {
+		t.Fatalf("job 1 completed at %v before its legal slot", s.Completion[1])
+	}
+	if err := s.Validate(inst, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlannedExecutorZeroLengthSegments: degenerate zero-length plan slices
+// must not wedge the executor.
+func TestPlannedExecutorZeroLengthSegments(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{{Release: 0, Size: 1, Databank: 0}})
+	plan := NewPlan(1)
+	plan.Add(0, PlanSlice{Job: 0, Start: 0, End: 0}) // dropped by Add
+	plan.Add(0, PlanSlice{Job: 0, Start: 2, End: 3})
+	s, err := RunPlanned(inst, &fixedPlanner{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completion[0] < 3-1e-9 {
+		t.Fatalf("completion %v", s.Completion[0])
+	}
+}
+
+// TestListEngineManyIdenticalJobs stresses tie-breaking determinism: many
+// identical jobs must complete in ID order under a tie-heavy policy.
+func TestListEngineManyIdenticalJobs(t *testing.T) {
+	var jobs []model.Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, model.Job{Release: 0, Size: 1, Databank: 0})
+	}
+	inst := uniInstance(t, []float64{1}, jobs)
+	s, err := RunList(inst, srpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(jobs); j++ {
+		if s.Completion[j] < s.Completion[j-1]-1e-9 {
+			t.Fatalf("tie-break not by ID: job %d at %v before job %d at %v",
+				j, s.Completion[j], j-1, s.Completion[j-1])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package stats provides the aggregation used throughout the paper's
+// evaluation: per-instance normalisation of each heuristic's metric by the
+// best value observed on that instance, then mean / standard deviation /
+// maximum of the ratios over all instances of a configuration group
+// (Tables 1–16).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Agg accumulates mean, sample standard deviation and maximum online
+// (Welford's algorithm), without storing samples.
+type Agg struct {
+	n    int
+	mean float64
+	m2   float64
+	max  float64
+}
+
+// Add folds one sample into the aggregate.
+func (a *Agg) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	if a.n == 1 || x > a.max {
+		a.max = x
+	}
+}
+
+// N returns the sample count.
+func (a *Agg) N() int { return a.n }
+
+// Mean returns the sample mean (0 for empty aggregates).
+func (a *Agg) Mean() float64 { return a.mean }
+
+// SD returns the sample standard deviation (0 for fewer than two samples).
+func (a *Agg) SD() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Max returns the maximum sample (0 for empty aggregates).
+func (a *Agg) Max() float64 { return a.max }
+
+// Merge folds another aggregate into a (parallel reduction).
+func (a *Agg) Merge(b *Agg) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := float64(a.n + b.n)
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/n
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/n
+	a.mean, a.m2 = mean, m2
+	a.n += b.n
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// RatiosToBest divides each present value by the smallest present value,
+// returning NaN for absent entries (absent = NaN input). This is the
+// paper's per-instance normalisation: "divided by the best observed".
+func RatiosToBest(values map[string]float64) map[string]float64 {
+	best := math.Inf(1)
+	for _, v := range values {
+		if !math.IsNaN(v) && v < best {
+			best = v
+		}
+	}
+	out := make(map[string]float64, len(values))
+	for k, v := range values {
+		if math.IsNaN(v) || math.IsInf(best, 1) || best <= 0 {
+			out[k] = math.NaN()
+			continue
+		}
+		out[k] = v / best
+	}
+	return out
+}
+
+// Keys returns the sorted keys of a string-keyed aggregate map.
+func Keys[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggBasics(t *testing.T) {
+	var a Agg
+	if a.N() != 0 || a.Mean() != 0 || a.SD() != 0 || a.Max() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 || a.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", a.N(), a.Mean())
+	}
+	// Sample SD of this classic dataset: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(a.SD()-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", a.SD(), want)
+	}
+	if a.Max() != 9 {
+		t.Fatalf("max = %v", a.Max())
+	}
+}
+
+func TestAggSingleSample(t *testing.T) {
+	var a Agg
+	a.Add(-3)
+	if a.Mean() != -3 || a.SD() != 0 || a.Max() != -3 {
+		t.Fatalf("single sample: %v %v %v", a.Mean(), a.SD(), a.Max())
+	}
+}
+
+func TestAggMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var whole, left, right Agg
+	for i := 0; i < 100; i++ {
+		x := rng.NormFloat64()*3 + 1
+		whole.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatal("merge lost samples")
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 ||
+		math.Abs(left.SD()-whole.SD()) > 1e-9 ||
+		left.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: %v/%v %v/%v", left.Mean(), whole.Mean(), left.SD(), whole.SD())
+	}
+	var empty Agg
+	empty.Merge(&left)
+	if empty.N() != left.N() || empty.Mean() != left.Mean() {
+		t.Fatal("merge into empty broken")
+	}
+	before := left.N()
+	left.Merge(&Agg{})
+	if left.N() != before {
+		t.Fatal("merging empty changed aggregate")
+	}
+}
+
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Agg
+		var sum float64
+		for _, v := range raw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		if math.Abs(a.Mean()-mean) > 1e-9*(1+math.Abs(mean)) {
+			return false
+		}
+		if len(raw) < 2 {
+			return a.SD() == 0
+		}
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		want := math.Sqrt(ss / float64(len(raw)-1))
+		return math.Abs(a.SD()-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatiosToBest(t *testing.T) {
+	r := RatiosToBest(map[string]float64{"a": 2, "b": 4, "c": 3})
+	if r["a"] != 1 || r["b"] != 2 || r["c"] != 1.5 {
+		t.Fatalf("ratios = %v", r)
+	}
+}
+
+func TestRatiosToBestWithNaN(t *testing.T) {
+	r := RatiosToBest(map[string]float64{"a": 2, "skip": math.NaN()})
+	if r["a"] != 1 {
+		t.Fatalf("a = %v", r["a"])
+	}
+	if !math.IsNaN(r["skip"]) {
+		t.Fatal("NaN input must stay NaN")
+	}
+	// All NaN: everything NaN.
+	r = RatiosToBest(map[string]float64{"x": math.NaN()})
+	if !math.IsNaN(r["x"]) {
+		t.Fatal("all-NaN should yield NaN")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	ks := Keys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("keys = %v", ks)
+	}
+}

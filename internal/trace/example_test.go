@@ -1,0 +1,59 @@
+package trace_test
+
+import (
+	"fmt"
+	"log"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/trace"
+)
+
+// ExampleGantt renders a tiny two-machine schedule.
+func ExampleGantt() {
+	platform, err := model.Uniform([]float64{1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := model.NewInstance(platform, []model.Job{
+		{Name: "big", Release: 0, Size: 6, Databank: 0},
+		{Name: "small", Release: 0, Size: 2, Databank: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := model.NewSchedule(inst)
+	sched.AddSlice(model.Slice{Machine: 0, Job: 0, Start: 0, End: 6})
+	sched.AddSlice(model.Slice{Machine: 1, Job: 1, Start: 0, End: 2})
+	sched.Completion[0] = 6
+	sched.Completion[1] = 2
+	fmt.Print(trace.Gantt(inst, sched, trace.GanttOptions{Width: 12}))
+	// Output:
+	// t=0 time axis t=6.00s
+	// M1       |aaaaaaaaaaaa|
+	// M2       |bbbb........|
+	// legend: a=big(×2.00)  b=small(×2.00)
+}
+
+// ExampleStretches summarises the slowdown distribution of a schedule.
+func ExampleStretches() {
+	platform, err := model.Uniform([]float64{1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := model.NewInstance(platform, []model.Job{
+		{Release: 0, Size: 2, Databank: 0},
+		{Release: 0, Size: 2, Databank: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := model.NewSchedule(inst)
+	sched.AddSlice(model.Slice{Machine: 0, Job: 0, Start: 0, End: 2})
+	sched.AddSlice(model.Slice{Machine: 0, Job: 1, Start: 2, End: 4})
+	sched.Completion[0] = 2
+	sched.Completion[1] = 4
+	d := trace.Stretches(inst, sched)
+	fmt.Printf("min %.1f max %.1f mean %.2f\n", d.Min, d.Max, d.Mean)
+	// Output:
+	// min 1.0 max 2.0 mean 1.50
+}

@@ -1,0 +1,190 @@
+// Package trace analyses and renders schedule traces: ASCII Gantt charts,
+// per-machine utilisation, and stretch distributions. It is the
+// inspection toolkit for everything the engines in internal/sim produce —
+// the paper's figures are aggregate, but debugging a scheduler (and
+// understanding why MCT starves small jobs) needs the per-machine view.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"stretchsched/internal/model"
+)
+
+// Utilization summarises one machine's activity over a horizon.
+type Utilization struct {
+	Machine  model.MachineID
+	Busy     float64 // seconds spent processing
+	Horizon  float64 // end of the analysed window
+	Fraction float64 // Busy / Horizon (0 if empty horizon)
+}
+
+// MachineUtilization computes per-machine busy time up to the schedule's
+// makespan.
+func MachineUtilization(inst *model.Instance, sched *model.Schedule) []Utilization {
+	horizon := sched.Makespan(inst)
+	m := inst.Platform.NumMachines()
+	busy := make([]float64, m)
+	for _, sl := range sched.Slices {
+		busy[sl.Machine] += sl.Duration()
+	}
+	out := make([]Utilization, m)
+	for i := range out {
+		out[i] = Utilization{
+			Machine: model.MachineID(i),
+			Busy:    busy[i],
+			Horizon: horizon,
+		}
+		if horizon > 0 {
+			out[i].Fraction = busy[i] / horizon
+		}
+	}
+	return out
+}
+
+// StretchDistribution holds order statistics of per-job stretches.
+type StretchDistribution struct {
+	Min, Median, P90, P99, Max float64
+	Mean                       float64
+}
+
+// Stretches computes the distribution of per-job stretches of a schedule.
+func Stretches(inst *model.Instance, sched *model.Schedule) StretchDistribution {
+	n := inst.NumJobs()
+	if n == 0 {
+		return StretchDistribution{}
+	}
+	xs := make([]float64, n)
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		xs[j] = sched.Stretch(inst, model.JobID(j))
+		sum += xs[j]
+	}
+	sort.Float64s(xs)
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return xs[idx]
+	}
+	return StretchDistribution{
+		Min:    xs[0],
+		Median: q(0.5),
+		P90:    q(0.9),
+		P99:    q(0.99),
+		Max:    xs[n-1],
+		Mean:   sum / float64(n),
+	}
+}
+
+// GanttOptions controls chart rendering.
+type GanttOptions struct {
+	Width int // characters for the time axis (default 72)
+}
+
+// Gantt renders a schedule as an ASCII chart, one row per machine. Each
+// job is drawn with a stable letter (a-z, then A-Z, cycling); '.' is idle.
+// Useful in examples and when eyeballing scheduler behaviour in tests.
+func Gantt(inst *model.Instance, sched *model.Schedule, opts GanttOptions) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	horizon := sched.Makespan(inst)
+	if horizon <= 0 {
+		return "(empty schedule)\n"
+	}
+	m := inst.Platform.NumMachines()
+	rows := make([][]byte, m)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, sl := range sched.Slices {
+		lo := int(sl.Start / horizon * float64(width))
+		hi := int(math.Ceil(sl.End / horizon * float64(width)))
+		if hi > width {
+			hi = width
+		}
+		if hi <= lo {
+			hi = lo + 1 // visible dot for very short slices
+			if hi > width {
+				lo, hi = width-1, width
+			}
+		}
+		for c := lo; c < hi; c++ {
+			rows[sl.Machine][c] = jobGlyph(sl.Job)
+		}
+	}
+	var b strings.Builder
+	pad := (width - 14) / 2
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "t=0%stime axis%st=%.2fs\n",
+		strings.Repeat(" ", pad), strings.Repeat(" ", pad), horizon)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "%-8s |%s|\n", machineLabel(inst, model.MachineID(i)), rows[i])
+	}
+	// Legend: job → glyph, completion, stretch.
+	fmt.Fprintf(&b, "legend: ")
+	for j := 0; j < inst.NumJobs(); j++ {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s(×%.2f)", jobGlyph(model.JobID(j)),
+			inst.Jobs[j].Name, sched.Stretch(inst, model.JobID(j)))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func jobGlyph(j model.JobID) byte {
+	const lower = "abcdefghijklmnopqrstuvwxyz"
+	const upper = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	k := int(j) % 52
+	if k < 26 {
+		return lower[k]
+	}
+	return upper[k-26]
+}
+
+func machineLabel(inst *model.Instance, i model.MachineID) string {
+	name := inst.Platform.Machine(i).Name
+	if name == "" {
+		name = fmt.Sprintf("M%d", int(i)+1)
+	}
+	if len(name) > 8 {
+		name = name[:8]
+	}
+	return name
+}
+
+// Summary renders a one-paragraph textual report of a schedule: the two
+// stretch objectives, the flow metrics, the utilisation range and the
+// stretch distribution.
+func Summary(name string, inst *model.Instance, sched *model.Schedule) string {
+	var b strings.Builder
+	dist := Stretches(inst, sched)
+	fmt.Fprintf(&b, "%s: max-stretch %.4f, sum-stretch %.2f, makespan %.2fs\n",
+		name, sched.MaxStretch(inst), sched.SumStretch(inst), sched.Makespan(inst))
+	fmt.Fprintf(&b, "  stretch distribution: min %.2f, median %.2f, p90 %.2f, p99 %.2f, max %.2f (mean %.2f)\n",
+		dist.Min, dist.Median, dist.P90, dist.P99, dist.Max, dist.Mean)
+	utils := MachineUtilization(inst, sched)
+	lo, hi := 1.0, 0.0
+	for _, u := range utils {
+		lo = math.Min(lo, u.Fraction)
+		hi = math.Max(hi, u.Fraction)
+	}
+	if len(utils) > 0 {
+		fmt.Fprintf(&b, "  machine utilisation: %.0f%%–%.0f%% over %d machines\n",
+			100*lo, 100*hi, len(utils))
+	}
+	return b.String()
+}

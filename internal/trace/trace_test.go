@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+func demoSchedule(t *testing.T) (*model.Instance, *model.Schedule) {
+	t.Helper()
+	p, err := model.Uniform([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, []model.Job{
+		{Name: "big", Release: 0, Size: 6, Databank: 0},
+		{Name: "small", Release: 1, Size: 2, Databank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.NewSchedule(inst)
+	// big on both machines [0,1), then small on machine 1 [1,2), big
+	// resumes: machine 0 the whole time.
+	s.AddSlice(model.Slice{Machine: 0, Job: 0, Start: 0, End: 4}) // 4 units
+	s.AddSlice(model.Slice{Machine: 1, Job: 0, Start: 0, End: 1}) // 2 units → big done at 4
+	s.AddSlice(model.Slice{Machine: 1, Job: 1, Start: 1, End: 2}) // 2 units → small done at 2
+	s.Completion[0] = 4
+	s.Completion[1] = 2
+	if err := s.Validate(inst, 0); err != nil {
+		t.Fatal(err)
+	}
+	return inst, s
+}
+
+func TestMachineUtilization(t *testing.T) {
+	inst, s := demoSchedule(t)
+	utils := MachineUtilization(inst, s)
+	if len(utils) != 2 {
+		t.Fatal("utilisation rows")
+	}
+	if math.Abs(utils[0].Busy-4) > 1e-9 || math.Abs(utils[0].Fraction-1) > 1e-9 {
+		t.Fatalf("machine 0: %+v", utils[0])
+	}
+	if math.Abs(utils[1].Busy-2) > 1e-9 || math.Abs(utils[1].Fraction-0.5) > 1e-9 {
+		t.Fatalf("machine 1: %+v", utils[1])
+	}
+}
+
+func TestStretchDistribution(t *testing.T) {
+	inst, s := demoSchedule(t)
+	d := Stretches(inst, s)
+	// big: flow 4, alone 2 → stretch 2. small: flow 1, alone 2/3 → 1.5.
+	if math.Abs(d.Min-1.5) > 1e-9 || math.Abs(d.Max-2) > 1e-9 {
+		t.Fatalf("distribution: %+v", d)
+	}
+	if math.Abs(d.Mean-1.75) > 1e-9 {
+		t.Fatalf("mean: %v", d.Mean)
+	}
+	if d.Median < d.Min || d.Median > d.Max || d.P90 < d.Median || d.P99 > d.Max+1e-12 {
+		t.Fatalf("order statistics inconsistent: %+v", d)
+	}
+}
+
+func TestStretchesEmpty(t *testing.T) {
+	p, _ := model.Uniform([]float64{1})
+	inst, err := model.NewInstance(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Stretches(inst, model.NewSchedule(inst))
+	if d.Max != 0 || d.Mean != 0 {
+		t.Fatalf("empty: %+v", d)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	inst, s := demoSchedule(t)
+	out := Gantt(inst, s, GanttOptions{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // axis + 2 machines + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Machine 0 runs job 'a' for the full horizon: its row is all 'a'.
+	if !strings.Contains(lines[1], strings.Repeat("a", 40)) {
+		t.Fatalf("machine 0 row wrong:\n%s", out)
+	}
+	// Machine 1: 'a' for the first quarter, then 'b', then idle dots.
+	if !strings.Contains(lines[2], "ab") || !strings.Contains(lines[2], ".") {
+		t.Fatalf("machine 1 row wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "a=big") || !strings.Contains(lines[3], "b=small") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestGanttEmptySchedule(t *testing.T) {
+	p, _ := model.Uniform([]float64{1})
+	inst, err := model.NewInstance(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Gantt(inst, model.NewSchedule(inst), GanttOptions{}); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+func TestGanttGlyphCycling(t *testing.T) {
+	if jobGlyph(0) != 'a' || jobGlyph(25) != 'z' || jobGlyph(26) != 'A' ||
+		jobGlyph(51) != 'Z' || jobGlyph(52) != 'a' {
+		t.Fatal("glyph mapping broken")
+	}
+}
+
+func TestSummaryContainsMetrics(t *testing.T) {
+	inst, s := demoSchedule(t)
+	out := Summary("demo", inst, s)
+	for _, want := range []string{"max-stretch 2.0000", "sum-stretch 3.50", "utilisation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

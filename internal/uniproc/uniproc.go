@@ -1,0 +1,225 @@
+// Package uniproc implements the preemptive uni-processor side of the
+// paper's equivalence result (Lemma 1, §3.2): on a *uniform* platform —
+// every machine holds every databank — the divisible model with m machines
+// of speeds s_1..s_m is exactly the classical preemptive single-machine
+// model on an "equivalent processor" of speed Σ s_i (in the paper's
+// notation, power 1/Σ(1/p_i)).
+//
+// The package provides the transformation both ways, a convenience
+// simulator for pure uni-processor job sets (used by the theory tests of
+// Theorems 1 and 2), and the preemptive-EDF feasibility oracle that makes
+// the single-machine offline optimum cheap (EDF is feasibility-optimal on
+// one machine, so no flow computation is needed).
+package uniproc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stretchsched/internal/model"
+)
+
+// UJob is a uni-processor job: release date and processing time (in
+// seconds on the unit-speed reference processor).
+type UJob struct {
+	Release float64
+	Size    float64
+}
+
+// Platform returns the single-machine unit-speed platform.
+func Platform() *model.Platform {
+	p, err := model.Uniform([]float64{1})
+	if err != nil {
+		panic(err) // cannot happen: static argument
+	}
+	return p
+}
+
+// Instance lifts uni-processor jobs onto the unit-speed single machine.
+func Instance(jobs []UJob) (*model.Instance, error) {
+	mj := make([]model.Job, len(jobs))
+	for i, j := range jobs {
+		mj[i] = model.Job{Release: j.Release, Size: j.Size, Databank: 0}
+	}
+	return model.NewInstance(Platform(), mj)
+}
+
+// Equivalent maps a uniform multi-machine instance to its Lemma 1
+// single-machine counterpart: same jobs, processing time p^(1)_j =
+// W_j / Σ s_i. It returns an error if the platform is not uniform.
+func Equivalent(inst *model.Instance) (*model.Instance, error) {
+	if !inst.Platform.IsUniform() {
+		return nil, fmt.Errorf("uniproc: platform is not uniform (restricted availabilities)")
+	}
+	speed := inst.Platform.TotalSpeed()
+	jobs := make([]model.Job, len(inst.Jobs))
+	for i := range inst.Jobs {
+		jobs[i] = model.Job{
+			Release:  inst.Jobs[i].Release,
+			Size:     inst.Jobs[i].Size / speed,
+			Databank: 0,
+		}
+	}
+	return model.NewInstance(Platform(), jobs)
+}
+
+// Task is a deadline-scheduling task for the EDF feasibility oracle.
+type Task struct {
+	Release  float64
+	Work     float64
+	Deadline float64
+}
+
+// FeasibleEDF reports whether the tasks can all meet their deadlines on a
+// single processor of the given speed under preemptive scheduling.
+// Preemptive EDF is optimal for feasibility on one machine, so simulating
+// it decides the question exactly (up to float tolerance).
+func FeasibleEDF(tasks []Task, speed float64) bool {
+	if speed <= 0 {
+		return false
+	}
+	n := len(tasks)
+	if n == 0 {
+		return true
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return tasks[idx[a]].Release < tasks[idx[b]].Release })
+
+	remaining := make([]float64, n)
+	total := 0.0
+	for i, t := range tasks {
+		if t.Deadline < t.Release {
+			return false
+		}
+		remaining[i] = t.Work
+		total += t.Work
+	}
+	tol := 1e-9 * (1 + total)
+
+	now := tasks[idx[0]].Release
+	next := 0
+	active := []int{}
+	for {
+		for next < n && tasks[idx[next]].Release <= now+1e-12*(1+now) {
+			active = append(active, idx[next])
+			next++
+		}
+		if len(active) == 0 {
+			if next >= n {
+				return true
+			}
+			now = tasks[idx[next]].Release
+			continue
+		}
+		// Earliest deadline among active tasks.
+		best := active[0]
+		for _, k := range active[1:] {
+			if tasks[k].Deadline < tasks[best].Deadline {
+				best = k
+			}
+		}
+		horizon := math.Inf(1)
+		if next < n {
+			horizon = tasks[idx[next]].Release
+		}
+		finish := now + remaining[best]/speed
+		step := math.Min(finish, horizon)
+		remaining[best] -= (step - now) * speed
+		now = step
+		if remaining[best] <= tol {
+			if now > tasks[best].Deadline+1e-9*(1+math.Abs(tasks[best].Deadline)) {
+				return false
+			}
+			// Remove best from active.
+			for i, k := range active {
+				if k == best {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+		} else if now > tasks[best].Deadline+1e-9*(1+math.Abs(tasks[best].Deadline)) {
+			return false
+		}
+	}
+}
+
+// OptimalMaxStretch computes the optimal max-stretch of a uni-processor
+// job set by the milestone search of §4.3.1, with preemptive EDF as the
+// (exact, combinatorial) feasibility oracle. It is the fast single-machine
+// counterpart of the multi-machine flow-based solver and is cross-checked
+// against it in the tests.
+func OptimalMaxStretch(jobs []UJob) (float64, error) {
+	if len(jobs) == 0 {
+		return 1, nil
+	}
+	for _, j := range jobs {
+		if j.Size <= 0 {
+			return 0, fmt.Errorf("uniproc: nonpositive job size %v", j.Size)
+		}
+	}
+	feasible := func(f float64) bool {
+		tasks := make([]Task, len(jobs))
+		for i, j := range jobs {
+			tasks[i] = Task{Release: j.Release, Work: j.Size, Deadline: j.Release + f*j.Size}
+		}
+		return FeasibleEDF(tasks, 1)
+	}
+	// Lower bound: stretch 1. Upper bound: serial execution after the last
+	// release.
+	lo := 1.0
+	if feasible(lo) {
+		return lo, nil
+	}
+	end, tot := 0.0, 0.0
+	minSize := math.Inf(1)
+	for _, j := range jobs {
+		end = math.Max(end, j.Release)
+		tot += j.Size
+		minSize = math.Min(minSize, j.Size)
+	}
+	hi := (end + tot) / minSize
+	for !feasible(hi) {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("uniproc: no feasible stretch")
+		}
+	}
+	// Milestones: deadline-release and deadline-deadline crossings.
+	var ms []float64
+	for a, ja := range jobs {
+		for b, jb := range jobs {
+			if a == b {
+				continue
+			}
+			if f := (jb.Release - ja.Release) / ja.Size; f > lo && f <= hi {
+				ms = append(ms, f)
+			}
+			if ja.Size != jb.Size {
+				if f := (jb.Release - ja.Release) / (ja.Size - jb.Size); f > lo && f <= hi {
+					ms = append(ms, f)
+				}
+			}
+		}
+	}
+	ms = append(ms, hi)
+	sort.Float64s(ms)
+	k := sort.Search(len(ms), func(i int) bool { return feasible(ms[i]) })
+	fhi := ms[k]
+	flo := lo
+	if k > 0 {
+		flo = ms[k-1]
+	}
+	for fhi-flo > 1e-12*math.Max(1, fhi) {
+		mid := flo + (fhi-flo)/2
+		if feasible(mid) {
+			fhi = mid
+		} else {
+			flo = mid
+		}
+	}
+	return fhi, nil
+}

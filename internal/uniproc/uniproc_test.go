@@ -1,0 +1,289 @@
+package uniproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/sim"
+)
+
+type srpt struct{}
+
+func (srpt) Name() string         { return "srpt" }
+func (srpt) Init(*model.Instance) {}
+func (srpt) OnEvent(*sim.Ctx)     {}
+func (srpt) Less(ctx *sim.Ctx, a, b model.JobID) bool {
+	return ctx.RemainingAloneTime(a) < ctx.RemainingAloneTime(b)
+}
+
+type fcfs struct{}
+
+func (fcfs) Name() string         { return "fcfs" }
+func (fcfs) Init(*model.Instance) {}
+func (fcfs) OnEvent(*sim.Ctx)     {}
+func (fcfs) Less(ctx *sim.Ctx, a, b model.JobID) bool {
+	ra, rb := ctx.Inst.Jobs[a].Release, ctx.Inst.Jobs[b].Release
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+func TestInstanceConstruction(t *testing.T) {
+	inst, err := Instance([]UJob{{Release: 1, Size: 2}, {Release: 0, Size: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumJobs() != 2 || inst.Platform.NumMachines() != 1 {
+		t.Fatal("shape")
+	}
+	if inst.AloneTime(0) != 3 { // sorted: release 0 first
+		t.Fatalf("alone = %v", inst.AloneTime(0))
+	}
+}
+
+func TestEquivalentRequiresUniform(t *testing.T) {
+	p, err := model.NewPlatform([]model.Machine{
+		{Speed: 1, Databanks: []model.DatabankID{0}},
+		{Speed: 1, Databanks: []model.DatabankID{1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(p, []model.Job{{Release: 0, Size: 1, Databank: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Equivalent(inst); err == nil {
+		t.Fatal("restricted platform accepted")
+	}
+}
+
+// TestLemma1Equivalence is the executable form of Lemma 1: on a uniform
+// platform, any list policy produces exactly the completion times of the
+// same policy on the equivalent single processor of speed Σ s_i.
+func TestLemma1Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		nm := 1 + rng.Intn(4)
+		speeds := make([]float64, nm)
+		for i := range speeds {
+			speeds[i] = 0.5 + 2.5*rng.Float64()
+		}
+		p, err := model.Uniform(speeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nj := 1 + rng.Intn(8)
+		jobs := make([]model.Job, nj)
+		for j := range jobs {
+			jobs[j] = model.Job{Release: rng.Float64() * 6, Size: 0.2 + 3*rng.Float64(), Databank: 0}
+		}
+		multi, err := model.NewInstance(p, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := Equivalent(multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []sim.Policy{fcfs{}, srpt{}} {
+			sm, err := sim.RunList(multi, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := sim.RunList(single, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range sm.Completion {
+				if math.Abs(sm.Completion[j]-ss.Completion[j]) > 1e-6*(1+ss.Completion[j]) {
+					t.Fatalf("trial %d %s job %d: multi %v vs equivalent %v",
+						trial, pol.Name(), j, sm.Completion[j], ss.Completion[j])
+				}
+			}
+			// Stretches agree too: alone times map consistently.
+			if math.Abs(sm.MaxStretch(multi)-ss.MaxStretch(single)) > 1e-6 {
+				t.Fatalf("trial %d %s: stretch mismatch", trial, pol.Name())
+			}
+		}
+	}
+}
+
+func TestFeasibleEDFBasics(t *testing.T) {
+	if !FeasibleEDF(nil, 1) {
+		t.Fatal("empty should be feasible")
+	}
+	if FeasibleEDF([]Task{{0, 1, 2}}, 0) {
+		t.Fatal("zero speed feasible")
+	}
+	if !FeasibleEDF([]Task{{0, 2, 2}}, 1) {
+		t.Fatal("tight single task should fit")
+	}
+	if FeasibleEDF([]Task{{0, 2, 1.99}}, 1) {
+		t.Fatal("overfull single task accepted")
+	}
+	if FeasibleEDF([]Task{{0, 1, -1}}, 1) {
+		t.Fatal("deadline before release accepted")
+	}
+	// Two tasks, joint capacity exactly sufficient.
+	if !FeasibleEDF([]Task{{0, 1, 2}, {0, 1, 2}}, 1) {
+		t.Fatal("exact pair rejected")
+	}
+	if FeasibleEDF([]Task{{0, 1.01, 2}, {0, 1, 2}}, 1) {
+		t.Fatal("overfull pair accepted")
+	}
+	// Preemption required: small late-deadline job inside a big window.
+	if !FeasibleEDF([]Task{{0, 10, 11}, {1, 1, 2}}, 1) {
+		t.Fatal("preemptive instance rejected")
+	}
+	// Speed scaling.
+	if !FeasibleEDF([]Task{{0, 4, 2}}, 2) {
+		t.Fatal("speed ignored")
+	}
+}
+
+// TestFeasibleEDFMatchesFlow cross-validates the EDF oracle against the
+// multi-machine flow-based feasibility on single-machine problems.
+func TestFeasibleEDFMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		jobs := make([]UJob, n)
+		for i := range jobs {
+			jobs[i] = UJob{Release: rng.Float64() * 5, Size: 0.2 + 2*rng.Float64()}
+		}
+		inst, err := Instance(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob := offline.FromInstance(inst)
+		f := 1 + rng.Float64()*4
+		tasks := make([]Task, inst.NumJobs())
+		for j := range inst.Jobs {
+			tasks[j] = Task{
+				Release:  inst.Jobs[j].Release,
+				Work:     inst.Jobs[j].Size,
+				Deadline: inst.Jobs[j].Release + f*inst.AloneTime(model.JobID(j)),
+			}
+		}
+		if got, want := FeasibleEDF(tasks, 1), prob.Feasible(f); got != want {
+			t.Fatalf("trial %d: EDF %v vs flow %v at F=%v", trial, got, want, f)
+		}
+	}
+}
+
+// TestOptimalMaxStretchMatchesGeneralSolver cross-checks the fast EDF-based
+// single-machine optimum against the flow-based general solver.
+func TestOptimalMaxStretchMatchesGeneralSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(6)
+		jobs := make([]UJob, n)
+		for i := range jobs {
+			jobs[i] = UJob{Release: rng.Float64() * 5, Size: 0.2 + 2*rng.Float64()}
+		}
+		fast, err := OptimalMaxStretch(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Instance(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		general, err := offline.Optimal(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-general) > 1e-5*math.Max(1, general) {
+			t.Fatalf("trial %d: EDF-based %v vs flow-based %v", trial, fast, general)
+		}
+	}
+}
+
+// TestLemma1OptimalStretchTransfers: the optimal max-stretch of a uniform
+// divisible instance equals that of its equivalent uni-processor instance.
+func TestLemma1OptimalStretchTransfers(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 10; trial++ {
+		speeds := []float64{1 + rng.Float64(), 0.5 + rng.Float64(), 2 * rng.Float64()}
+		if speeds[2] <= 0 {
+			speeds[2] = 0.3
+		}
+		p, err := model.Uniform(speeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 2 + rng.Intn(5)
+		jobs := make([]model.Job, n)
+		ujobs := make([]UJob, n)
+		total := speeds[0] + speeds[1] + speeds[2]
+		for i := range jobs {
+			r, w := rng.Float64()*4, 0.3+2*rng.Float64()
+			jobs[i] = model.Job{Release: r, Size: w, Databank: 0}
+			ujobs[i] = UJob{Release: r, Size: w / total}
+		}
+		multi, err := model.NewInstance(p, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optMulti, err := offline.Optimal(multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optSingle, err := OptimalMaxStretch(ujobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(optMulti-optSingle) > 1e-5*math.Max(1, optSingle) {
+			t.Fatalf("trial %d: multi %v vs single %v", trial, optMulti, optSingle)
+		}
+	}
+}
+
+func TestOptimalMaxStretchSingleJob(t *testing.T) {
+	f, err := OptimalMaxStretch([]UJob{{Release: 5, Size: 3}})
+	if err != nil || math.Abs(f-1) > 1e-9 {
+		t.Fatalf("f = %v, err = %v", f, err)
+	}
+	f, err = OptimalMaxStretch(nil)
+	if err != nil || f != 1 {
+		t.Fatalf("empty: f = %v, err = %v", f, err)
+	}
+	if _, err := OptimalMaxStretch([]UJob{{Release: 0, Size: 0}}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+// TestQuickEDFMonotoneInDeadlines: relaxing every deadline preserves
+// feasibility (property-based).
+func TestQuickEDFMonotoneInDeadlines(t *testing.T) {
+	prop := func(seed int64, slackSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			r := rng.Float64() * 4
+			w := 0.2 + rng.Float64()*2
+			tasks[i] = Task{Release: r, Work: w, Deadline: r + w*(0.5+2*rng.Float64())}
+		}
+		feas := FeasibleEDF(tasks, 1)
+		if !feas {
+			return true // nothing to check
+		}
+		slack := float64(slackSeed)/64 + 0.01
+		relaxed := make([]Task, n)
+		copy(relaxed, tasks)
+		for i := range relaxed {
+			relaxed[i].Deadline += slack
+		}
+		return FeasibleEDF(relaxed, 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

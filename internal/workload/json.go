@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stretchsched/internal/model"
+)
+
+// instanceJSON is the on-disk representation of an instance.
+type instanceJSON struct {
+	Machines []machineJSON `json:"machines"`
+	Banks    int           `json:"databanks"`
+	Jobs     []jobJSON     `json:"jobs"`
+}
+
+type machineJSON struct {
+	Name      string  `json:"name"`
+	Speed     float64 `json:"speed"`
+	Databanks []int   `json:"databanks"`
+}
+
+type jobJSON struct {
+	Name     string  `json:"name,omitempty"`
+	Release  float64 `json:"release"`
+	Size     float64 `json:"size"`
+	Databank int     `json:"databank"`
+}
+
+// WriteInstance serialises an instance as JSON.
+func WriteInstance(w io.Writer, inst *model.Instance) error {
+	out := instanceJSON{Banks: inst.Platform.NumDatabanks()}
+	for _, m := range inst.Platform.Machines() {
+		mj := machineJSON{Name: m.Name, Speed: m.Speed}
+		for _, db := range m.Databanks {
+			mj.Databanks = append(mj.Databanks, int(db))
+		}
+		out.Machines = append(out.Machines, mj)
+	}
+	for _, j := range inst.Jobs {
+		out.Jobs = append(out.Jobs, jobJSON{
+			Name: j.Name, Release: j.Release, Size: j.Size, Databank: int(j.Databank),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadInstance parses an instance from its JSON serialisation.
+func ReadInstance(r io.Reader) (*model.Instance, error) {
+	var in instanceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding instance: %w", err)
+	}
+	machines := make([]model.Machine, len(in.Machines))
+	for i, mj := range in.Machines {
+		m := model.Machine{Name: mj.Name, Speed: mj.Speed}
+		for _, db := range mj.Databanks {
+			m.Databanks = append(m.Databanks, model.DatabankID(db))
+		}
+		machines[i] = m
+	}
+	platform, err := model.NewPlatform(machines, in.Banks)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]model.Job, len(in.Jobs))
+	for i, jj := range in.Jobs {
+		jobs[i] = model.Job{
+			Name: jj.Name, Release: jj.Release, Size: jj.Size,
+			Databank: model.DatabankID(jj.Databank),
+		}
+	}
+	return model.NewInstance(platform, jobs)
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	orig, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumJobs() != orig.NumJobs() {
+		t.Fatalf("jobs %d != %d", back.NumJobs(), orig.NumJobs())
+	}
+	if back.Platform.NumMachines() != orig.Platform.NumMachines() ||
+		back.Platform.NumDatabanks() != orig.Platform.NumDatabanks() {
+		t.Fatal("platform shape changed")
+	}
+	for j := range orig.Jobs {
+		a, b := orig.Jobs[j], back.Jobs[j]
+		if a.Release != b.Release || a.Size != b.Size || a.Databank != b.Databank {
+			t.Fatalf("job %d changed: %+v vs %+v", j, a, b)
+		}
+	}
+	for i, m := range orig.Platform.Machines() {
+		bm := back.Platform.Machine(m.ID)
+		if bm.Speed != m.Speed || len(bm.Databanks) != len(m.Databanks) {
+			t.Fatalf("machine %d changed", i)
+		}
+	}
+	// Derived quantities must survive the round trip exactly.
+	for j := range orig.Jobs {
+		if orig.AloneTime(orig.Jobs[j].ID) != back.AloneTime(back.Jobs[j].ID) {
+			t.Fatalf("alone time changed for job %d", j)
+		}
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid JSON, invalid instance (machine without databank hosting bank 0).
+	bad := `{"machines":[{"name":"m","speed":1,"databanks":[]}],"databanks":1,"jobs":[]}`
+	if _, err := ReadInstance(strings.NewReader(bad)); err == nil {
+		t.Fatal("unhosted databank accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package workload generates synthetic GriPPS-like platforms and job
+// streams following §5.1 of the paper.
+//
+// A simulation configuration fixes six properties: platform size (number of
+// 10-processor sites), per-site processor power (drawn from six benchmarked
+// reference machines), number of databanks, databank sizes (drawn from the
+// published 10 MB–1 GB range; a job's size is proportional to the size of
+// the databank it targets), databank availability (per-site replication
+// probability, with at least one replica forced), and workload density (the
+// ratio of requested work to available power per databank, which calibrates
+// the Poisson arrival rate).
+//
+// The original study drew processor powers and databank sizes from GriPPS
+// production logs; those logs are not public, so this package hard-codes
+// the published ranges — the only properties the experiments depend on.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stretchsched/internal/model"
+)
+
+// ReferenceSpeeds are the per-processor powers of the six reference
+// platforms benchmarked in the GriPPS study, in megabytes of databank
+// scanned per second. With 10-processor sites and databanks of 10–1024 MB
+// they yield single-site service times of roughly 0.3–100 s, bracketing the
+// 3–60 s average job lengths the paper reports.
+var ReferenceSpeeds = []float64{1.0, 1.4, 1.8, 2.2, 2.8, 3.5}
+
+// DefaultSizeRange is the published databank size range in MB.
+var DefaultSizeRange = [2]float64{10, 1024}
+
+// Config is one simulation configuration (§5.1's six features).
+type Config struct {
+	Sites        int     // number of sites (clusters)
+	ProcsPerSite int     // processors per site (paper: 10); 0 means 10
+	Databanks    int     // number of distinct databanks
+	Availability float64 // per-site replication probability, in (0, 1]
+	Density      float64 // workload density per databank, ≥ 0
+	Horizon      float64 // arrival window in seconds (paper: 900)
+	Seed         int64   // RNG seed; same seed, same instance
+
+	// TargetJobs, when positive, replaces Horizon with a window computed
+	// from the realised arrival rates so that the expected number of jobs
+	// equals TargetJobs. This is the harness's laptop-scale sizing knob;
+	// it preserves the density (load) semantics exactly.
+	TargetJobs int
+
+	// SizeRange overrides the databank size range in MB (zero value means
+	// DefaultSizeRange). Narrowing it around a target size reproduces the
+	// "average job length" sweeps of Figure 3.
+	SizeRange [2]float64
+}
+
+func (c Config) procs() int {
+	if c.ProcsPerSite == 0 {
+		return 10
+	}
+	return c.ProcsPerSite
+}
+
+func (c Config) sizeRange() [2]float64 {
+	if c.SizeRange == [2]float64{} {
+		return DefaultSizeRange
+	}
+	return c.SizeRange
+}
+
+func (c Config) validate() error {
+	if c.Sites <= 0 {
+		return fmt.Errorf("workload: need at least one site")
+	}
+	if c.Databanks <= 0 {
+		return fmt.Errorf("workload: need at least one databank")
+	}
+	if c.Availability <= 0 || c.Availability > 1 {
+		return fmt.Errorf("workload: availability %v outside (0,1]", c.Availability)
+	}
+	if c.Density < 0 {
+		return fmt.Errorf("workload: negative density")
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("workload: negative horizon")
+	}
+	sr := c.sizeRange()
+	if sr[0] <= 0 || sr[1] < sr[0] {
+		return fmt.Errorf("workload: invalid size range %v", sr)
+	}
+	return nil
+}
+
+// Generate realises a random instance of the configuration.
+func (c Config) Generate() (*model.Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Platform: one machine per site with aggregated processor power.
+	machines := make([]model.Machine, c.Sites)
+	for s := range machines {
+		per := ReferenceSpeeds[rng.Intn(len(ReferenceSpeeds))]
+		machines[s] = model.Machine{
+			Name:  fmt.Sprintf("site%02d", s+1),
+			Speed: per * float64(c.procs()),
+		}
+	}
+
+	// Databank sizes and replication; every databank gets ≥ 1 replica.
+	sr := c.sizeRange()
+	dbSize := make([]float64, c.Databanks)
+	for d := range dbSize {
+		dbSize[d] = sr[0] + rng.Float64()*(sr[1]-sr[0])
+	}
+	for d := 0; d < c.Databanks; d++ {
+		hosted := false
+		for s := range machines {
+			if rng.Float64() < c.Availability {
+				machines[s].Databanks = append(machines[s].Databanks, model.DatabankID(d))
+				hosted = true
+			}
+		}
+		if !hosted {
+			s := rng.Intn(len(machines))
+			machines[s].Databanks = append(machines[s].Databanks, model.DatabankID(d))
+		}
+	}
+	platform, err := model.NewPlatform(machines, c.Databanks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-databank Poisson arrivals: density = λ·W_db / aggSpeed(db), so
+	// λ = density · aggSpeed(db) / W_db.
+	horizon := c.Horizon
+	if c.TargetJobs > 0 {
+		totalRate := 0.0
+		for d := 0; d < c.Databanks; d++ {
+			totalRate += c.Density * platform.AggregateSpeed(model.DatabankID(d)) / dbSize[d]
+		}
+		if totalRate > 0 {
+			horizon = float64(c.TargetJobs) / totalRate
+		}
+	}
+	var jobs []model.Job
+	for d := 0; d < c.Databanks; d++ {
+		if c.Density == 0 {
+			continue
+		}
+		lambda := c.Density * platform.AggregateSpeed(model.DatabankID(d)) / dbSize[d]
+		for t := nextExp(rng, lambda); t < horizon; t += nextExp(rng, lambda) {
+			jobs = append(jobs, model.Job{
+				Release:  t,
+				Size:     dbSize[d],
+				Databank: model.DatabankID(d),
+			})
+		}
+	}
+	return model.NewInstance(platform, jobs)
+}
+
+// nextExp draws an exponential inter-arrival time with rate lambda.
+func nextExp(rng *rand.Rand, lambda float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / lambda
+}
+
+// ExpectedJobs returns the expected number of arrivals of the configuration
+// (useful for scaling experiments before generating).
+func (c Config) ExpectedJobs() (float64, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	// E[#jobs per databank] = λ·horizon with λ = density·aggSpeed/W.
+	// λ is proportional to 1/W, so the expectation over uniform databank
+	// sizes uses the harmonic form E[1/W] = ln(hi/lo)/(hi−lo).
+	meanSpeed := 0.0
+	for _, s := range ReferenceSpeeds {
+		meanSpeed += s
+	}
+	meanSpeed /= float64(len(ReferenceSpeeds))
+	sr := c.sizeRange()
+	invSize := 1 / sr[0]
+	if sr[1] > sr[0] {
+		invSize = math.Log(sr[1]/sr[0]) / (sr[1] - sr[0])
+	}
+	replicas := math.Max(1, c.Availability*float64(c.Sites))
+	agg := replicas * meanSpeed * float64(c.procs())
+	lambda := c.Density * agg * invSize
+	return lambda * c.Horizon * float64(c.Databanks), nil
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+func baseConfig() Config {
+	return Config{
+		Sites:        3,
+		Databanks:    3,
+		Availability: 0.6,
+		Density:      1.0,
+		Horizon:      120,
+		Seed:         1,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	inst, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Platform.NumMachines() != 3 || inst.Platform.NumDatabanks() != 3 {
+		t.Fatal("platform shape")
+	}
+	if inst.NumJobs() == 0 {
+		t.Fatal("no jobs generated")
+	}
+	for j := range inst.Jobs {
+		job := &inst.Jobs[j]
+		if job.Release < 0 || job.Release >= 120 {
+			t.Fatalf("release %v outside horizon", job.Release)
+		}
+		sr := DefaultSizeRange
+		if job.Size < sr[0] || job.Size > sr[1] {
+			t.Fatalf("size %v outside databank range", job.Size)
+		}
+		if len(inst.Eligible(model.JobID(j))) == 0 {
+			t.Fatalf("job %d has no eligible machine", j)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumJobs() != b.NumJobs() {
+		t.Fatalf("same seed, different job counts: %d vs %d", a.NumJobs(), b.NumJobs())
+	}
+	for j := range a.Jobs {
+		if a.Jobs[j] != b.Jobs[j] {
+			t.Fatalf("same seed, different job %d", j)
+		}
+	}
+	cfg := baseConfig()
+	cfg.Seed = 2
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumJobs() == a.NumJobs() {
+		// Counts may coincide; compare contents.
+		same := true
+		for j := range a.Jobs {
+			if a.Jobs[j] != c.Jobs[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestEveryDatabankHosted(t *testing.T) {
+	// Even at very low availability, the generator must force one replica.
+	cfg := baseConfig()
+	cfg.Availability = 0.01
+	cfg.Databanks = 10
+	for seed := int64(0); seed < 20; seed++ {
+		cfg.Seed = seed
+		inst, err := cfg.Generate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for d := 0; d < cfg.Databanks; d++ {
+			if len(inst.Platform.Eligible(model.DatabankID(d))) == 0 {
+				t.Fatalf("seed %d: databank %d unhosted", seed, d)
+			}
+		}
+	}
+}
+
+func TestSpeedsFromReferenceSet(t *testing.T) {
+	inst, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range inst.Platform.Machines() {
+		found := false
+		for _, ref := range ReferenceSpeeds {
+			if math.Abs(m.Speed-10*ref) < 1e-12 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("machine speed %v not 10× a reference speed", m.Speed)
+		}
+	}
+}
+
+func TestTargetJobsSizing(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Horizon = 0
+	cfg.TargetJobs = 50
+	var totalJobs int
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		cfg.Seed = seed
+		inst, err := cfg.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalJobs += inst.NumJobs()
+	}
+	mean := float64(totalJobs) / trials
+	if mean < 35 || mean > 65 {
+		t.Fatalf("mean jobs %v far from target 50", mean)
+	}
+}
+
+func TestDensityScalesLoad(t *testing.T) {
+	lo, hi := baseConfig(), baseConfig()
+	lo.Density, hi.Density = 0.5, 2.0
+	li, err := lo.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := hi.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hj.TotalWork() <= li.TotalWork() {
+		t.Fatalf("density 2.0 work %v not above density 0.5 work %v",
+			hj.TotalWork(), li.TotalWork())
+	}
+}
+
+func TestZeroDensityEmptyWorkload(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Density = 0
+	inst, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumJobs() != 0 {
+		t.Fatalf("jobs = %d", inst.NumJobs())
+	}
+}
+
+func TestSizeRangeOverride(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SizeRange = [2]float64{5, 6}
+	inst, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range inst.Jobs {
+		if inst.Jobs[j].Size < 5 || inst.Jobs[j].Size > 6 {
+			t.Fatalf("size %v outside override", inst.Jobs[j].Size)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Sites: 0, Databanks: 1, Availability: 1, Horizon: 1},
+		{Sites: 1, Databanks: 0, Availability: 1, Horizon: 1},
+		{Sites: 1, Databanks: 1, Availability: 0, Horizon: 1},
+		{Sites: 1, Databanks: 1, Availability: 1.5, Horizon: 1},
+		{Sites: 1, Databanks: 1, Availability: 1, Density: -1, Horizon: 1},
+		{Sites: 1, Databanks: 1, Availability: 1, Horizon: -2},
+		{Sites: 1, Databanks: 1, Availability: 1, Horizon: 1, SizeRange: [2]float64{-1, 2}},
+		{Sites: 1, Databanks: 1, Availability: 1, Horizon: 1, SizeRange: [2]float64{5, 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.Generate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestExpectedJobsRoughlyMatches(t *testing.T) {
+	cfg := baseConfig()
+	exp, err := cfg.ExpectedJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp <= 0 {
+		t.Fatalf("expected jobs %v", exp)
+	}
+	var total int
+	const trials = 30
+	for seed := int64(100); seed < 100+trials; seed++ {
+		cfg.Seed = seed
+		inst, err := cfg.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += inst.NumJobs()
+	}
+	mean := float64(total) / trials
+	// The analytic estimate ignores which reference speeds were drawn and
+	// the actual replica counts; a factor-2 agreement is what it promises.
+	if mean < exp/2.5 || mean > exp*2.5 {
+		t.Fatalf("mean jobs %v vs expectation %v", mean, exp)
+	}
+}
+
+func TestJobSizeTiedToDatabank(t *testing.T) {
+	inst, err := baseConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[model.DatabankID]float64{}
+	for j := range inst.Jobs {
+		db := inst.Jobs[j].Databank
+		if prev, ok := sizes[db]; ok && prev != inst.Jobs[j].Size {
+			t.Fatalf("databank %d has jobs of sizes %v and %v", db, prev, inst.Jobs[j].Size)
+		}
+		sizes[db] = inst.Jobs[j].Size
+	}
+}
