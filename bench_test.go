@@ -10,6 +10,7 @@ package stretchsched
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"stretchsched/internal/core"
@@ -18,6 +19,7 @@ import (
 	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
 	"stretchsched/internal/offline"
+	"stretchsched/internal/policy"
 	"stretchsched/internal/rat"
 	"stretchsched/internal/sim"
 	"stretchsched/internal/uniproc"
@@ -184,6 +186,49 @@ func BenchmarkFluidEngineSWRPT(b *testing.B) {
 		if _, err := s.Run(inst); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFluidEngineSteadyState is the allocation budget of the engine
+// overhaul: a reused sim.Engine replaying the list driver must report
+// 0 allocs/op (enforced as a hard test in internal/sim; tracked here as a
+// number alongside the other engine benchmarks).
+func BenchmarkFluidEngineSteadyState(b *testing.B) {
+	inst := benchInstance(b, 60)
+	eng := sim.NewEngine()
+	pol := policy.SWRPT{}
+	if _, err := eng.RunList(inst, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunList(inst, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridWorkers measures the sharded runner's scaling on a fixed
+// grid slice: the same work at 1 worker and at GOMAXPROCS workers, with
+// bitwise-identical results (see exp.TestGridWorkerInvariance).
+func BenchmarkGridWorkers(b *testing.B) {
+	grid := exp.DefaultGrid()
+	sample := []exp.GridPoint{grid[0], grid[30], grid[60], grid[90], grid[120], grid[150]}
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := exp.Options{Runs: 2, Seed: 42, TargetJobs: 12, Workers: w,
+				Schedulers: []string{"Online", "SWRPT", "SRPT", "MCT"}}
+			for i := 0; i < b.N; i++ {
+				if results := exp.RunGrid(sample, opts); len(results) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
 	}
 }
 
@@ -365,6 +410,36 @@ func BenchmarkAblationMaxFlowAlgorithm(b *testing.B) {
 				g.AddEdge(int(e[0]), int(e[1]), e[2])
 			}
 			g.MaxFlow(src, sink)
+		}
+	})
+}
+
+// BenchmarkAblationEngineReuse contrasts a fresh engine per run (every
+// buffer reallocated, as the seed engine behaved) against one reused
+// sim.Engine (allocation-free steady state) on the same policy — the cost
+// of the former is the motivation for the Engine API in DESIGN.md.
+func BenchmarkAblationEngineReuse(b *testing.B) {
+	inst := benchInstance(b, 60)
+	pol := policy.SWRPT{}
+	b.Run("fresh-engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunList(inst, pol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-engine", func(b *testing.B) {
+		eng := sim.NewEngine()
+		if _, err := eng.RunList(inst, pol); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunList(inst, pol); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

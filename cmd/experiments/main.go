@@ -24,15 +24,16 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate one table (1-16)")
-		tables  = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
-		figure  = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
-		runs    = flag.Int("runs", 3, "instances per configuration (paper: 200)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		target  = flag.Int("target", 30, "expected jobs per instance")
-		horizon = flag.Float64("horizon", 0, "fixed arrival window in seconds (0: use -target)")
-		workers = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
-		csvOut  = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
+		table    = flag.Int("table", 0, "regenerate one table (1-16)")
+		tables   = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
+		figure   = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
+		runs     = flag.Int("runs", 3, "instances per configuration (paper: 200)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		target   = flag.Int("target", 30, "expected jobs per instance")
+		horizon  = flag.Float64("horizon", 0, "fixed arrival window in seconds (0: use -target)")
+		workers  = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS); results are identical for any value")
+		csvOut   = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
+		progress = flag.Bool("progress", false, "report grid progress on stderr")
 	)
 	flag.Parse()
 
@@ -40,9 +41,9 @@ func main() {
 	case *figure != "":
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
 	case *tables == "all":
-		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut)
+		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress)
 	case *table >= 1 && *table <= 16:
-		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut)
+		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all, or -figure 3|3a|3b")
 		flag.Usage()
@@ -72,26 +73,43 @@ func allTableNumbers() []int {
 	return out
 }
 
-func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string) {
+func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool) {
 	start := time.Now()
-	results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
+	opts := exp.Options{
 		Runs:       runs,
 		Seed:       seed,
 		TargetJobs: target,
 		Horizon:    horizon,
 		Workers:    workers,
-	})
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rgrid: %d/%d instances", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	var results []exp.InstanceResult
+	if csvOut != "" {
+		// The workers encode each shard's rows as they finish; the merged
+		// stream is byte-identical for any worker count.
+		writeCSV(csvOut, func(f *os.File) error {
+			var err error
+			results, err = exp.RunGridCSV(f, exp.DefaultGrid(), opts)
+			return err
+		})
+	} else {
+		results = exp.RunGrid(exp.DefaultGrid(), opts)
+	}
 	errCount := 0
 	for _, r := range results {
 		errCount += len(r.Errs)
 	}
 	fmt.Printf("# grid: %d instances in %v (%d scheduler errors)\n\n",
 		len(results), time.Since(start).Round(time.Second), errCount)
-	if csvOut != "" {
-		writeCSV(csvOut, func(f *os.File) error {
-			return exp.WriteResultsCSV(f, results, core.Table1Names())
-		})
-	}
 	for _, n := range nums {
 		spec, err := exp.TableByNumber(n)
 		if err != nil {

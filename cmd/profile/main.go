@@ -19,6 +19,7 @@ func main() {
 	grid := flag.Bool("grid", false, "time a full 162-point grid pass instead of one instance")
 	runs := flag.Int("runs", 1, "instances per grid point")
 	target := flag.Int("target", 30, "target jobs per instance")
+	workers := flag.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	if *grid {
 		start := time.Now()
 		results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
-			Runs: *runs, Seed: 1, TargetJobs: *target,
+			Runs: *runs, Seed: 1, TargetJobs: *target, Workers: *workers,
 		})
 		errs := 0
 		for _, r := range results {
@@ -58,10 +59,11 @@ func main() {
 		panic(err)
 	}
 	fmt.Println("jobs:", inst.NumJobs())
+	runner := core.NewRunner() // one engine reused across schedulers
 	for _, name := range []string{"Offline", "Online", "Online-EGDF", "SWRPT", "MCT-Div"} {
 		t0 := time.Now()
 		s := core.MustGet(name)
-		sched, err := s.Run(inst)
+		sched, err := runner.Run(s, inst)
 		if err != nil {
 			fmt.Println(name, "ERR", err)
 			continue

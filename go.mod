@@ -1,0 +1,3 @@
+module stretchsched
+
+go 1.21

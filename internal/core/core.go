@@ -23,6 +23,35 @@ type Scheduler interface {
 	Run(inst *model.Instance) (*model.Schedule, error)
 }
 
+// EngineBound is implemented by schedulers that can execute on a
+// caller-provided simulation engine, reusing its buffers across runs. All
+// simulation-backed registry entries implement it; direct constructors
+// (MCT) do not and fall back to Run.
+type EngineBound interface {
+	RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error)
+}
+
+// Runner executes schedulers on one reusable simulation engine, so
+// harnesses that replay many instances (the experiment grid, benchmarks)
+// avoid per-run allocation. A Runner is not safe for concurrent use; hold
+// one per worker goroutine. The schedule returned by Run is overwritten by
+// the next Run call on the same Runner.
+type Runner struct {
+	eng *sim.Engine
+}
+
+// NewRunner returns a Runner with a fresh engine.
+func NewRunner() *Runner { return &Runner{eng: sim.NewEngine()} }
+
+// Run executes s on inst, reusing the runner's engine when the scheduler
+// supports it.
+func (r *Runner) Run(s Scheduler, inst *model.Instance) (*model.Schedule, error) {
+	if eb, ok := s.(EngineBound); ok {
+		return eb.RunWith(r.eng, inst)
+	}
+	return s.Run(inst)
+}
+
 type policyScheduler struct {
 	name string
 	mk   func() sim.Policy
@@ -34,6 +63,10 @@ func (s policyScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
 	return sim.RunList(inst, s.mk())
 }
 
+func (s policyScheduler) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
+	return eng.RunList(inst, s.mk())
+}
+
 type plannerScheduler struct {
 	name string
 	mk   func() sim.Planner
@@ -43,6 +76,10 @@ func (s plannerScheduler) Name() string { return s.name }
 
 func (s plannerScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
 	return sim.RunPlanned(inst, s.mk())
+}
+
+func (s plannerScheduler) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
+	return eng.RunPlanned(inst, s.mk())
 }
 
 type funcScheduler struct {

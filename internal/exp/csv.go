@@ -1,48 +1,113 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
+	"sync"
 )
+
+// resultsHeader is the column layout of the raw per-instance metric dump.
+var resultsHeader = []string{"sites", "databanks", "availability", "density",
+	"run", "jobs", "scheduler", "max_stretch", "sum_stretch"}
+
+// writeResultRows encodes one instance's per-scheduler rows.
+func writeResultRows(cw *csv.Writer, r *InstanceResult, schedulers []string) error {
+	for _, name := range schedulers {
+		maxS, okM := r.MaxStretch[name]
+		sumS, okS := r.SumStretch[name]
+		if !okM && !okS {
+			continue
+		}
+		row := []string{
+			strconv.Itoa(r.Point.Sites),
+			strconv.Itoa(r.Point.Databanks),
+			formatFloat(r.Point.Availability),
+			formatFloat(r.Point.Density),
+			strconv.Itoa(r.Run),
+			strconv.Itoa(r.Jobs),
+			name,
+			formatFloat(maxS),
+			formatFloat(sumS),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // WriteResultsCSV dumps raw per-instance metrics (one row per scheduler per
 // instance) for external analysis — the harness's tables are aggregates;
 // this is the underlying data.
 func WriteResultsCSV(w io.Writer, results []InstanceResult, schedulers []string) error {
 	cw := csv.NewWriter(w)
-	header := []string{"sites", "databanks", "availability", "density", "run",
-		"jobs", "scheduler", "max_stretch", "sum_stretch"}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(resultsHeader); err != nil {
 		return err
 	}
-	for _, r := range results {
-		for _, name := range schedulers {
-			maxS, okM := r.MaxStretch[name]
-			sumS, okS := r.SumStretch[name]
-			if !okM && !okS {
-				continue
-			}
-			row := []string{
-				strconv.Itoa(r.Point.Sites),
-				strconv.Itoa(r.Point.Databanks),
-				formatFloat(r.Point.Availability),
-				formatFloat(r.Point.Density),
-				strconv.Itoa(r.Run),
-				strconv.Itoa(r.Jobs),
-				name,
-				formatFloat(maxS),
-				formatFloat(sumS),
-			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
+	for i := range results {
+		if err := writeResultRows(cw, &results[i], schedulers); err != nil {
+			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// RunGridCSV runs the grid and streams the raw per-instance metrics to w
+// while the grid is still running: each worker encodes its shard's rows
+// while the results are hot, and completed shards are flushed to w as soon
+// as every earlier shard has been written, so task order — and therefore
+// the output bytes — is identical for any worker count, and a long run
+// killed midway still leaves its finished prefix on disk. The grid results
+// are returned as from RunGrid, together with the first write error (the
+// grid always runs to completion; encoding is skipped once writing fails).
+func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult, error) {
+	opts = opts.withDefaults()
+	hc := csv.NewWriter(w)
+	if err := hc.Write(resultsHeader); err != nil {
+		return nil, err
+	}
+	hc.Flush()
+	if err := hc.Error(); err != nil {
+		return nil, err
+	}
+
+	var (
+		mu      sync.Mutex
+		pending = map[int][]byte{} // encoded shards not yet flushable
+		next    int                // lowest shard index not yet written
+		werr    error
+	)
+	results := runGridSharded(points, opts, func(si int, shard []InstanceResult) {
+		mu.Lock()
+		skip := werr != nil
+		mu.Unlock()
+		if skip {
+			return
+		}
+		var buf bytes.Buffer
+		cw := csv.NewWriter(&buf)
+		for i := range shard {
+			// csv.Writer on a bytes.Buffer cannot fail.
+			_ = writeResultRows(cw, &shard[i], opts.Schedulers)
+		}
+		cw.Flush()
+		mu.Lock()
+		defer mu.Unlock()
+		pending[si] = buf.Bytes()
+		for b, ok := pending[next]; ok; b, ok = pending[next] {
+			delete(pending, next)
+			if werr == nil {
+				_, werr = w.Write(b)
+			}
+			next++
+		}
+	})
+	return results, werr
 }
 
 // WriteFigure3CSV dumps the Figure 3 series.

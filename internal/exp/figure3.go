@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -40,7 +41,7 @@ func (o Fig3Options) withDefaults() Fig3Options {
 		o.TargetJobs = 25
 	}
 	if o.Workers <= 0 {
-		o.Workers = 4
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -81,10 +82,11 @@ func RunFigure3(opts Fig3Options) []Fig3Point {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			runner := core.NewRunner()
 			for ci := range work {
 				c := cells[ci]
 				s := sample{di: c.di}
-				s.optDeg, s.nonDeg, s.gain, s.ok = fig3One(opts, c.di, c.li, c.run)
+				s.optDeg, s.nonDeg, s.gain, s.ok = fig3One(runner, opts, c.di, c.li, c.run)
 				samples[ci] = s
 			}
 		}()
@@ -120,7 +122,7 @@ func RunFigure3(opts Fig3Options) []Fig3Point {
 	return points
 }
 
-func fig3One(opts Fig3Options, di, li, run int) (optDeg, nonDeg, gain float64, ok bool) {
+func fig3One(runner *core.Runner, opts Fig3Options, di, li, run int) (optDeg, nonDeg, gain float64, ok bool) {
 	length := opts.JobLengths[li]
 	cfg := workload.Config{
 		Sites:        3,
@@ -141,18 +143,21 @@ func fig3One(opts Fig3Options, di, li, run int) (optDeg, nonDeg, gain float64, o
 	if err != nil || optimal <= 0 {
 		return 0, 0, 0, false
 	}
-	optSched, err := runPlannedSafe(inst, core.MustGet("Online"))
+	// The runner reuses one schedule buffer across runs, so each variant's
+	// metrics must be read off before the next run overwrites the trace.
+	optSched, err := runPlannedSafe(runner, inst, core.MustGet("Online"))
 	if err != nil {
 		return 0, 0, 0, false
 	}
-	nonSched, err := runPlannedSafe(inst, core.MustGet("Online-NonOpt"))
+	optMax, optSum := optSched.MaxStretch(inst), optSched.SumStretch(inst)
+	nonSched, err := runPlannedSafe(runner, inst, core.MustGet("Online-NonOpt"))
 	if err != nil {
 		return 0, 0, 0, false
 	}
-	optDeg = 100 * (optSched.MaxStretch(inst)/optimal - 1)
+	optDeg = 100 * (optMax/optimal - 1)
 	nonDeg = 100 * (nonSched.MaxStretch(inst)/optimal - 1)
-	if s := optSched.SumStretch(inst); s > 0 {
-		gain = 100 * (nonSched.SumStretch(inst)/s - 1)
+	if optSum > 0 {
+		gain = 100 * (nonSched.SumStretch(inst)/optSum - 1)
 	}
 	// Float dust can make degradations microscopically negative (the
 	// realised schedule beating the bisected optimum); clamp at zero as the
@@ -160,13 +165,13 @@ func fig3One(opts Fig3Options, di, li, run int) (optDeg, nonDeg, gain float64, o
 	return math.Max(optDeg, -100), math.Max(nonDeg, -100), gain, true
 }
 
-func runPlannedSafe(inst *model.Instance, s core.Scheduler) (sched *model.Schedule, err error) {
+func runPlannedSafe(r *core.Runner, inst *model.Instance, s core.Scheduler) (sched *model.Schedule, err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
 		}
 	}()
-	return s.Run(inst)
+	return r.Run(s, inst)
 }
 
 // RenderFigure3 formats the series as an aligned text table (one row per

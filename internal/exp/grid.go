@@ -10,6 +10,13 @@
 // minutes on a laptop; Options.Horizon restores a fixed window (paper
 // scale). Ratios-to-best — the quantity every table reports — are shape
 // metrics and survive this rescaling.
+//
+// The grid runner is a sharded worker pool: the (point, run) task space is
+// cut into fixed-size contiguous shards which workers pull from a channel.
+// Each worker owns one core.Runner (hence one reusable simulation engine),
+// and every instance's RNG seed derives from its (point, run) coordinates
+// alone, so results — and the merged per-shard CSV stream — are bitwise
+// independent of the worker count. See DESIGN.md.
 package exp
 
 import (
@@ -67,8 +74,13 @@ type Options struct {
 	// Bender98SiteLimit restricts Bender98 to platforms with at most this
 	// many sites (paper: 3, for cost reasons). 0 means 3.
 	Bender98SiteLimit int
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism (0 = GOMAXPROCS). The worker count never
+	// affects results: instance seeds depend only on grid coordinates.
 	Workers int
+	// Progress, when non-nil, is called after every completed instance
+	// with the number of finished instances and the total. Calls are
+	// serialised across workers.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -127,35 +139,77 @@ type InstanceResult struct {
 	Errs       []error
 }
 
-// RunGrid evaluates the configured schedulers over points × runs in
-// parallel and returns one InstanceResult per instance.
-func RunGrid(points []GridPoint, opts Options) []InstanceResult {
-	opts = opts.withDefaults()
-	type task struct{ pi, run int }
-	tasks := make(chan task)
-	results := make([]InstanceResult, len(points)*opts.Runs)
+// shardSize is the number of (point, run) tasks per worker shard: small
+// enough to balance load across heterogeneous grid points, large enough
+// that channel traffic and per-shard bookkeeping are negligible.
+const shardSize = 8
 
+// RunGrid evaluates the configured schedulers over points × runs on the
+// sharded worker pool and returns one InstanceResult per instance, indexed
+// by pointIdx·Runs + run regardless of worker count.
+func RunGrid(points []GridPoint, opts Options) []InstanceResult {
+	return runGridSharded(points, opts.withDefaults(), nil)
+}
+
+// runGridSharded is the worker-pool core shared by RunGrid and RunGridCSV;
+// callers pass opts with defaults already applied (withDefaults).
+// Tasks ti ∈ [0, points·runs) map to (point ti/runs, run ti%runs) and are
+// grouped into contiguous shards of shardSize tasks. Workers pull shard
+// indices from a channel; each worker holds one core.Runner so simulation
+// buffers are reused across its whole share of the grid. onShard, when
+// non-nil, is invoked by the finishing worker with each completed shard's
+// index and result range; shards finish in arbitrary order and calls may
+// be concurrent, so consumers that need task order must reorder by index
+// (as RunGridCSV does).
+func runGridSharded(points []GridPoint, opts Options,
+	onShard func(si int, shard []InstanceResult)) []InstanceResult {
+	total := len(points) * opts.Runs
+	results := make([]InstanceResult, total)
+	nShards := (total + shardSize - 1) / shardSize
+
+	shards := make(chan int)
+	done := 0
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for tk := range tasks {
-				results[tk.pi*opts.Runs+tk.run] = runOne(points[tk.pi], tk.run, tk.pi, opts)
+			runner := core.NewRunner()
+			for si := range shards {
+				lo := si * shardSize
+				hi := lo + shardSize
+				if hi > total {
+					hi = total
+				}
+				for ti := lo; ti < hi; ti++ {
+					pi, run := ti/opts.Runs, ti%opts.Runs
+					results[ti] = runOne(runner, points[pi], run, pi, opts)
+					if opts.Progress != nil {
+						// Count under the same lock that serialises the
+						// callback, so done values arrive in order and
+						// (total, total) is always the last call.
+						progressMu.Lock()
+						done++
+						opts.Progress(done, total)
+						progressMu.Unlock()
+					}
+				}
+				if onShard != nil {
+					onShard(si, results[lo:hi])
+				}
 			}
 		}()
 	}
-	for pi := range points {
-		for run := 0; run < opts.Runs; run++ {
-			tasks <- task{pi, run}
-		}
+	for si := 0; si < nShards; si++ {
+		shards <- si
 	}
-	close(tasks)
+	close(shards)
 	wg.Wait()
 	return results
 }
 
-func runOne(p GridPoint, run, pointIdx int, opts Options) InstanceResult {
+func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) InstanceResult {
 	res := InstanceResult{
 		Point:      p,
 		Run:        run,
@@ -182,7 +236,7 @@ func runOne(p GridPoint, run, pointIdx int, opts Options) InstanceResult {
 			res.Errs = append(res.Errs, err)
 			continue
 		}
-		sched, err := runScheduler(s, inst)
+		sched, err := runScheduler(runner, s, inst)
 		if err != nil {
 			res.Errs = append(res.Errs, fmt.Errorf("%s on %v run %d: %w", name, p, run, err))
 			res.MaxStretch[name] = math.NaN()
@@ -195,11 +249,11 @@ func runOne(p GridPoint, run, pointIdx int, opts Options) InstanceResult {
 	return res
 }
 
-func runScheduler(s core.Scheduler, inst *model.Instance) (sched *model.Schedule, err error) {
+func runScheduler(r *core.Runner, s core.Scheduler, inst *model.Instance) (sched *model.Schedule, err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
 		}
 	}()
-	return s.Run(inst)
+	return r.Run(s, inst)
 }

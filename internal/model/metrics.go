@@ -120,6 +120,21 @@ func NewSchedule(inst *Instance) *Schedule {
 	return &Schedule{Result: *NewResult(inst)}
 }
 
+// Reset re-initialises the schedule for inst, reusing the completion and
+// slice storage. Simulation engines that replay many instances call this
+// instead of NewSchedule so steady-state runs allocate nothing.
+func (s *Schedule) Reset(inst *Instance) {
+	n := inst.NumJobs()
+	if cap(s.Completion) < n {
+		s.Completion = make([]float64, n)
+	}
+	s.Completion = s.Completion[:n]
+	for i := range s.Completion {
+		s.Completion[i] = math.NaN()
+	}
+	s.Slices = s.Slices[:0]
+}
+
 // AddSlice appends a slice, merging it with the previous slice when it
 // extends the same (machine, job) run contiguously.
 func (s *Schedule) AddSlice(sl Slice) {

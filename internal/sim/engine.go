@@ -17,12 +17,20 @@
 //   - RunPlanned executes schedulers that emit explicit per-machine
 //     timetables (the offline optimal and the LP-based online heuristics),
 //     re-invoking the planner at every job arrival.
+//
+// Both drivers are available in two forms: the package-level functions
+// return a caller-owned schedule, while an Engine owns every buffer the
+// simulation needs (state vectors, the active set, the completion event
+// heap, the output schedule) and reuses them across invocations, so the
+// steady-state event loop of RunList performs no heap allocation at all.
+// Experiment harnesses that replay thousands of instances should hold one
+// Engine per worker; see DESIGN.md for the full design.
 package sim
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"stretchsched/internal/model"
 )
@@ -35,10 +43,21 @@ type Ctx struct {
 	Remaining []float64 // remaining work per job (0 when done)
 	Released  []bool
 	Done      []bool
+
+	// active is the engine-maintained set of released, unfinished jobs in
+	// ID order, updated incrementally at releases and completions. It is
+	// nil for hand-constructed contexts, in which case Active falls back
+	// to a scan.
+	active  []model.JobID
+	managed bool
 }
 
-// Active returns the released, unfinished jobs in ID order.
+// Active returns the released, unfinished jobs in ID order. The returned
+// slice is owned by the engine and must not be mutated or retained.
 func (c *Ctx) Active() []model.JobID {
+	if c.managed {
+		return c.active
+	}
 	var out []model.JobID
 	for j := range c.Remaining {
 		if c.Released[j] && !c.Done[j] {
@@ -72,47 +91,52 @@ const relTol = 1e-9
 // non-advancing policies; realistic runs are far below it.
 const maxEvents = 10_000_000
 
+// Engine owns every buffer a simulation needs and reuses them across
+// invocations: after a warm-up run, the RunList event loop allocates
+// nothing. An Engine must not be used from multiple goroutines, and the
+// schedule returned by its Run methods is overwritten by the next call —
+// copy what must outlive it, or use the package-level functions, which
+// return caller-owned schedules.
+type Engine struct {
+	st state
+}
+
+// NewEngine returns an empty engine; buffers are sized lazily on first use
+// and grown only when an instance exceeds every previous one.
+func NewEngine() *Engine { return &Engine{} }
+
 // RunList simulates inst under the given priority policy and returns the
-// complete schedule trace.
-func RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
+// complete schedule trace. The result is valid until the next call on e.
+func (e *Engine) RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
 	pol.Init(inst)
-	st := newState(inst)
-	sched := model.NewSchedule(inst)
+	st := &e.st
+	st.reset(inst)
 
 	for ev := 0; ; ev++ {
 		if ev > maxEvents {
 			return nil, fmt.Errorf("sim: %s exceeded event budget", pol.Name())
 		}
 		if st.allDone() {
-			return sched, nil
+			return &st.sched, nil
 		}
-		if !st.anyActive() {
+		if len(st.ctx.active) == 0 {
 			if !st.advanceToNextArrival() {
 				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pol.Name())
 			}
 			continue
 		}
 		pol.OnEvent(&st.ctx)
-		order := st.ctx.Active()
-		sort.SliceStable(order, func(a, b int) bool {
-			ja, jb := order[a], order[b]
-			if pol.Less(&st.ctx, ja, jb) {
-				return true
-			}
-			if pol.Less(&st.ctx, jb, ja) {
-				return false
-			}
-			return ja < jb
-		})
+		st.order = append(st.order[:0], st.ctx.active...)
+		st.sortOrder(pol)
 
-		assign, rate := st.allocate(order)
+		st.allocate(st.order)
+		st.refreshEvents()
 
-		// Horizon: next arrival or earliest completion at current rates.
+		// Horizon: next arrival or earliest completion at current rates,
+		// the latter read off the indexed event heap in O(1).
 		dt := st.timeToNextArrival()
-		for _, j := range order {
-			if rate[j] > 0 {
-				dt = math.Min(dt, st.ctx.Remaining[j]/rate[j])
-			}
+		if !st.events.empty() {
+			dt = math.Min(dt, st.events.minKey()-st.ctx.Now)
 		}
 		if math.IsInf(dt, 1) {
 			return nil, fmt.Errorf("sim: %s has active jobs with no eligible machine and no future arrivals", pol.Name())
@@ -120,42 +144,90 @@ func RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
 		if dt < 0 {
 			dt = 0
 		}
-		st.advance(dt, assign, rate, sched)
+		st.advance(dt)
 	}
 }
 
-// state is the mutable engine state shared by both drivers.
+// RunPlanned simulates inst under a planning scheduler and returns the
+// schedule trace. The result is valid until the next call on e.
+func (e *Engine) RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
+	return e.st.runPlanned(inst, pl)
+}
+
+// RunList simulates inst under the given priority policy on a fresh engine
+// and returns a caller-owned schedule trace.
+func RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
+	return NewEngine().RunList(inst, pol)
+}
+
+// state is the mutable engine state shared by both drivers. Every slice is
+// retained across reset calls and regrown only when an instance is larger
+// than all previous ones.
 type state struct {
 	ctx     Ctx
 	inst    *model.Instance
 	nextArr int // index into inst.Jobs of the next unreleased job
 	doneCnt int
 	workTol []float64 // absolute completion tolerance per job
+
+	sched model.Schedule // reused output trace
+
+	order    []model.JobID // active jobs in priority order
+	assign   []int         // machine -> job (-1 idle)
+	rate     []float64     // job -> aggregate service rate
+	prevRate []float64     // rate at the previous event (event-heap delta)
+	running  []model.JobID // jobs with rate > 0, priority order
+	cursor   []int         // planned driver: next plan slice per machine
+	events   eventHeap     // pending completion instants at current rates
 }
 
-func newState(inst *model.Instance) *state {
-	n := inst.NumJobs()
-	st := &state{
-		inst: inst,
-		ctx: Ctx{
-			Inst:      inst,
-			Remaining: make([]float64, n),
-			Released:  make([]bool, n),
-			Done:      make([]bool, n),
-		},
-		workTol: make([]float64, n),
+// grow returns s resized to length n, reusing its backing array when large
+// enough. Contents are unspecified; callers refill what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
+	return s[:n]
+}
+
+// reset prepares the state for a new instance, reusing all buffers.
+func (st *state) reset(inst *model.Instance) {
+	n := inst.NumJobs()
+	m := inst.Platform.NumMachines()
+	st.inst = inst
+	st.nextArr = 0
+	st.doneCnt = 0
+
+	st.ctx.Inst = inst
+	st.ctx.managed = true
+	st.ctx.Remaining = grow(st.ctx.Remaining, n)
+	st.ctx.Released = grow(st.ctx.Released, n)
+	st.ctx.Done = grow(st.ctx.Done, n)
+	st.ctx.active = grow(st.ctx.active, n)[:0]
+	st.workTol = grow(st.workTol, n)
+	st.order = grow(st.order, n)[:0]
+	st.assign = grow(st.assign, m)
+	st.rate = grow(st.rate, n)
+	st.prevRate = grow(st.prevRate, n)
+	st.running = grow(st.running, n)[:0]
+	st.cursor = grow(st.cursor, m)
+	st.events.reset(n)
+	st.sched.Reset(inst)
+
 	// The completion tolerance is relative to the whole instance, not just
 	// the job: planners built on float solvers (max-flow, LP) are accurate
 	// to ~relTol·ΣW, and a plan may under-serve one small job by that much.
 	total := inst.TotalWork()
 	for j := range inst.Jobs {
 		st.ctx.Remaining[j] = inst.Jobs[j].Size
+		st.ctx.Released[j] = false
+		st.ctx.Done[j] = false
+		st.rate[j] = 0
+		st.prevRate[j] = 0
 		st.workTol[j] = relTol * (inst.Jobs[j].Size + total)
 	}
 	st.releaseUpTo(st.startTime())
 	st.ctx.Now = st.startTime()
-	return st
 }
 
 func (st *state) startTime() float64 {
@@ -165,23 +237,29 @@ func (st *state) startTime() float64 {
 	return st.inst.Jobs[0].Release
 }
 
+// releaseUpTo marks every job released by time t and appends it to the
+// active set. Jobs are numbered by increasing release, so appending keeps
+// the set in ID order.
 func (st *state) releaseUpTo(t float64) {
 	for st.nextArr < st.inst.NumJobs() && st.inst.Jobs[st.nextArr].Release <= t+relTol*(1+t) {
 		st.ctx.Released[st.nextArr] = true
+		st.ctx.active = append(st.ctx.active, model.JobID(st.nextArr))
 		st.nextArr++
 	}
 }
 
-func (st *state) allDone() bool { return st.doneCnt == st.inst.NumJobs() }
-
-func (st *state) anyActive() bool {
-	for j := range st.ctx.Remaining {
-		if st.ctx.Released[j] && !st.ctx.Done[j] {
-			return true
+// removeActive deletes j from the active set, preserving ID order.
+func (st *state) removeActive(j model.JobID) {
+	a := st.ctx.active
+	for i, id := range a {
+		if id == j {
+			st.ctx.active = append(a[:i], a[i+1:]...)
+			return
 		}
 	}
-	return false
 }
+
+func (st *state) allDone() bool { return st.doneCnt == st.inst.NumJobs() }
 
 func (st *state) timeToNextArrival() float64 {
 	if st.nextArr >= st.inst.NumJobs() {
@@ -203,58 +281,124 @@ func (st *state) advanceToNextArrival() bool {
 	return true
 }
 
-// allocate applies the §3 spatial rule: walk jobs in priority order, give
-// each all still-free eligible machines. It returns machine→job assignment
-// (-1 for idle) and per-job aggregate rates.
-func (st *state) allocate(order []model.JobID) (assign []int, rate []float64) {
-	m := st.inst.Platform.NumMachines()
-	assign = make([]int, m)
-	for i := range assign {
-		assign[i] = -1
+// priorityLess is the total order the drivers sort by: the policy's strict
+// order with ties broken by job ID.
+func priorityLess(pol Policy, ctx *Ctx, a, b model.JobID) bool {
+	if pol.Less(ctx, a, b) {
+		return true
 	}
-	rate = make([]float64, st.inst.NumJobs())
+	if pol.Less(ctx, b, a) {
+		return false
+	}
+	return a < b
+}
+
+// sortOrder sorts st.order by priorityLess. slices.SortFunc is generic —
+// no reflect-based swapper, and the comparison closure does not escape —
+// so unlike sort.SliceStable it allocates nothing (enforced by
+// TestRunListSteadyStateAllocs). priorityLess is a total order (ties
+// break by job ID), so the unstable sort still produces a unique,
+// deterministic sequence.
+func (st *state) sortOrder(pol Policy) {
+	slices.SortFunc(st.order, func(a, b model.JobID) int {
+		if pol.Less(&st.ctx, a, b) {
+			return -1
+		}
+		if pol.Less(&st.ctx, b, a) {
+			return 1
+		}
+		// Equal policy priority: break ties by job ID (total order).
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// allocate applies the §3 spatial rule: walk jobs in priority order, give
+// each all still-free eligible machines. It fills st.assign (machine→job,
+// -1 for idle), st.rate (per-job aggregate rate) and st.running (jobs with
+// a positive rate, in priority order).
+func (st *state) allocate(order []model.JobID) {
+	m := st.inst.Platform.NumMachines()
+	for i := 0; i < m; i++ {
+		st.assign[i] = -1
+	}
+	for _, j := range order {
+		st.rate[j] = 0
+	}
+	st.running = st.running[:0]
 	free := m
 	for _, j := range order {
 		if free == 0 {
 			break
 		}
 		for _, mid := range st.inst.Eligible(j) {
-			if assign[mid] == -1 {
-				assign[mid] = int(j)
-				rate[j] += st.inst.Platform.Machine(mid).Speed
+			if st.assign[mid] == -1 {
+				st.assign[mid] = int(j)
+				st.rate[j] += st.inst.Platform.Machine(mid).Speed
 				free--
 			}
 		}
 	}
-	return assign, rate
+	for _, j := range order {
+		if st.rate[j] > 0 {
+			st.running = append(st.running, j)
+		}
+	}
 }
 
-// advance moves time forward by dt under the given machine assignment,
-// emitting slices and completing jobs whose remaining work reaches zero.
-func (st *state) advance(dt float64, assign []int, rate []float64, sched *model.Schedule) {
+// refreshEvents reconciles the completion-event heap with the rates chosen
+// by the last allocation. A job's predicted completion Now + ρ_j/rate_j is
+// invariant while its rate holds, so only jobs whose rate actually changed
+// pay the O(log n) heap update; in steady state that is a handful per
+// event, not the whole active set.
+func (st *state) refreshEvents() {
+	for _, j := range st.order {
+		r := st.rate[j]
+		if r == st.prevRate[j] {
+			continue
+		}
+		if r == 0 {
+			st.events.remove(j)
+		} else {
+			st.events.set(j, st.ctx.Now+st.ctx.Remaining[j]/r)
+		}
+		st.prevRate[j] = r
+	}
+}
+
+// advance moves time forward by dt under st.assign/st.rate, emitting slices
+// and completing jobs whose remaining work reaches zero.
+func (st *state) advance(dt float64) {
 	t0 := st.ctx.Now
 	t1 := t0 + dt
 	if dt > 0 {
-		for mid, j := range assign {
+		for mid, j := range st.assign {
 			if j >= 0 {
-				sched.AddSlice(model.Slice{
+				st.sched.AddSlice(model.Slice{
 					Machine: model.MachineID(mid), Job: model.JobID(j), Start: t0, End: t1,
 				})
 			}
 		}
-		for j := range rate {
-			if rate[j] > 0 {
-				st.ctx.Remaining[j] -= rate[j] * dt
-			}
+		for _, j := range st.running {
+			st.ctx.Remaining[j] -= st.rate[j] * dt
 		}
 	}
 	st.ctx.Now = t1
-	for j := range rate {
-		if !st.ctx.Done[j] && st.ctx.Released[j] && rate[j] > 0 && st.ctx.Remaining[j] <= st.workTol[j] {
+	for _, j := range st.running {
+		if !st.ctx.Done[j] && st.ctx.Remaining[j] <= st.workTol[j] {
 			st.ctx.Remaining[j] = 0
 			st.ctx.Done[j] = true
 			st.doneCnt++
-			sched.Completion[j] = t1
+			st.sched.Completion[j] = t1
+			st.removeActive(j)
+			st.events.remove(j)
+			st.prevRate[j] = 0
 		}
 	}
 	st.releaseUpTo(t1)

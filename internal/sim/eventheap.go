@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+
+	"stretchsched/internal/model"
+)
+
+// eventHeap is an indexed binary min-heap of predicted job completion
+// instants, keyed by absolute simulation time. It replaces the engine's
+// former per-event linear scan over every running job: the earliest
+// completion is read in O(1) and only jobs whose service rate changed pay
+// an O(log n) update (see state.refreshEvents).
+//
+// The index (pos) is per job ID, so membership tests, updates and removals
+// are O(1) lookups + O(log n) sift. All storage is retained across resets;
+// the heap allocates only when an instance has more jobs than any previous
+// one on the same engine.
+type eventHeap struct {
+	heap []model.JobID // heap-ordered job IDs
+	key  []float64     // job ID -> predicted completion time
+	pos  []int         // job ID -> index in heap, -1 when absent
+}
+
+// reset prepares the heap for an instance with n jobs, clearing any
+// membership left over from a previous (possibly aborted) run.
+func (h *eventHeap) reset(n int) {
+	h.heap = grow(h.heap, n)[:0]
+	h.key = grow(h.key, n)
+	h.pos = grow(h.pos, n)
+	for i := 0; i < n; i++ {
+		h.pos[i] = -1
+	}
+}
+
+func (h *eventHeap) empty() bool { return len(h.heap) == 0 }
+
+// minKey returns the earliest predicted completion time, +Inf when empty.
+func (h *eventHeap) minKey() float64 {
+	if len(h.heap) == 0 {
+		return math.Inf(1)
+	}
+	return h.key[h.heap[0]]
+}
+
+// set inserts job j with the given key, or updates its key in place.
+func (h *eventHeap) set(j model.JobID, key float64) {
+	h.key[j] = key
+	if i := h.pos[j]; i >= 0 {
+		if !h.siftUp(i) {
+			h.siftDown(i)
+		}
+		return
+	}
+	h.heap = append(h.heap, j)
+	h.pos[j] = len(h.heap) - 1
+	h.siftUp(len(h.heap) - 1)
+}
+
+// remove deletes job j; it is a no-op when j is not in the heap, so both
+// engine drivers may call it unconditionally at completions.
+func (h *eventHeap) remove(j model.JobID) {
+	i := h.pos[j]
+	if i < 0 {
+		return
+	}
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap = h.heap[:last]
+	h.pos[j] = -1
+	if i < last {
+		if !h.siftUp(i) {
+			h.siftDown(i)
+		}
+	}
+}
+
+func (h *eventHeap) less(a, b int) bool {
+	ka, kb := h.key[h.heap[a]], h.key[h.heap[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	// Tie-break by job ID for a fully deterministic heap shape.
+	return h.heap[a] < h.heap[b]
+}
+
+func (h *eventHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+// siftUp restores the heap property upward from i and reports whether any
+// swap happened.
+func (h *eventHeap) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

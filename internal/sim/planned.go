@@ -59,21 +59,29 @@ type Planner interface {
 	Plan(ctx *Ctx) (*Plan, error)
 }
 
-// RunPlanned simulates inst under a planning scheduler and returns the
-// schedule trace.
+// RunPlanned simulates inst under a planning scheduler on a fresh engine
+// and returns a caller-owned schedule trace.
 func RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
+	return NewEngine().RunPlanned(inst, pl)
+}
+
+// runPlanned is the planned driver proper, running on the reusable state.
+// Planners allocate their own plans, so this driver is not allocation-free
+// like the list driver, but the engine-side buffers (state vectors, active
+// set, per-segment assignment/rate vectors, the output schedule) are all
+// reused across invocations.
+func (st *state) runPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
 	pl.Init(inst)
-	st := newState(inst)
-	sched := model.NewSchedule(inst)
+	st.reset(inst)
 
 	for ev := 0; ; ev++ {
 		if ev > maxEvents {
 			return nil, fmt.Errorf("sim: %s exceeded event budget", pl.Name())
 		}
 		if st.allDone() {
-			return sched, nil
+			return &st.sched, nil
 		}
-		if !st.anyActive() {
+		if len(st.ctx.active) == 0 {
 			if !st.advanceToNextArrival() {
 				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pl.Name())
 			}
@@ -87,7 +95,7 @@ func RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
 			return nil, fmt.Errorf("sim: %s: %w", pl.Name(), err)
 		}
 		horizon := st.ctx.Now + st.timeToNextArrival()
-		progressed, err := st.executePlan(plan, horizon, sched, pl.Name())
+		progressed, err := st.executePlan(plan, horizon, pl.Name())
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +104,7 @@ func RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
 				return nil, fmt.Errorf("sim: %s final plan leaves %d jobs unfinished",
 					pl.Name(), inst.NumJobs()-st.doneCnt)
 			}
-			return sched, nil
+			return &st.sched, nil
 		}
 		if !progressed && st.ctx.Now < horizon {
 			// The plan had nothing before the next arrival; skip ahead.
@@ -109,9 +117,11 @@ func RunPlanned(inst *model.Instance, pl Planner) (*model.Schedule, error) {
 // executePlan advances the engine along the timetable until horizon,
 // splitting at slice boundaries and completion instants. It reports whether
 // any time was consumed.
-func (st *state) executePlan(plan *Plan, horizon float64, sched *model.Schedule, name string) (bool, error) {
+func (st *state) executePlan(plan *Plan, horizon float64, name string) (bool, error) {
 	m := st.inst.Platform.NumMachines()
-	cursor := make([]int, m) // next plan slice index per machine
+	for i := 0; i < m; i++ {
+		st.cursor[i] = 0
+	}
 	progressed := false
 
 	for {
@@ -121,19 +131,21 @@ func (st *state) executePlan(plan *Plan, horizon float64, sched *model.Schedule,
 			return progressed, nil
 		}
 		// Determine, per machine, the slice active at t (if any) and the
-		// next breakpoint.
+		// next breakpoint. The previous segment's rates are cleared via the
+		// running set, so the whole job vector is never rescanned.
 		next := horizon
-		assign := make([]int, m)
-		rate := make([]float64, st.inst.NumJobs())
-		anyWork := false
+		for _, j := range st.running {
+			st.rate[j] = 0
+		}
+		st.running = st.running[:0]
 		for mid := 0; mid < m; mid++ {
-			assign[mid] = -1
+			st.assign[mid] = -1
 			sl := plan.PerMachine[mid]
-			c := cursor[mid]
+			c := st.cursor[mid]
 			for c < len(sl) && sl[c].End <= t+relTol*(1+math.Abs(t)) {
 				c++
 			}
-			cursor[mid] = c
+			st.cursor[mid] = c
 			if c >= len(sl) {
 				continue
 			}
@@ -148,12 +160,14 @@ func (st *state) executePlan(plan *Plan, horizon float64, sched *model.Schedule,
 				next = math.Min(next, s.End)
 				continue
 			}
-			assign[mid] = int(j)
-			rate[j] += st.inst.Platform.Machine(model.MachineID(mid)).Speed
+			st.assign[mid] = int(j)
+			if st.rate[j] == 0 {
+				st.running = append(st.running, j)
+			}
+			st.rate[j] += st.inst.Platform.Machine(model.MachineID(mid)).Speed
 			next = math.Min(next, s.End)
-			anyWork = true
 		}
-		if !anyWork {
+		if len(st.running) == 0 {
 			if next <= t+relTol*(1+math.Abs(t)) {
 				// No runnable work and no future breakpoint before horizon.
 				st.ctx.Now = horizon
@@ -166,15 +180,13 @@ func (st *state) executePlan(plan *Plan, horizon float64, sched *model.Schedule,
 		}
 		// Completion instants may precede the next breakpoint.
 		dt := next - t
-		for j, r := range rate {
-			if r > 0 {
-				dt = math.Min(dt, st.ctx.Remaining[j]/r)
-			}
+		for _, j := range st.running {
+			dt = math.Min(dt, st.ctx.Remaining[j]/st.rate[j])
 		}
 		if dt < 0 {
 			dt = 0
 		}
-		st.advance(dt, assign, rate, sched)
+		st.advance(dt)
 		progressed = progressed || dt > 0
 		if dt == 0 {
 			// Avoid an infinite loop on a degenerate zero-length segment.
