@@ -19,6 +19,7 @@ import (
 	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
 	"stretchsched/internal/offline"
+	"stretchsched/internal/online"
 	"stretchsched/internal/policy"
 	"stretchsched/internal/rat"
 	"stretchsched/internal/sim"
@@ -206,6 +207,31 @@ func BenchmarkFluidEngineSteadyState(b *testing.B) {
 		if _, err := eng.RunList(inst, pol); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlannedEngine is the planned-path companion of
+// BenchmarkFluidEngineSteadyState: one engine + one planner workspace
+// replaying each planned (or planner-workspace-backed) scheduler through
+// core.Runner, which caches the instances and wires the workspace. The
+// allocs/op column is the headline: 0 for the offline planners, and the
+// online/Bender98 reduction the workspace overhaul bought.
+func BenchmarkPlannedEngine(b *testing.B) {
+	inst := benchInstance(b, 25)
+	runner := core.NewRunner()
+	for _, name := range []string{"Offline", "Offline-Refined", "Online", "Online-EDF", "Bender98"} {
+		s := core.MustGet(name)
+		if _, err := runner.Run(s, inst); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(s, inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -442,6 +468,47 @@ func BenchmarkAblationEngineReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationPlannerWorkspace contrasts a fresh planner + engine per
+// run (every LP/flow/plan buffer reallocated, as PR 1 left the planned path)
+// against a reused engine + offline.Workspace pair — the planned-path
+// analogue of BenchmarkAblationEngineReuse and the cost justification for
+// the workspace layer in DESIGN.md.
+func BenchmarkAblationPlannerWorkspace(b *testing.B) {
+	inst := benchInstance(b, 25)
+	for _, variant := range []struct {
+		name string
+		mk   func() sim.Planner
+	}{
+		{"offline", func() sim.Planner { return offline.NewPlanner() }},
+		{"online", func() sim.Planner { return online.New(online.Plain) }},
+	} {
+		b.Run(variant.name+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunPlanned(inst, variant.mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(variant.name+"/workspace", func(b *testing.B) {
+			eng := sim.NewEngine()
+			ws := offline.NewWorkspace()
+			pl := variant.mk()
+			pl.(interface{ SetWorkspace(*offline.Workspace) }).SetWorkspace(ws)
+			if _, err := eng.RunPlanned(inst, pl); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunPlanned(inst, pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationListVsPlanned contrasts the two engine drivers on the

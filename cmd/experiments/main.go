@@ -9,6 +9,10 @@
 //	experiments -tables all -runs 3         # all sixteen tables, one pass
 //	experiments -figure 3 -runs 10          # both panels of Figure 3
 //	experiments -table 1 -horizon 900       # paper-scale 15-minute windows
+//
+// The scheduled nightly workflow (.github/workflows/nightly.yml) runs the
+// paper-scale pass — `-tables all -horizon 900 -runs 200` — and archives
+// the streamed per-instance CSV as an artifact.
 package main
 
 import (

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
@@ -20,6 +21,7 @@ func main() {
 	runs := flag.Int("runs", 1, "instances per grid point")
 	target := flag.Int("target", 30, "target jobs per instance")
 	workers := flag.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
+	allocs := flag.Bool("allocs", false, "report per-run heap allocations (single-instance mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
 	flag.Parse()
 
@@ -59,17 +61,32 @@ func main() {
 		panic(err)
 	}
 	fmt.Println("jobs:", inst.NumJobs())
-	runner := core.NewRunner() // one engine reused across schedulers
-	for _, name := range []string{"Offline", "Online", "Online-EGDF", "SWRPT", "MCT-Div"} {
-		t0 := time.Now()
+	// One engine and one planner workspace reused across schedulers; with
+	// -allocs, the second (warmed-up) run shows the steady-state allocation
+	// behaviour the experiment grid sees — 0 for the planned schedulers.
+	runner := core.NewRunner()
+	for _, name := range []string{"Offline", "Offline-Refined", "Online", "Online-EGDF", "SWRPT", "MCT-Div"} {
 		s := core.MustGet(name)
+		t0 := time.Now()
 		sched, err := runner.Run(s, inst)
 		if err != nil {
 			fmt.Println(name, "ERR", err)
 			continue
 		}
-		fmt.Printf("%-12s %8v  max=%.3f sum=%.1f\n",
-			name, time.Since(t0).Round(time.Millisecond),
-			sched.MaxStretch(inst), sched.SumStretch(inst))
+		elapsed := time.Since(t0).Round(time.Millisecond)
+		line := fmt.Sprintf("%-16s %8v  max=%.3f sum=%.1f",
+			name, elapsed, sched.MaxStretch(inst), sched.SumStretch(inst))
+		if *allocs {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			if _, err := runner.Run(s, inst); err != nil {
+				fmt.Println(name, "ERR", err)
+				continue
+			}
+			runtime.ReadMemStats(&after)
+			line += fmt.Sprintf("  allocs/run=%d (%d B)",
+				after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc)
+		}
+		fmt.Println(line)
 	}
 }

@@ -31,21 +31,63 @@ type EngineBound interface {
 	RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error)
 }
 
-// Runner executes schedulers on one reusable simulation engine, so
-// harnesses that replay many instances (the experiment grid, benchmarks)
-// avoid per-run allocation. A Runner is not safe for concurrent use; hold
-// one per worker goroutine. The schedule returned by Run is overwritten by
-// the next Run call on the same Runner.
-type Runner struct {
-	eng *sim.Engine
+// workspaceUser is implemented by planners and policies that can draw their
+// solver state from a pooled offline.Workspace (the offline planner, the
+// online heuristics, Bender98).
+type workspaceUser interface {
+	SetWorkspace(ws *offline.Workspace)
 }
 
-// NewRunner returns a Runner with a fresh engine.
-func NewRunner() *Runner { return &Runner{eng: sim.NewEngine()} }
+// Runner executes schedulers on one reusable simulation engine and one
+// pooled planner workspace, so harnesses that replay many instances (the
+// experiment grid, benchmarks) avoid per-run allocation: registry-backed
+// planner and policy instances are constructed once per Runner, attached to
+// the workspace, and reset through their Init contract on every run. A
+// Runner is not safe for concurrent use; hold one per worker goroutine. The
+// schedule returned by Run is overwritten by the next Run call on the same
+// Runner.
+type Runner struct {
+	eng      *sim.Engine
+	ws       *offline.Workspace
+	planners map[string]sim.Planner
+	policies map[string]sim.Policy
+}
 
-// Run executes s on inst, reusing the runner's engine when the scheduler
-// supports it.
+// NewRunner returns a Runner with a fresh engine and workspace.
+func NewRunner() *Runner {
+	return &Runner{
+		eng:      sim.NewEngine(),
+		ws:       offline.NewWorkspace(),
+		planners: map[string]sim.Planner{},
+		policies: map[string]sim.Policy{},
+	}
+}
+
+// Run executes s on inst, reusing the runner's engine, workspace and cached
+// scheduler instance when the scheduler supports them.
 func (r *Runner) Run(s Scheduler, inst *model.Instance) (*model.Schedule, error) {
+	switch sc := s.(type) {
+	case plannerScheduler:
+		pl, ok := r.planners[sc.name]
+		if !ok {
+			pl = sc.mk()
+			if wu, ok := pl.(workspaceUser); ok {
+				wu.SetWorkspace(r.ws)
+			}
+			r.planners[sc.name] = pl
+		}
+		return r.eng.RunPlanned(inst, pl)
+	case policyScheduler:
+		pol, ok := r.policies[sc.name]
+		if !ok {
+			pol = sc.mk()
+			if wu, ok := pol.(workspaceUser); ok {
+				wu.SetWorkspace(r.ws)
+			}
+			r.policies[sc.name] = pol
+		}
+		return r.eng.RunList(inst, pol)
+	}
 	if eb, ok := s.(EngineBound); ok {
 		return eb.RunWith(r.eng, inst)
 	}

@@ -61,10 +61,14 @@ func WriteResultsCSV(w io.Writer, results []InstanceResult, schedulers []string)
 // while the grid is still running: each worker encodes its shard's rows
 // while the results are hot, and completed shards are flushed to w as soon
 // as every earlier shard has been written, so task order — and therefore
-// the output bytes — is identical for any worker count, and a long run
-// killed midway still leaves its finished prefix on disk. The grid results
-// are returned as from RunGrid, together with the first write error (the
-// grid always runs to completion; encoding is skipped once writing fails).
+// the output bytes — is identical for any worker count. Because shards are
+// dispatched largest-estimated-cost first (see shardOrder), completion
+// order need not follow index order: encoded shards wait in memory (a few
+// MB at paper scale) until the in-order flush reaches them, so a run
+// killed midway keeps only the contiguous task-order prefix that happened
+// to complete, not everything computed so far. The grid results are
+// returned as from RunGrid, together with the first write error (the grid
+// always runs to completion; encoding is skipped once writing fails).
 func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult, error) {
 	opts = opts.withDefaults()
 	hc := csv.NewWriter(w)

@@ -12,17 +12,20 @@
 // metrics and survive this rescaling.
 //
 // The grid runner is a sharded worker pool: the (point, run) task space is
-// cut into fixed-size contiguous shards which workers pull from a channel.
-// Each worker owns one core.Runner (hence one reusable simulation engine),
-// and every instance's RNG seed derives from its (point, run) coordinates
-// alone, so results — and the merged per-shard CSV stream — are bitwise
-// independent of the worker count. See DESIGN.md.
+// cut into fixed-size contiguous shards which workers pull from a channel,
+// dispatched largest-estimated-cost first so heavy points cannot straggle
+// at the end of the run. Each worker owns one core.Runner (hence one
+// reusable simulation engine and one planner workspace), and every
+// instance's RNG seed derives from its (point, run) coordinates alone, so
+// results — and the merged per-shard CSV stream — are bitwise independent
+// of both the worker count and the dispatch order. See DESIGN.md.
 package exp
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 
 	"stretchsched/internal/core"
@@ -144,6 +147,71 @@ type InstanceResult struct {
 // that channel traffic and per-shard bookkeeping are negligible.
 const shardSize = 8
 
+// pointWeight estimates the relative simulation cost of one instance at p,
+// for shard dispatch ordering only — it never influences results. Planned
+// schedulers dominate: each of the ~jobs re-plans runs a milestone search
+// with O(log jobs) feasibility flows over networks that grow with
+// jobs·sites, so the bulk scales like jobs²·sites. Bender98 performs a full
+// offline solve per arrival on the points where it runs (sites within
+// Bender98SiteLimit), worth roughly another factor of jobs — which is
+// exactly why those points straggle when dispatched last.
+func (o Options) pointWeight(p GridPoint) float64 {
+	jobs := float64(o.TargetJobs)
+	if o.Horizon > 0 {
+		if ej, err := o.config(p, 0, 0).ExpectedJobs(); err == nil && ej > 0 {
+			jobs = ej
+		}
+	}
+	w := jobs * jobs * float64(p.Sites)
+	if p.Sites <= o.Bender98SiteLimit {
+		for _, s := range o.Schedulers {
+			if s == "Bender98" {
+				w *= jobs
+				break
+			}
+		}
+	}
+	return w
+}
+
+// shardOrder returns the dispatch order of the shard indices: largest
+// estimated cost first, so the heavy grid points (20-site high-density
+// platforms, Bender98 cells) start while every worker still has queue ahead
+// of it, instead of straggling alone at the end of the run. Dispatch order
+// cannot affect results: instance seeds derive from (point, run) coordinates
+// alone and RunGridCSV reorders shards by index when merging.
+func shardOrder(points []GridPoint, opts Options, total, nShards int) []int {
+	pw := make([]float64, len(points))
+	for pi := range points {
+		pw[pi] = opts.pointWeight(points[pi])
+	}
+	weight := make([]float64, nShards)
+	for si := 0; si < nShards; si++ {
+		lo, hi := si*shardSize, (si+1)*shardSize
+		if hi > total {
+			hi = total
+		}
+		for ti := lo; ti < hi; ti++ {
+			weight[si] += pw[ti/opts.Runs]
+		}
+	}
+	order := make([]int, nShards)
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case weight[a] > weight[b]:
+			return -1
+		case weight[a] < weight[b]:
+			return 1
+		default:
+			return a - b // stable, deterministic dispatch for equal weights
+		}
+	})
+	return order
+}
+
 // RunGrid evaluates the configured schedulers over points × runs on the
 // sharded worker pool and returns one InstanceResult per instance, indexed
 // by pointIdx·Runs + run regardless of worker count.
@@ -201,7 +269,7 @@ func runGridSharded(points []GridPoint, opts Options,
 			}
 		}()
 	}
-	for si := 0; si < nShards; si++ {
+	for _, si := range shardOrder(points, opts, total, nShards) {
 		shards <- si
 	}
 	close(shards)

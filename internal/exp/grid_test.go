@@ -26,7 +26,9 @@ func gridTestOptions(workers int) Options {
 		Runs:       3,
 		Seed:       17,
 		TargetJobs: 8,
-		Schedulers: []string{"Offline", "Online", "SWRPT", "SRPT", "MCT"},
+		// Bender98 is included so the invariance test also covers the
+		// heaviest (largest-first-dispatched) shard class on 3-site points.
+		Schedulers: []string{"Offline", "Online", "Bender98", "SWRPT", "SRPT", "MCT"},
 		Workers:    workers,
 	}
 }
@@ -88,6 +90,56 @@ func TestGridWorkerInvariance(t *testing.T) {
 	}
 	if csv1.Len() == 0 {
 		t.Fatal("CSV output empty")
+	}
+}
+
+// TestShardOrderLargestFirst: shards must be dispatched as a permutation of
+// all shard indices, sorted by non-increasing estimated cost, with the
+// Bender98-eligible 3-site points outweighing even the 20-site ones (the
+// §5.3 cost ordering that motivates largest-first dispatch).
+func TestShardOrderLargestFirst(t *testing.T) {
+	points := []GridPoint{
+		{Sites: 20, Databanks: 20, Availability: 0.9, Density: 3.0},
+		{Sites: 3, Databanks: 3, Availability: 0.6, Density: 1.0}, // Bender98 runs here
+		{Sites: 10, Databanks: 10, Availability: 0.3, Density: 0.75},
+	}
+	opts := gridTestOptions(1).withDefaults()
+	total := len(points) * opts.Runs
+	nShards := (total + shardSize - 1) / shardSize
+
+	order := shardOrder(points, opts, total, nShards)
+	if len(order) != nShards {
+		t.Fatalf("order has %d shards, want %d", len(order), nShards)
+	}
+	seen := make([]bool, nShards)
+	for _, si := range order {
+		if si < 0 || si >= nShards || seen[si] {
+			t.Fatalf("order %v is not a permutation of [0,%d)", order, nShards)
+		}
+		seen[si] = true
+	}
+	weightOf := func(si int) float64 {
+		w := 0.0
+		for ti := si * shardSize; ti < (si+1)*shardSize && ti < total; ti++ {
+			w += opts.pointWeight(points[ti/opts.Runs])
+		}
+		return w
+	}
+	for i := 1; i < len(order); i++ {
+		if weightOf(order[i]) > weightOf(order[i-1]) {
+			t.Fatalf("shard %d (weight %g) dispatched after lighter shard %d (weight %g)",
+				order[i], weightOf(order[i]), order[i-1], weightOf(order[i-1]))
+		}
+	}
+	// The Bender98 point must dominate the weight ranking.
+	if w3, w20 := opts.pointWeight(points[1]), opts.pointWeight(points[0]); w3 <= w20 {
+		t.Fatalf("3-site Bender98 point weight %g not above 20-site weight %g", w3, w20)
+	}
+	// Without Bender98 in the mix, the 20-site point is the heavy one.
+	noB := opts
+	noB.Schedulers = []string{"Offline", "Online"}
+	if w3, w20 := noB.pointWeight(points[1]), noB.pointWeight(points[0]); w3 >= w20 {
+		t.Fatalf("without Bender98, 3-site weight %g not below 20-site weight %g", w3, w20)
 	}
 }
 

@@ -14,6 +14,12 @@
 //
 // Capacities are generic: float64 for the simulation fast path, exact
 // rationals (via lp.RatOps) to reproduce precision-sensitive cases.
+//
+// All three solvers support Reset, which clears the network while keeping
+// every backing buffer, so a caller that solves many networks of similar
+// shape (the feasibility bisection of the offline solver, the per-arrival
+// re-plans of the online heuristics) performs no steady-state allocation.
+// See DESIGN.md, "Planner workspaces".
 package flow
 
 import "stretchsched/internal/lp"
@@ -32,19 +38,52 @@ type Graph[T any] struct {
 	to   []int
 	cap  []T // residual capacity
 	orig []T // original capacity (to recover flow)
+
+	// MaxFlow scratch, retained across calls.
+	level []int
+	iter  []int
+	queue []int
+	sink  int
+	inf   T // augmentation limit during the current MaxFlow
 }
 
 // NewGraph returns an empty network with n nodes.
 func NewGraph[T any](ops lp.Ops[T], n int) *Graph[T] {
-	return &Graph[T]{ops: ops, n: n, head: make([][]int, n)}
+	g := &Graph[T]{}
+	g.Reset(ops, n)
+	return g
+}
+
+// Reset clears the network to n isolated nodes while retaining every backing
+// buffer, so rebuilding a similarly-shaped network allocates nothing. ops is
+// taken afresh because float backends carry a per-network tolerance.
+func (g *Graph[T]) Reset(ops lp.Ops[T], n int) {
+	g.ops = ops
+	g.n = n
+	if cap(g.head) < n {
+		g.head = make([][]int, n)
+	}
+	g.head = g.head[:n]
+	for i := range g.head {
+		g.head[i] = g.head[i][:0]
+	}
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.orig = g.orig[:0]
 }
 
 // NumNodes returns the node count.
 func (g *Graph[T]) NumNodes() int { return g.n }
 
-// AddNode appends a fresh node and returns its index.
+// AddNode appends a fresh node and returns its index, reviving a parked
+// adjacency buffer when a shrinking Reset left one in the backing array.
 func (g *Graph[T]) AddNode() int {
-	g.head = append(g.head, nil)
+	if len(g.head) < cap(g.head) {
+		g.head = g.head[:len(g.head)+1]
+		g.head[g.n] = g.head[g.n][:0]
+	} else {
+		g.head = append(g.head, nil)
+	}
 	g.n++
 	return g.n - 1
 }
@@ -80,68 +119,25 @@ func (g *Graph[T]) EdgeFlow(id int) T {
 func (g *Graph[T]) MaxFlow(s, t int) T {
 	ops := g.ops
 	total := ops.Zero()
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
-
-	bfs := func() bool {
-		for i := range level {
-			level[i] = -1
-		}
-		level[s] = 0
-		queue = queue[:0]
-		queue = append(queue, s)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, id := range g.head[u] {
-				v := g.to[id]
-				if level[v] == -1 && ops.Sign(g.cap[id]) > 0 {
-					level[v] = level[u] + 1
-					queue = append(queue, v)
-				}
-			}
-		}
-		return level[t] >= 0
+	g.level = grow(g.level, g.n)
+	g.iter = grow(g.iter, g.n)
+	if cap(g.queue) < g.n {
+		g.queue = make([]int, 0, g.n)
 	}
-
-	var dfs func(u int, limit T) T
-	dfs = func(u int, limit T) T {
-		if u == t {
-			return limit
-		}
-		for ; iter[u] < len(g.head[u]); iter[u]++ {
-			id := g.head[u][iter[u]]
-			v := g.to[id]
-			if level[v] != level[u]+1 || ops.Sign(g.cap[id]) <= 0 {
-				continue
-			}
-			pushed := limit
-			if ops.Cmp(g.cap[id], pushed) < 0 {
-				pushed = g.cap[id]
-			}
-			got := dfs(v, pushed)
-			if ops.Sign(got) > 0 {
-				g.cap[id] = ops.Sub(g.cap[id], got)
-				g.cap[id^1] = ops.Add(g.cap[id^1], got)
-				return got
-			}
-		}
-		return ops.Zero()
-	}
+	g.sink = t
 
 	// A limit larger than any possible augmentation: sum of source capacities.
-	inf := ops.One()
+	g.inf = ops.One()
 	for _, id := range g.head[s] {
-		inf = ops.Add(inf, g.cap[id])
+		g.inf = ops.Add(g.inf, g.cap[id])
 	}
 
-	for bfs() {
-		for i := range iter {
-			iter[i] = 0
+	for g.bfs(s, t) {
+		for i := range g.iter[:g.n] {
+			g.iter[i] = 0
 		}
 		for {
-			got := dfs(s, inf)
+			got := g.dfs(s, g.inf)
 			if ops.Sign(got) <= 0 {
 				break
 			}
@@ -149,6 +145,57 @@ func (g *Graph[T]) MaxFlow(s, t int) T {
 		}
 	}
 	return total
+}
+
+// bfs builds the level graph of the residual network.
+func (g *Graph[T]) bfs(s, t int) bool {
+	ops := g.ops
+	for i := range g.level[:g.n] {
+		g.level[i] = -1
+	}
+	g.level[s] = 0
+	queue := g.queue[:0]
+	queue = append(queue, s)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, id := range g.head[u] {
+			v := g.to[id]
+			if g.level[v] == -1 && ops.Sign(g.cap[id]) > 0 {
+				g.level[v] = g.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	g.queue = queue
+	return g.level[t] >= 0
+}
+
+// dfs pushes a blocking-flow augmentation toward g.sink along level-graph
+// arcs. It is a method rather than a recursive closure so that repeated
+// MaxFlow calls stay allocation-free.
+func (g *Graph[T]) dfs(u int, limit T) T {
+	ops := g.ops
+	if u == g.sink {
+		return limit
+	}
+	for ; g.iter[u] < len(g.head[u]); g.iter[u]++ {
+		id := g.head[u][g.iter[u]]
+		v := g.to[id]
+		if g.level[v] != g.level[u]+1 || ops.Sign(g.cap[id]) <= 0 {
+			continue
+		}
+		pushed := limit
+		if ops.Cmp(g.cap[id], pushed) < 0 {
+			pushed = g.cap[id]
+		}
+		got := g.dfs(v, pushed)
+		if ops.Sign(got) > 0 {
+			g.cap[id] = ops.Sub(g.cap[id], got)
+			g.cap[id^1] = ops.Add(g.cap[id^1], got)
+			return got
+		}
+	}
+	return ops.Zero()
 }
 
 // MinCutReachable returns, after MaxFlow, the set of nodes reachable from s
@@ -170,4 +217,13 @@ func (g *Graph[T]) MinCutReachable(s int) []bool {
 		}
 	}
 	return seen
+}
+
+// grow returns s resized to length n, reusing its backing array when large
+// enough. Contents are unspecified; callers refill what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -1,9 +1,6 @@
 package flow
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // MinCost solves min-cost max-flow on float64 capacities with nonnegative
 // edge costs. It is the engine behind the paper's System (2): the LP
@@ -25,20 +22,57 @@ type MinCost struct {
 	cost []float64
 	orig []float64
 	eps  float64
+
+	// Run scratch, retained across calls.
+	pot    []float64
+	dist   []float64
+	inTree []bool
+	level  []int32
+	iter   []int
+	queue  []int32
+	pq     []pqItem
+	sink   int
+	tol    float64
 }
 
 // NewMinCost returns an empty min-cost-flow network with n nodes.
 // eps is the capacity tolerance below which an edge counts as saturated.
 func NewMinCost(n int, eps float64) *MinCost {
+	g := &MinCost{}
+	g.Reset(n, eps)
+	return g
+}
+
+// Reset clears the network to n isolated nodes while retaining every backing
+// buffer, so rebuilding a similarly-shaped network allocates nothing.
+func (g *MinCost) Reset(n int, eps float64) {
 	if eps <= 0 {
 		eps = 1e-12
 	}
-	return &MinCost{n: n, head: make([][]int32, n), eps: eps}
+	g.n = n
+	g.eps = eps
+	if cap(g.head) < n {
+		g.head = make([][]int32, n)
+	}
+	g.head = g.head[:n]
+	for i := range g.head {
+		g.head[i] = g.head[i][:0]
+	}
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.cost = g.cost[:0]
+	g.orig = g.orig[:0]
 }
 
-// AddNode appends a node and returns its index.
+// AddNode appends a node and returns its index, reviving a parked adjacency
+// buffer when a shrinking Reset left one in the backing array.
 func (g *MinCost) AddNode() int {
-	g.head = append(g.head, nil)
+	if len(g.head) < cap(g.head) {
+		g.head = g.head[:len(g.head)+1]
+		g.head[g.n] = g.head[g.n][:0]
+	} else {
+		g.head = append(g.head, nil)
+	}
 	g.n++
 	return g.n - 1
 }
@@ -70,38 +104,75 @@ func (g *MinCost) AddEdge(u, v int, capacity, cost float64) int {
 // EdgeFlow returns the flow routed through edge id after Run.
 func (g *MinCost) EdgeFlow(id int) float64 { return g.orig[id] - g.cap[id] }
 
+// pqItem is one entry of the hand-rolled Dijkstra heap. container/heap is
+// avoided on purpose: its interface methods box every pushed item, which
+// costs one allocation per relaxation — the dominant allocation of System
+// (2) before the workspace overhaul.
 type pqItem struct {
 	node int32
 	dist float64
 }
 
-type pq []pqItem
+func (g *MinCost) pqPush(it pqItem) {
+	q := append(g.pq, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].dist <= q[i].dist {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	g.pq = q
+}
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (g *MinCost) pqPop() pqItem {
+	q := g.pq
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q[l].dist < q[small].dist {
+			small = l
+		}
+		if r < last && q[r].dist < q[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	g.pq = q
+	return top
 }
 
 // Run computes a min-cost max-flow from s to t. It returns the total flow
 // shipped and its total cost. The network retains flow state for EdgeFlow.
 func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
-	pot := make([]float64, g.n) // costs ≥ 0 ⇒ zero initial potentials are valid
-	dist := make([]float64, g.n)
-	inTree := make([]bool, g.n)
-	level := make([]int32, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int32, 0, g.n)
+	g.pot = grow(g.pot, g.n) // costs ≥ 0 ⇒ zero initial potentials are valid
+	g.dist = grow(g.dist, g.n)
+	g.inTree = grow(g.inTree, g.n)
+	g.level = grow(g.level, g.n)
+	g.iter = grow(g.iter, g.n)
+	if cap(g.queue) < g.n {
+		g.queue = make([]int32, 0, g.n)
+	}
+	pot := g.pot
+	for i := range pot {
+		pot[i] = 0
+	}
+	g.sink = t
 
-	// admissible reports whether edge id lies on a shortest path after the
-	// potential update (reduced cost ≈ 0). The tolerance is relative to the
-	// potential magnitude to tolerate float cancellation.
+	// admissible arcs lie on a shortest path after the potential update
+	// (reduced cost ≈ 0). The tolerance is relative to the potential
+	// magnitude to tolerate float cancellation.
 	costTol := func() float64 {
 		m := 1.0
 		if p := math.Abs(pot[t]); p > m {
@@ -112,25 +183,27 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 
 	for {
 		// Dijkstra on reduced costs.
+		dist := g.dist
 		for i := range dist {
 			dist[i] = math.Inf(1)
-			inTree[i] = false
+			g.inTree[i] = false
 		}
 		dist[s] = 0
-		q := pq{{int32(s), 0}}
-		for len(q) > 0 {
-			it := heap.Pop(&q).(pqItem)
+		g.pq = g.pq[:0]
+		g.pqPush(pqItem{int32(s), 0})
+		for len(g.pq) > 0 {
+			it := g.pqPop()
 			u := int(it.node)
-			if inTree[u] {
+			if g.inTree[u] {
 				continue
 			}
-			inTree[u] = true
+			g.inTree[u] = true
 			for _, id := range g.head[u] {
 				if g.cap[id] <= g.eps {
 					continue
 				}
 				v := int(g.to[id])
-				if inTree[v] {
+				if g.inTree[v] {
 					continue
 				}
 				rc := g.cost[id] + pot[u] - pot[v]
@@ -139,7 +212,7 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 				}
 				if d := dist[u] + rc; d < dist[v] {
 					dist[v] = d
-					heap.Push(&q, pqItem{int32(v), d})
+					g.pqPush(pqItem{int32(v), d})
 				}
 			}
 		}
@@ -153,19 +226,19 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 				pot[i] += dist[t]
 			}
 		}
-		tol := costTol()
+		g.tol = costTol()
 
 		// Dinic phase restricted to admissible arcs (reduced cost ≈ 0 under
 		// the updated potentials): BFS levels, then blocking flow.
+		level := g.level
 		for i := range level {
 			level[i] = -1
 		}
 		level[s] = 0
-		queue = queue[:0]
+		queue := g.queue[:0]
 		queue = append(queue, int32(s))
-		for len(queue) > 0 {
-			u := int(queue[0])
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			u := int(queue[qi])
 			for _, id := range g.head[u] {
 				if g.cap[id] <= g.eps {
 					continue
@@ -174,55 +247,60 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 				if level[v] >= 0 {
 					continue
 				}
-				if rc := g.cost[id] + pot[u] - pot[v]; math.Abs(rc) > tol {
+				if rc := g.cost[id] + pot[u] - pot[v]; math.Abs(rc) > g.tol {
 					continue
 				}
 				level[v] = level[u] + 1
 				queue = append(queue, int32(v))
 			}
 		}
+		g.queue = queue
 		if level[t] < 0 {
 			// Numeric corner: Dijkstra reached t but the tolerance filter
 			// disagrees; fall back to a single-path augmentation cannot
 			// happen because the same arcs were used — treat as done.
 			return flowTotal, costTotal
 		}
-		for i := range iter {
-			iter[i] = 0
-		}
-		var dfs func(u int, limit float64) float64
-		dfs = func(u int, limit float64) float64 {
-			if u == t {
-				return limit
-			}
-			for ; iter[u] < len(g.head[u]); iter[u]++ {
-				id := g.head[u][iter[u]]
-				v := int(g.to[id])
-				if g.cap[id] <= g.eps || level[v] != level[u]+1 {
-					continue
-				}
-				if rc := g.cost[id] + pot[u] - pot[v]; math.Abs(rc) > tol {
-					continue
-				}
-				pushed := limit
-				if g.cap[id] < pushed {
-					pushed = g.cap[id]
-				}
-				if got := dfs(v, pushed); got > 0 {
-					g.cap[id] -= got
-					g.cap[id^1] += got
-					costTotal += got * g.cost[id]
-					return got
-				}
-			}
-			return 0
+		for i := range g.iter {
+			g.iter[i] = 0
 		}
 		for {
-			got := dfs(s, math.Inf(1))
+			got, cost := g.blockingDFS(s, math.Inf(1))
 			if got <= 0 {
 				break
 			}
 			flowTotal += got
+			costTotal += cost
 		}
 	}
+}
+
+// blockingDFS pushes one augmentation toward g.sink along admissible
+// level-graph arcs, returning the pushed amount and its cost. It is a
+// method rather than a recursive closure so repeated Run calls stay
+// allocation-free.
+func (g *MinCost) blockingDFS(u int, limit float64) (pushed, cost float64) {
+	if u == g.sink {
+		return limit, 0
+	}
+	for ; g.iter[u] < len(g.head[u]); g.iter[u]++ {
+		id := g.head[u][g.iter[u]]
+		v := int(g.to[id])
+		if g.cap[id] <= g.eps || g.level[v] != g.level[u]+1 {
+			continue
+		}
+		if rc := g.cost[id] + g.pot[u] - g.pot[v]; math.Abs(rc) > g.tol {
+			continue
+		}
+		lim := limit
+		if g.cap[id] < lim {
+			lim = g.cap[id]
+		}
+		if got, sub := g.blockingDFS(v, lim); got > 0 {
+			g.cap[id] -= got
+			g.cap[id^1] += got
+			return got, sub + got*g.cost[id]
+		}
+	}
+	return 0, 0
 }

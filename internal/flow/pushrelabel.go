@@ -18,20 +18,50 @@ type PushRelabel struct {
 	excess []float64
 	height []int32
 	eps    float64
+
+	// MaxFlow scratch, retained across calls.
+	countAt []int32
+	buckets [][]int32
+	iterPtr []int
 }
 
 // NewPushRelabel returns an empty network with n nodes. eps is the capacity
 // tolerance below which an arc counts as saturated.
 func NewPushRelabel(n int, eps float64) *PushRelabel {
+	g := &PushRelabel{}
+	g.Reset(n, eps)
+	return g
+}
+
+// Reset clears the network to n isolated nodes while retaining every backing
+// buffer, so rebuilding a similarly-shaped network allocates nothing.
+func (g *PushRelabel) Reset(n int, eps float64) {
 	if eps <= 0 {
 		eps = 1e-12
 	}
-	return &PushRelabel{n: n, head: make([][]int32, n), eps: eps}
+	g.n = n
+	g.eps = eps
+	if cap(g.head) < n {
+		g.head = make([][]int32, n)
+	}
+	g.head = g.head[:n]
+	for i := range g.head {
+		g.head[i] = g.head[i][:0]
+	}
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.orig = g.orig[:0]
 }
 
-// AddNode appends a node and returns its index.
+// AddNode appends a node and returns its index, reviving a parked adjacency
+// buffer when a shrinking Reset left one in the backing array.
 func (g *PushRelabel) AddNode() int {
-	g.head = append(g.head, nil)
+	if len(g.head) < cap(g.head) {
+		g.head = g.head[:len(g.head)+1]
+		g.head[g.n] = g.head[g.n][:0]
+	} else {
+		g.head = append(g.head, nil)
+	}
 	g.n++
 	return g.n - 1
 }
@@ -64,16 +94,31 @@ func (g *PushRelabel) MaxFlow(s, t int) float64 {
 		return 0
 	}
 	n := g.n
-	g.excess = make([]float64, n)
-	g.height = make([]int32, n)
-	countAt := make([]int32, 2*n+1) // nodes per height, for gap relabeling
+	g.excess = grow(g.excess, n)
+	g.height = grow(g.height, n)
+	g.countAt = grow(g.countAt, 2*n+1) // nodes per height, for gap relabeling
+	for i := range g.excess {
+		g.excess[i] = 0
+	}
+	for i := range g.height {
+		g.height[i] = 0
+	}
+	for i := range g.countAt {
+		g.countAt[i] = 0
+	}
 
 	g.height[s] = int32(n)
-	countAt[0] = int32(n - 1)
-	countAt[n] = 1
+	g.countAt[0] = int32(n - 1)
+	g.countAt[n] = 1
 
 	// Buckets of active nodes by height (highest-label selection).
-	buckets := make([][]int32, 2*n+1)
+	if cap(g.buckets) < 2*n+1 {
+		g.buckets = make([][]int32, 2*n+1)
+	}
+	buckets := g.buckets[:2*n+1]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
 	highest := 0
 	activate := func(v int) {
 		if v == s || v == t || g.excess[v] <= g.eps {
@@ -100,7 +145,11 @@ func (g *PushRelabel) MaxFlow(s, t int) float64 {
 		activate(v)
 	}
 
-	iterPtr := make([]int, n)
+	g.iterPtr = grow(g.iterPtr, n)
+	iterPtr := g.iterPtr
+	for i := range iterPtr {
+		iterPtr[i] = 0
+	}
 	for highest >= 0 {
 		bucket := buckets[highest]
 		if len(bucket) == 0 {
@@ -130,20 +179,20 @@ func (g *PushRelabel) MaxFlow(s, t int) float64 {
 					g.excess[u] = 0 // disconnected: drop excess
 					break
 				}
-				countAt[oldH]--
-				if countAt[oldH] == 0 && int(oldH) < n {
+				g.countAt[oldH]--
+				if g.countAt[oldH] == 0 && int(oldH) < n {
 					// Gap: every node above the gap (below height n) is
 					// unreachable from t; lift them beyond n+1.
 					for v := 0; v < n; v++ {
 						if h := g.height[v]; h > oldH && h < int32(n) && v != s {
-							countAt[h]--
+							g.countAt[h]--
 							g.height[v] = int32(n + 1)
-							countAt[n+1]++
+							g.countAt[n+1]++
 						}
 					}
 				}
 				g.height[u] = minH + 1
-				countAt[minH+1]++
+				g.countAt[minH+1]++
 				iterPtr[u] = 0
 				continue
 			}

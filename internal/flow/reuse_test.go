@@ -1,0 +1,149 @@
+package flow
+
+import (
+	"testing"
+
+	"stretchsched/internal/lp"
+)
+
+// transportEdges builds a deterministic three-layer transportation network
+// in the shape of the feasibility oracle (tasks → bins → sink).
+func transportEdges(tasks, bins int) (edges [][3]float64, src, sink int) {
+	src, sink = tasks+bins, tasks+bins+1
+	for k := 0; k < tasks; k++ {
+		w := 1 + float64(k%7)
+		edges = append(edges, [3]float64{float64(src), float64(k), w})
+		for t := 0; t < bins; t++ {
+			if (k+t)%3 == 0 {
+				edges = append(edges, [3]float64{float64(k), float64(tasks + t), w})
+			}
+		}
+	}
+	for t := 0; t < bins; t++ {
+		edges = append(edges, [3]float64{float64(tasks + t), float64(sink), 2.5})
+	}
+	return edges, src, sink
+}
+
+// TestGraphResetMatchesFresh: a Reset Dinic graph must reproduce a fresh
+// graph's max-flow and per-edge flows exactly, across differently-sized
+// networks interleaved through one instance.
+func TestGraphResetMatchesFresh(t *testing.T) {
+	shared := NewGraph[float64](lp.NewFloat64Ops(), 0)
+	for _, shape := range [][2]int{{10, 30}, {4, 6}, {25, 60}, {1, 1}} {
+		edges, src, sink := transportEdges(shape[0], shape[1])
+		fresh := NewGraph[float64](lp.NewFloat64Ops(), sink+1)
+		shared.Reset(lp.NewFloat64Ops(), sink+1)
+		var fid, sid []int
+		for _, e := range edges {
+			fid = append(fid, fresh.AddEdge(int(e[0]), int(e[1]), e[2]))
+			sid = append(sid, shared.AddEdge(int(e[0]), int(e[1]), e[2]))
+		}
+		fv, sv := fresh.MaxFlow(src, sink), shared.MaxFlow(src, sink)
+		if fv != sv {
+			t.Fatalf("shape %v: reused max-flow %v, fresh %v", shape, sv, fv)
+		}
+		for i := range fid {
+			if fresh.EdgeFlow(fid[i]) != shared.EdgeFlow(sid[i]) {
+				t.Fatalf("shape %v: edge %d flow differs", shape, i)
+			}
+		}
+	}
+}
+
+// TestPushRelabelResetMatchesFresh mirrors TestGraphResetMatchesFresh for
+// the push-relabel solver (flow values only; witness flows may differ).
+func TestPushRelabelResetMatchesFresh(t *testing.T) {
+	shared := NewPushRelabel(0, 0)
+	for _, shape := range [][2]int{{10, 30}, {4, 6}, {25, 60}} {
+		edges, src, sink := transportEdges(shape[0], shape[1])
+		fresh := NewPushRelabel(sink+1, 0)
+		shared.Reset(sink+1, 0)
+		for _, e := range edges {
+			fresh.AddEdge(int(e[0]), int(e[1]), e[2])
+			shared.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		fv, sv := fresh.MaxFlow(src, sink), shared.MaxFlow(src, sink)
+		if fv != sv {
+			t.Fatalf("shape %v: reused max-flow %v, fresh %v", shape, sv, fv)
+		}
+	}
+}
+
+// TestMinCostResetMatchesFresh: a Reset min-cost network must reproduce a
+// fresh network's shipped flow and cost exactly.
+func TestMinCostResetMatchesFresh(t *testing.T) {
+	shared := NewMinCost(0, 0)
+	for _, shape := range [][2]int{{10, 10}, {3, 4}, {20, 15}} {
+		tasks, bins := shape[0], shape[1]
+		src, sink := tasks+bins, tasks+bins+1
+		fresh := NewMinCost(sink+2, 0)
+		shared.Reset(sink+2, 0)
+		add := func(g *MinCost) {
+			for u := 0; u < tasks; u++ {
+				g.AddEdge(src, u, 5, 0)
+				for v := 0; v < bins; v++ {
+					g.AddEdge(u, tasks+v, 3, float64((u*v)%7))
+				}
+			}
+			for v := 0; v < bins; v++ {
+				g.AddEdge(tasks+v, sink, 5, 0)
+			}
+		}
+		add(fresh)
+		add(shared)
+		ff, fc := fresh.Run(src, sink)
+		sf, sc := shared.Run(src, sink)
+		if ff != sf || fc != sc {
+			t.Fatalf("shape %v: reused (%v, %v), fresh (%v, %v)", shape, sf, sc, ff, fc)
+		}
+	}
+}
+
+// TestMaxFlowSteadyStateAllocs: once warmed up, rebuilding and solving the
+// same-shaped network on a Reset graph must not allocate. This is the
+// substrate half of the planned-path allocation budget (DESIGN.md).
+func TestMaxFlowSteadyStateAllocs(t *testing.T) {
+	edges, src, sink := transportEdges(30, 80)
+	// A pointer implementation of lp.Ops avoids re-boxing the ops struct on
+	// every Reset — the pattern offline.Workspace uses on the hot path.
+	ops := &lp.Float64Ops{Eps: 1e-12}
+	run := func(g *Graph[float64]) {
+		g.Reset(ops, sink+1)
+		for _, e := range edges {
+			g.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		g.MaxFlow(src, sink)
+	}
+	g := NewGraph[float64](lp.NewFloat64Ops(), 0)
+	run(g)
+	if allocs := testing.AllocsPerRun(20, func() { run(g) }); allocs != 0 {
+		t.Fatalf("steady-state Dinic rebuild allocates %.1f objects/op, want 0", allocs)
+	}
+
+	runPR := func(g *PushRelabel) {
+		g.Reset(sink+1, 0)
+		for _, e := range edges {
+			g.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		g.MaxFlow(src, sink)
+	}
+	pr := NewPushRelabel(0, 0)
+	runPR(pr)
+	if allocs := testing.AllocsPerRun(20, func() { runPR(pr) }); allocs != 0 {
+		t.Fatalf("steady-state push-relabel rebuild allocates %.1f objects/op, want 0", allocs)
+	}
+
+	runMC := func(g *MinCost) {
+		g.Reset(sink+1, 0)
+		for _, e := range edges {
+			g.AddEdge(int(e[0]), int(e[1]), e[2], float64(int(e[0]+e[1])%5))
+		}
+		g.Run(src, sink)
+	}
+	mc := NewMinCost(0, 0)
+	runMC(mc)
+	if allocs := testing.AllocsPerRun(20, func() { runMC(mc) }); allocs != 0 {
+		t.Fatalf("steady-state min-cost rebuild allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -108,9 +108,10 @@ func (p *Problem[T]) AddDense(coef []T, rel Rel, rhs T) {
 	if len(coef) > p.nvars {
 		panic("lp: constraint wider than variable count")
 	}
-	c := make([]T, len(coef))
-	copy(c, coef)
-	p.cons = append(p.cons, constraint[T]{coef: c, rel: rel, rhs: rhs})
+	c := p.appendCon()
+	c.coef = growSlice(c.coef, len(coef))
+	copy(c.coef, coef)
+	c.rel, c.rhs = rel, rhs
 }
 
 // AddSparse adds the constraint Σ coefs[k]·x[vars[k]] rel rhs.
@@ -118,14 +119,15 @@ func (p *Problem[T]) AddSparse(vars []int, coefs []T, rel Rel, rhs T) {
 	if len(vars) != len(coefs) {
 		panic("lp: vars/coefs length mismatch")
 	}
-	c := make([]T, p.nvars)
-	for i := range c {
-		c[i] = p.ops.Zero()
+	c := p.appendCon()
+	c.coef = growSlice(c.coef, p.nvars)
+	for i := range c.coef {
+		c.coef[i] = p.ops.Zero()
 	}
 	for k, v := range vars {
-		c[v] = p.ops.Add(c[v], coefs[k])
+		c.coef[v] = p.ops.Add(c.coef[v], coefs[k])
 	}
-	p.cons = append(p.cons, constraint[T]{coef: c, rel: rel, rhs: rhs})
+	c.rel, c.rhs = rel, rhs
 }
 
 // Solution is the result of a successful solve.
@@ -140,7 +142,16 @@ type Solution[T any] struct {
 // solution, or an error wrapping ErrNotOptimal if the problem is infeasible
 // or unbounded.
 func (p *Problem[T]) Solve() (*Solution[T], error) {
-	t := newTableau(p)
+	return p.SolveWith(nil)
+}
+
+// SolveWith is Solve drawing all tableau and solution buffers from ws, so
+// repeated solves of similarly-shaped programs reuse solver state instead of
+// reallocating it. A nil ws behaves exactly like Solve. The returned
+// Solution (including X) is owned by ws and overwritten by the next
+// SolveWith on it.
+func (p *Problem[T]) SolveWith(ws *Workspace[T]) (*Solution[T], error) {
+	t := newTableau(p, ws)
 	sol := t.solve()
 	if sol.Status != Optimal {
 		return sol, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
@@ -153,17 +164,19 @@ func (p *Problem[T]) Solve() (*Solution[T], error) {
 type tableau[T any] struct {
 	ops   Ops[T]
 	prob  *Problem[T]
-	m, n  int   // rows, structural+slack columns (artificials appended after n)
+	ws    *Workspace[T]
+	m, n  int   // rows, structural+slack columns (artificials after n)
 	a     [][]T // m rows × (n + nart) coefficient matrix
 	b     []T   // m, right-hand sides (kept ≥ 0)
 	basis []int // m, column index basic in each row
+	z     []T   // reduced-cost scratch of optimize
 	nart  int
 	iters int
 }
 
 const maxIterFactor = 200 // iteration cap = maxIterFactor * (m + n)
 
-func newTableau[T any](p *Problem[T]) *tableau[T] {
+func newTableau[T any](p *Problem[T], ws *Workspace[T]) *tableau[T] {
 	ops := p.ops
 	m := len(p.cons)
 	nSlack := 0
@@ -173,14 +186,29 @@ func newTableau[T any](p *Problem[T]) *tableau[T] {
 		}
 	}
 	n := p.nvars + nSlack
-	t := &tableau[T]{ops: ops, prob: p, m: m, n: n}
-	t.a = make([][]T, m)
-	t.b = make([]T, m)
-	t.basis = make([]int, m)
+	var t *tableau[T]
+	if ws != nil {
+		t = &ws.tab
+	} else {
+		t = &tableau[T]{}
+	}
+	t.ops, t.prob, t.ws = ops, p, ws
+	t.m, t.n = m, n
+	t.nart, t.iters = 0, 0
+	if cap(t.a) < m {
+		t.a = make([][]T, m)
+	}
+	t.a = t.a[:m]
+	t.b = growSlice(t.b, m)
+	t.basis = growIntSlice(t.basis, m)
 
+	// Rows are sized to the full phase-1 width n+m up front, with the
+	// artificial columns zeroed, so solve() fills them in place instead of
+	// appending.
+	width := n + m
 	slack := p.nvars
 	for r, c := range p.cons {
-		row := make([]T, n)
+		row := growSlice(t.a[r], width)
 		for j := range row {
 			row[j] = ops.Zero()
 		}
@@ -209,21 +237,34 @@ func newTableau[T any](p *Problem[T]) *tableau[T] {
 	return t
 }
 
+// solution assembles the result, drawing the Solution struct from the
+// workspace when one is attached.
+func (t *tableau[T]) solution(s Solution[T]) *Solution[T] {
+	if t.ws != nil {
+		t.ws.sol = s
+		return &t.ws.sol
+	}
+	out := s
+	return &out
+}
+
 func (t *tableau[T]) solve() *Solution[T] {
 	ops := t.ops
 
-	// Phase 1: add one artificial per row, minimise their sum.
+	// Phase 1: one artificial per row (columns pre-zeroed by newTableau),
+	// minimise their sum.
 	t.nart = t.m
 	for r := 0; r < t.m; r++ {
-		col := make([]T, t.nart)
-		for j := range col {
-			col[j] = ops.Zero()
-		}
-		col[r] = ops.One()
-		t.a[r] = append(t.a[r], col...)
+		t.a[r][t.n+r] = ops.One()
 		t.basis[r] = t.n + r
 	}
-	phase1Obj := make([]T, t.n+t.nart)
+	var phase1Obj []T
+	if t.ws != nil {
+		t.ws.phase1 = growSlice(t.ws.phase1, t.n+t.nart)
+		phase1Obj = t.ws.phase1
+	} else {
+		phase1Obj = make([]T, t.n+t.nart)
+	}
 	for j := 0; j < t.n; j++ {
 		phase1Obj[j] = ops.Zero()
 	}
@@ -232,29 +273,42 @@ func (t *tableau[T]) solve() *Solution[T] {
 	}
 	status, val := t.optimize(phase1Obj)
 	if status != Optimal {
-		return &Solution[T]{Status: status, Iterations: t.iters}
+		return t.solution(Solution[T]{Status: status, Iterations: t.iters})
 	}
 	if ops.Sign(val) > 0 {
-		return &Solution[T]{Status: Infeasible, Iterations: t.iters}
+		return t.solution(Solution[T]{Status: Infeasible, Iterations: t.iters})
 	}
 	t.driveOutArtificials()
 	// Drop artificial columns and any redundant row whose artificial could
 	// not be driven out (such rows are identically zero with zero rhs).
-	rows, bs, rhs := t.a[:0], t.basis[:0], t.b[:0]
+	// Dropped rows keep their (full-capacity) backing arrays parked in the
+	// tail slots of t.a so a future reuse never aliases two rows.
+	keep := 0
 	for r := 0; r < t.m; r++ {
 		if t.basis[r] >= t.n {
 			continue
 		}
-		rows = append(rows, t.a[r][:t.n])
-		bs = append(bs, t.basis[r])
-		rhs = append(rhs, t.b[r])
+		row := t.a[r]
+		t.a[r] = t.a[keep]
+		t.a[keep] = row[:t.n]
+		t.basis[keep] = t.basis[r]
+		t.b[keep] = t.b[r]
+		keep++
 	}
-	t.a, t.basis, t.b = rows, bs, rhs
-	t.m = len(rows)
+	t.a = t.a[:keep]
+	t.basis = t.basis[:keep]
+	t.b = t.b[:keep]
+	t.m = keep
 	t.nart = 0
 
 	// Phase 2: original objective (negated if maximising).
-	obj := make([]T, t.n)
+	var obj []T
+	if t.ws != nil {
+		t.ws.phase2 = growSlice(t.ws.phase2, t.n)
+		obj = t.ws.phase2
+	} else {
+		obj = make([]T, t.n)
+	}
 	for j := range obj {
 		obj[j] = ops.Zero()
 	}
@@ -267,10 +321,16 @@ func (t *tableau[T]) solve() *Solution[T] {
 	}
 	status, val = t.optimize(obj)
 	if status != Optimal {
-		return &Solution[T]{Status: status, Iterations: t.iters}
+		return t.solution(Solution[T]{Status: status, Iterations: t.iters})
 	}
 
-	x := make([]T, t.prob.nvars)
+	var x []T
+	if t.ws != nil {
+		t.ws.x = growSlice(t.ws.x, t.prob.nvars)
+		x = t.ws.x
+	} else {
+		x = make([]T, t.prob.nvars)
+	}
 	for j := range x {
 		x[j] = ops.Zero()
 	}
@@ -282,7 +342,7 @@ func (t *tableau[T]) solve() *Solution[T] {
 	if t.prob.maximize {
 		val = ops.Neg(val)
 	}
-	return &Solution[T]{Status: Optimal, X: x, Objective: val, Iterations: t.iters}
+	return t.solution(Solution[T]{Status: Optimal, X: x, Objective: val, Iterations: t.iters})
 }
 
 // driveOutArtificials pivots any artificial variable that is still basic at
@@ -317,7 +377,8 @@ func (t *tableau[T]) optimize(obj []T) (Status, T) {
 	ops := t.ops
 	width := t.n + t.nart
 	// z[j] = reduced cost of column j; zval = current objective value.
-	z := make([]T, width)
+	t.z = growSlice(t.z, width)
+	z := t.z
 	limit := maxIterFactor * (t.m + width + 1)
 
 	recompute := func() T {

@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildBoxProblem fills p with the box-constrained maximisation used across
+// the solver tests: max Σ (v+1)·x_v, x_v ≤ 10, Σ x_v ≤ 20.
+func buildBoxProblem(p *Problem[float64], nvars int) {
+	p.SetMaximize(true)
+	row := make([]float64, nvars)
+	ones := make([]float64, nvars)
+	for v := 0; v < nvars; v++ {
+		p.SetObjectiveCoef(v, float64(v+1))
+		for i := range row {
+			row[i] = 0
+		}
+		row[v] = 1
+		p.AddDense(row, LE, 10)
+		ones[v] = 1
+	}
+	p.AddDense(ones, LE, 20)
+}
+
+// TestSolveWithWorkspaceMatchesSolve: a pooled solve must agree with a fresh
+// solve bit-for-bit, across problems of different shapes interleaved through
+// one workspace (including an infeasible one, which exercises the redundant
+// row compaction's buffer parking).
+func TestSolveWithWorkspaceMatchesSolve(t *testing.T) {
+	ws := NewWorkspace[float64]()
+	pooled := New[float64](NewFloat64Ops(), 0)
+	for _, nvars := range []int{6, 2, 9, 4} {
+		fresh := New[float64](NewFloat64Ops(), nvars)
+		buildBoxProblem(fresh, nvars)
+		pooled.Reset(nvars)
+		buildBoxProblem(pooled, nvars)
+
+		want, err := fresh.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pooled.SolveWith(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Objective != want.Objective || got.Status != want.Status {
+			t.Fatalf("nvars=%d: pooled (%v, %v), fresh (%v, %v)",
+				nvars, got.Status, got.Objective, want.Status, want.Objective)
+		}
+		for v := range want.X {
+			if got.X[v] != want.X[v] {
+				t.Fatalf("nvars=%d: x[%d] = %v, fresh %v", nvars, v, got.X[v], want.X[v])
+			}
+		}
+
+		// An infeasible program between feasible ones must not poison reuse.
+		pooled.Reset(1)
+		pooled.AddDense([]float64{1}, GE, 5)
+		pooled.AddDense([]float64{1}, LE, 2)
+		if _, err := pooled.SolveWith(ws); err == nil {
+			t.Fatal("infeasible program solved")
+		}
+	}
+}
+
+// TestSolveWithWorkspaceSteadyStateAllocs: rebuilding and solving the same
+// float64 program through one Problem+Workspace must reach zero steady-state
+// allocations (the exact rational backend allocates per arithmetic op by
+// design and is exempt).
+func TestSolveWithWorkspaceSteadyStateAllocs(t *testing.T) {
+	ws := NewWorkspace[float64]()
+	p := New[float64](NewFloat64Ops(), 0)
+	coef := make([]float64, 6)
+	run := func() {
+		p.Reset(6)
+		p.SetMaximize(true)
+		for v := 0; v < 6; v++ {
+			p.SetObjectiveCoef(v, float64(v+1))
+			for i := range coef {
+				coef[i] = 0
+			}
+			coef[v] = 1
+			p.AddDense(coef, LE, 10)
+		}
+		for i := range coef {
+			coef[i] = 1
+		}
+		p.AddDense(coef, LE, 20)
+		sol, err := p.SolveWith(ws)
+		if err != nil || math.IsNaN(sol.Objective) {
+			t.Fatal("solve failed")
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(30, run); allocs != 0 {
+		t.Fatalf("steady-state SolveWith allocates %.1f objects/op, want 0", allocs)
+	}
+}

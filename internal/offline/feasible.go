@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"stretchsched/internal/flow"
-	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
 )
 
@@ -65,9 +63,26 @@ type feasNet struct {
 	admiss [][]int // task -> admissible interval indices
 }
 
+// network builds the interval/admissibility structure at objective f. With a
+// workspace attached the structure is pooled and overwritten by the next
+// network call — which is why Alloc.prepare copies the bounds it keeps.
 func (p *Problem) network(f float64) *feasNet {
-	bounds := p.Intervals(f)
-	net := &feasNet{p: p, bounds: bounds, admiss: make([][]int, len(p.Tasks))}
+	var net *feasNet
+	if p.ws != nil {
+		net = &p.ws.net
+		net.p = p
+		net.bounds = p.intervalsInto(f, net.bounds)
+		if cap(net.admiss) < len(p.Tasks) {
+			net.admiss = make([][]int, len(p.Tasks))
+		}
+		net.admiss = net.admiss[:len(p.Tasks)]
+		for k := range net.admiss {
+			net.admiss[k] = net.admiss[k][:0]
+		}
+	} else {
+		net = &feasNet{p: p, bounds: p.Intervals(f), admiss: make([][]int, len(p.Tasks))}
+	}
+	bounds := net.bounds
 	for k := range p.Tasks {
 		t := &p.Tasks[k]
 		d := t.Deadline(f)
@@ -90,7 +105,7 @@ func (p *Problem) Feasible(f float64) bool {
 	if p.UsePushRelabel {
 		return p.feasiblePushRelabel(f)
 	}
-	_, ok := p.solveFlowBiased(f, false, false)
+	_, ok := p.solveFlowBiased(f, false, false, nil)
 	return ok
 }
 
@@ -100,7 +115,11 @@ func (p *Problem) Feasible(f float64) bool {
 // an arbitrary deadline-feasible LP vertex with no earliness preference —
 // the behaviour of the paper's non-optimised online baseline (§5.2).
 func (p *Problem) FeasibleAlloc(f float64, late bool) (*Alloc, error) {
-	alloc, ok := p.solveFlowBiased(f, true, late)
+	var slot *Alloc
+	if p.ws != nil {
+		slot = &p.ws.allocLazy
+	}
+	alloc, ok := p.solveFlowBiased(f, true, late, slot)
 	if !ok {
 		return nil, fmt.Errorf("offline: stretch %v infeasible", f)
 	}
@@ -108,7 +127,11 @@ func (p *Problem) FeasibleAlloc(f float64, late bool) (*Alloc, error) {
 }
 
 func (p *Problem) solveFlow(f float64, extract bool) (*Alloc, bool) {
-	return p.solveFlowBiased(f, extract, false)
+	var slot *Alloc
+	if p.ws != nil {
+		slot = &p.ws.allocSolve
+	}
+	return p.solveFlowBiased(f, extract, false, slot)
 }
 
 // feasiblePushRelabel answers the same question as the Dinic path of
@@ -130,11 +153,11 @@ func (p *Problem) feasiblePushRelabel(f float64) bool {
 	sink := 1 + n + nT*m
 
 	total := p.totalWork()
-	g := flow.NewPushRelabel(sink+1, 1e-12*(1+total))
+	g := p.prGraph(sink+1, 1e-12*(1+total))
 	for k := range p.Tasks {
 		g.AddEdge(src, taskNode(k), p.Tasks[k].Work)
 	}
-	binUsed := make(map[int]bool)
+	binUsed, _ := p.binScratch(sink + 1)
 	for k := range p.Tasks {
 		for _, t := range net.admiss[k] {
 			for _, mid := range p.eligible(k) {
@@ -156,14 +179,20 @@ func (p *Problem) feasiblePushRelabel(f float64) bool {
 	return g.MaxFlow(src, sink) >= total*(1-1e-9)-1e-12
 }
 
+// binEdge records one task→bin arc for allocation extraction.
+type binEdge struct{ t, i, k, id int }
+
 // solveFlowBiased runs the feasibility flow at objective f. When extract is
-// true and the flow saturates the demand, it also returns the allocation.
+// true and the flow saturates the demand, it also returns the allocation,
+// built in dst when non-nil (the workspace slots) or freshly otherwise.
 // late reverses the admissible-interval order seen by the augmenting
 // search, biasing the witness allocation toward late intervals.
-func (p *Problem) solveFlowBiased(f float64, extract, late bool) (*Alloc, bool) {
+func (p *Problem) solveFlowBiased(f float64, extract, late bool, dst *Alloc) (*Alloc, bool) {
 	n := len(p.Tasks)
 	if n == 0 {
-		return &Alloc{Problem: p, Stretch: f}, true
+		a := p.allocSlot(dst)
+		a.prepare(p, f, nil, 0, 0, 0)
+		return a, true
 	}
 	net := p.network(f)
 	m := p.Inst.Platform.NumMachines()
@@ -181,13 +210,11 @@ func (p *Problem) solveFlowBiased(f float64, extract, late bool) (*Alloc, bool) 
 	total := p.totalWork()
 	// Capacity tolerance relative to the shipped magnitude: absolute 1e-12
 	// epsilons cause micro-augmentation churn when works are O(10³).
-	g := flow.NewGraph[float64](lp.Float64Ops{Eps: 1e-12 * (1 + total)}, sink+1)
+	g := p.dinicGraph(sink+1, 1e-12*(1+total))
 	for k := range p.Tasks {
 		g.AddEdge(src, taskNode(k), p.Tasks[k].Work)
 	}
-	type binEdge struct{ t, i, k, id int }
-	var edges []binEdge
-	binUsed := make(map[int]bool)
+	binUsed, edges := p.binScratch(sink + 1)
 	for k := range p.Tasks {
 		admiss := net.admiss[k]
 		for ai := range admiss {
@@ -213,6 +240,9 @@ func (p *Problem) solveFlowBiased(f float64, extract, late bool) (*Alloc, bool) 
 			g.AddEdge(binNode(t, i), sink, length*p.Inst.Platform.Machine(model.MachineID(i)).Speed)
 		}
 	}
+	if p.ws != nil {
+		p.ws.edges = edges // retain the grown backing for the next build
+	}
 
 	got := g.MaxFlow(src, sink)
 	if got < total*(1-1e-9)-1e-12 {
@@ -221,14 +251,8 @@ func (p *Problem) solveFlowBiased(f float64, extract, late bool) (*Alloc, bool) 
 	if !extract {
 		return nil, true
 	}
-	alloc := &Alloc{Problem: p, Stretch: f, Bounds: net.bounds}
-	alloc.Work = make([][][]float64, nT)
-	for t := range alloc.Work {
-		alloc.Work[t] = make([][]float64, m)
-		for i := range alloc.Work[t] {
-			alloc.Work[t][i] = make([]float64, n)
-		}
-	}
+	alloc := p.allocSlot(dst)
+	alloc.prepare(p, f, net.bounds, nT, m, n)
 	for _, e := range edges {
 		if fl := g.EdgeFlow(e.id); fl > 0 {
 			alloc.Work[e.t][e.i][e.k] += fl

@@ -1,6 +1,8 @@
 package offline
 
 import (
+	"fmt"
+
 	"stretchsched/internal/model"
 	"stretchsched/internal/sim"
 )
@@ -15,13 +17,29 @@ type Planner struct {
 	// realisation, which improves the (unconstrained) sum-stretch of the
 	// realised schedule without touching the max-stretch.
 	Refined bool
+	// AllowRefineFallback downgrades a failed System (2) refinement from a
+	// run-aborting error to a recorded one (see RefineErr): the run proceeds
+	// on the unrefined allocation, which still achieves the optimal
+	// max-stretch. Off by default — an "Offline-Refined" result that was
+	// silently never refined would skew every sum-stretch comparison it
+	// appears in, so degradation must be opted into, not defaulted to.
+	AllowRefineFallback bool
 
-	plan    *sim.Plan
-	stretch float64
+	ws        *Workspace
+	refine    func(*Problem, float64) (*Alloc, error) // test seam; nil means Problem.Refine
+	refineErr error
+	plan      *sim.Plan
+	stretch   float64
 }
 
 // NewPlanner returns an offline planner with the default solver.
 func NewPlanner() *Planner { return &Planner{} }
+
+// SetWorkspace attaches a pooled solver workspace. The planner then draws
+// every solver, allocation and plan buffer from ws, so replaying instances
+// through one engine+workspace pair is allocation-free in steady state.
+// Must not be called between Plan invocations of a running simulation.
+func (pl *Planner) SetWorkspace(ws *Workspace) { pl.ws = ws }
 
 // Name implements sim.Planner.
 func (pl *Planner) Name() string {
@@ -34,10 +52,16 @@ func (pl *Planner) Name() string {
 // Stretch returns the optimal max-stretch computed during the run.
 func (pl *Planner) Stretch() float64 { return pl.stretch }
 
+// RefineErr returns the System (2) failure recorded by the last run, if
+// any. It is only ever non-nil with AllowRefineFallback set; otherwise the
+// failure aborts the run through Plan's error return.
+func (pl *Planner) RefineErr() error { return pl.refineErr }
+
 // Init implements sim.Planner.
 func (pl *Planner) Init(*model.Instance) {
 	pl.plan = nil
 	pl.stretch = 0
+	pl.refineErr = nil
 }
 
 // Plan implements sim.Planner. The full-horizon timetable is computed on
@@ -46,7 +70,12 @@ func (pl *Planner) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
 	if pl.plan != nil {
 		return pl.plan, nil
 	}
-	prob := FromInstance(ctx.Inst)
+	var prob *Problem
+	if pl.ws != nil {
+		prob = pl.ws.FromInstance(ctx.Inst)
+	} else {
+		prob = FromInstance(ctx.Inst)
+	}
 	sol, err := pl.Solver.OptimalStretch(prob)
 	if err != nil {
 		return nil, err
@@ -54,8 +83,20 @@ func (pl *Planner) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
 	pl.stretch = sol.Stretch
 	alloc := sol.Alloc
 	if pl.Refined {
-		if refined, err := prob.Refine(sol.Stretch); err == nil {
+		refine := pl.refine
+		if refine == nil {
+			refine = (*Problem).Refine
+		}
+		refined, err := refine(prob, sol.Stretch)
+		switch {
+		case err == nil:
 			alloc = refined
+		case pl.AllowRefineFallback:
+			// Opt-in degradation: keep the max-stretch-optimal allocation,
+			// record that its sum-stretch was not refined.
+			pl.refineErr = err
+		default:
+			return nil, fmt.Errorf("offline: System (2) refinement at F=%v: %w", sol.Stretch, err)
 		}
 	}
 	plan, err := alloc.Realize(TerminalSWRPT)

@@ -20,7 +20,7 @@ package offline
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"stretchsched/internal/model"
 	"stretchsched/internal/sim"
@@ -50,12 +50,20 @@ type Problem struct {
 	// benchmark). Allocation extraction always uses Dinic, whose witness
 	// bias is part of the non-optimised baseline's contract.
 	UsePushRelabel bool
+
+	// ws, when non-nil, supplies pooled buffers for every solver stage; see
+	// Workspace. Problems built by the package-level constructors or by hand
+	// have no workspace and allocate freshly, as before.
+	ws *Workspace
 }
 
 // FromInstance builds the full offline problem: every job with its original
 // release, full size and stretch deadline.
 func FromInstance(inst *model.Instance) *Problem {
-	p := &Problem{Inst: inst}
+	return fillFromInstance(&Problem{Inst: inst}, inst)
+}
+
+func fillFromInstance(p *Problem, inst *model.Instance) *Problem {
 	for j := range inst.Jobs {
 		id := model.JobID(j)
 		p.Tasks = append(p.Tasks, Task{
@@ -73,7 +81,10 @@ func FromInstance(inst *model.Instance) *Problem {
 // jobs only, available immediately, with remaining work and their original
 // stretch deadline functions.
 func FromContext(ctx *sim.Ctx) *Problem {
-	p := &Problem{Inst: ctx.Inst}
+	return fillFromContext(&Problem{Inst: ctx.Inst}, ctx)
+}
+
+func fillFromContext(p *Problem, ctx *sim.Ctx) *Problem {
 	for j := range ctx.Remaining {
 		if !ctx.Released[j] || ctx.Done[j] || ctx.Remaining[j] <= 0 {
 			continue
@@ -149,23 +160,34 @@ func (p *Problem) UpperBound() float64 {
 // Milestones enumerates the paper's milestones within (lo, hi]: objective
 // values at which a deadline function crosses a release date or another
 // deadline function, i.e. where the epochal-time ordering can change. The
-// returned slice is sorted and deduplicated.
+// returned slice is sorted and deduplicated; with a workspace attached it is
+// workspace-owned and valid until the next Milestones call.
 func (p *Problem) Milestones(lo, hi float64) []float64 {
-	var ms []float64
-	add := func(f float64) {
-		if f > lo && f <= hi && !math.IsNaN(f) && !math.IsInf(f, 0) {
-			ms = append(ms, f)
+	var ms, rel []float64
+	if p.ws != nil {
+		ms, rel = p.ws.ms[:0], p.ws.releases[:0]
+	}
+	inRange := func(f float64) bool {
+		return f > lo && f <= hi && !math.IsNaN(f) && !math.IsInf(f, 0)
+	}
+	// Deadline/release crossings, over the deduplicated release dates.
+	for k := range p.Tasks {
+		rel = append(rel, p.Tasks[k].Release)
+	}
+	slices.Sort(rel)
+	uniq := rel[:0]
+	for i, r := range rel {
+		if i == 0 || r != uniq[len(uniq)-1] {
+			uniq = append(uniq, r)
 		}
 	}
-	// Deadline/release crossings.
-	releases := map[float64]bool{}
-	for k := range p.Tasks {
-		releases[p.Tasks[k].Release] = true
-	}
+	rel = uniq
 	for k := range p.Tasks {
 		t := &p.Tasks[k]
-		for r := range releases {
-			add((r - t.DeadA) / t.DeadB)
+		for _, r := range rel {
+			if f := (r - t.DeadA) / t.DeadB; inRange(f) {
+				ms = append(ms, f)
+			}
 		}
 	}
 	// Deadline/deadline crossings.
@@ -175,15 +197,20 @@ func (p *Problem) Milestones(lo, hi float64) []float64 {
 			if ta.DeadB == tb.DeadB {
 				continue
 			}
-			add((tb.DeadA - ta.DeadA) / (ta.DeadB - tb.DeadB))
+			if f := (tb.DeadA - ta.DeadA) / (ta.DeadB - tb.DeadB); inRange(f) {
+				ms = append(ms, f)
+			}
 		}
 	}
-	sort.Float64s(ms)
+	slices.Sort(ms)
 	out := ms[:0]
 	for i, f := range ms {
 		if i == 0 || f > out[len(out)-1]*(1+1e-12)+1e-300 {
 			out = append(out, f)
 		}
+	}
+	if p.ws != nil {
+		p.ws.ms, p.ws.releases = ms, rel
 	}
 	return out
 }
@@ -191,17 +218,25 @@ func (p *Problem) Milestones(lo, hi float64) []float64 {
 // Intervals returns the epochal-time boundaries at objective value f:
 // the sorted, deduplicated union of effective releases and deadlines,
 // truncated below by the earliest release. There are len(result)-1
-// scheduling intervals.
-func (p *Problem) Intervals(f float64) []float64 {
+// scheduling intervals. The result is appended to out (which may be nil).
+func (p *Problem) Intervals(f float64) []float64 { return p.intervalsInto(f, nil) }
+
+func (p *Problem) intervalsInto(f float64, out []float64) []float64 {
 	var pts []float64
+	if p.ws != nil {
+		pts = p.ws.pts[:0]
+	}
 	minRel := math.Inf(1)
 	for k := range p.Tasks {
 		t := &p.Tasks[k]
 		pts = append(pts, t.Release, t.Deadline(f))
 		minRel = math.Min(minRel, t.Release)
 	}
-	sort.Float64s(pts)
-	var out []float64
+	slices.Sort(pts)
+	if p.ws != nil {
+		p.ws.pts = pts
+	}
+	out = out[:0]
 	for _, x := range pts {
 		if x < minRel {
 			continue

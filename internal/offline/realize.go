@@ -3,6 +3,7 @@ package offline
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"stretchsched/internal/model"
@@ -28,40 +29,74 @@ const (
 
 // Realize converts an allocation into a per-machine timetable. Work placed
 // in interval t is packed from the interval's start in the selected order;
-// capacity feasibility of the allocation guarantees it fits.
+// capacity feasibility of the allocation guarantees it fits. With a
+// workspace-backed problem, the returned plan and all realisation scratch
+// are pooled (the plan is overwritten by the next Realize on the same
+// workspace); the per-machine sorts use slices.SortFunc, so the steady
+// state allocates nothing.
 func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
+	ws := a.Problem.ws
 	m := a.Problem.Inst.Platform.NumMachines()
-	plan := sim.NewPlan(m)
+	var plan *sim.Plan
+	if ws != nil {
+		ws.plan.Reset(m)
+		plan = &ws.plan
+	} else {
+		plan = sim.NewPlan(m)
+	}
 	if len(a.Work) == 0 {
 		return plan, nil
 	}
 	n := len(a.Problem.Tasks)
+	nT := len(a.Work)
 
-	// Remaining global work of each task before each interval, for SWRPT keys.
-	remBefore := make([][]float64, len(a.Work)+1)
-	remBefore[0] = make([]float64, n)
-	for k := 0; k < n; k++ {
-		remBefore[0][k] = a.Problem.Tasks[k].Work
+	// Remaining global work of each task before each interval, for SWRPT
+	// keys: a flattened (nT+1)×n table, row t at offset t·n.
+	var remBefore []float64
+	if ws != nil {
+		if cap(ws.remBefore) < (nT+1)*n {
+			ws.remBefore = make([]float64, (nT+1)*n)
+		}
+		remBefore = ws.remBefore[:(nT+1)*n]
+	} else {
+		remBefore = make([]float64, (nT+1)*n)
 	}
-	for t := range a.Work {
-		remBefore[t+1] = append([]float64(nil), remBefore[t]...)
+	for k := 0; k < n; k++ {
+		remBefore[k] = a.Problem.Tasks[k].Work
+	}
+	for t := 0; t < nT; t++ {
+		row, next := remBefore[t*n:(t+1)*n], remBefore[(t+1)*n:(t+2)*n]
+		copy(next, row)
 		for i := range a.Work[t] {
 			for k, w := range a.Work[t][i] {
-				remBefore[t+1][k] -= w
+				next[k] -= w
 			}
 		}
 	}
 
-	lastGlobal := make([]int, n)
+	var lastGlobal []int
+	if ws != nil {
+		if cap(ws.lastGlobal) < n {
+			ws.lastGlobal = make([]int, n)
+		}
+		lastGlobal = ws.lastGlobal[:n]
+	} else {
+		lastGlobal = make([]int, n)
+	}
 	for k := 0; k < n; k++ {
 		lastGlobal[k] = a.LastInterval(k)
 	}
 
+	var ks []int
+	if ws != nil {
+		ks = ws.ks[:0]
+	}
 	for t := range a.Work {
 		lo, hi := a.Bounds[t], a.Bounds[t+1]
 		length := hi - lo
+		rem := remBefore[t*n : (t+1)*n]
 		for i := 0; i < m; i++ {
-			var ks []int
+			ks = ks[:0]
 			totalDur := 0.0
 			speed := a.Problem.Inst.Platform.Machine(model.MachineID(i)).Speed
 			for k, w := range a.Work[t][i] {
@@ -82,34 +117,41 @@ func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
 				scale = length / totalDur // absorb float dust
 			}
 			swrpt := func(k int) float64 {
-				return a.Problem.Tasks[k].DeadB * remBefore[t][k]
+				return a.Problem.Tasks[k].DeadB * rem[k]
 			}
 			switch order {
 			case TerminalSWRPT:
 				term := func(k int) bool { return a.LastIntervalOn(k, i) == t }
-				sort.Slice(ks, func(x, y int) bool {
-					kx, ky := ks[x], ks[y]
+				slices.SortFunc(ks, func(kx, ky int) int {
 					tx, ty := term(kx), term(ky)
 					if tx != ty {
-						return tx
+						if tx {
+							return -1
+						}
+						return 1
 					}
 					sx, sy := swrpt(kx), swrpt(ky)
-					if sx != sy {
-						return sx < sy
+					switch {
+					case sx < sy:
+						return -1
+					case sx > sy:
+						return 1
 					}
-					return kx < ky
+					return kx - ky
 				})
 			case GlobalCompletionEDF:
-				sort.Slice(ks, func(x, y int) bool {
-					kx, ky := ks[x], ks[y]
+				slices.SortFunc(ks, func(kx, ky int) int {
 					if lastGlobal[kx] != lastGlobal[ky] {
-						return lastGlobal[kx] < lastGlobal[ky]
+						return lastGlobal[kx] - lastGlobal[ky]
 					}
 					sx, sy := swrpt(kx), swrpt(ky)
-					if sx != sy {
-						return sx < sy
+					switch {
+					case sx < sy:
+						return -1
+					case sx > sy:
+						return 1
 					}
-					return kx < ky
+					return kx - ky
 				})
 			default:
 				return nil, fmt.Errorf("offline: unknown ordering %d", order)
@@ -124,6 +166,9 @@ func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
 				cursor = end
 			}
 		}
+	}
+	if ws != nil {
+		ws.ks = ks
 	}
 	return plan, nil
 }

@@ -3,6 +3,7 @@ package offline
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"stretchsched/internal/lp"
@@ -22,6 +23,8 @@ type Solver struct {
 }
 
 // Solution is an optimal max-stretch together with a witness allocation.
+// With a workspace-backed problem, the Solution and its Alloc are owned by
+// the workspace and overwritten by the next solve on it.
 type Solution struct {
 	Stretch      float64
 	ExactStretch rat.Rat // set in Exact mode
@@ -44,8 +47,11 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 		relTol = 1e-10
 	}
 	if len(p.Tasks) == 0 {
-		return &Solution{Stretch: 1, ExactStretch: rat.One,
-			Alloc: &Alloc{Problem: p, Stretch: 1}}, nil
+		alloc := p.allocSlot(allocSolveSlot(p))
+		alloc.prepare(p, 1, nil, 0, 0, 0)
+		sol := p.solution()
+		*sol = Solution{Stretch: 1, ExactStretch: rat.One, Alloc: alloc}
+		return sol, nil
 	}
 
 	lb := p.LowerBound()
@@ -54,7 +60,12 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 		if !ok {
 			return nil, fmt.Errorf("offline: allocation extraction failed at lower bound")
 		}
-		return &Solution{Stretch: lb, ExactStretch: rat.FromFloat(lb), Alloc: alloc}, nil
+		sol := p.solution()
+		*sol = Solution{Stretch: lb, Alloc: alloc}
+		if s.Exact {
+			sol.ExactStretch = rat.FromFloat(lb)
+		}
+		return sol, nil
 	}
 
 	ub := p.UpperBound()
@@ -67,10 +78,19 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 		}
 	}
 
-	// Bracket the optimum between consecutive candidates.
-	candidates := p.Milestones(lb, ub)
+	// Bracket the optimum between consecutive candidates. The candidate list
+	// is copied out of the milestone scratch so appending the upper bound
+	// cannot collide with it.
+	var candidates []float64
+	if p.ws != nil {
+		candidates = p.ws.candidates[:0]
+	}
+	candidates = append(candidates, p.Milestones(lb, ub)...)
 	candidates = append(candidates, ub)
-	sort.Float64s(candidates)
+	if p.ws != nil {
+		p.ws.candidates = candidates
+	}
+	slices.Sort(candidates)
 	feasIdx := sort.Search(len(candidates), func(i int) bool {
 		return p.Feasible(candidates[i])
 	})
@@ -100,7 +120,17 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 	if !ok {
 		return nil, fmt.Errorf("offline: allocation extraction failed at F=%v", fhi)
 	}
-	return &Solution{Stretch: fhi, ExactStretch: rat.FromFloat(fhi), Alloc: alloc}, nil
+	sol := p.solution()
+	*sol = Solution{Stretch: fhi, Alloc: alloc}
+	return sol, nil
+}
+
+// allocSolveSlot returns the solver-witness slot of p's workspace, or nil.
+func allocSolveSlot(p *Problem) *Alloc {
+	if p.ws != nil {
+		return &p.ws.allocSolve
+	}
+	return nil
 }
 
 // refineExact solves System (1) on [flo, fhi] with exact rational
@@ -138,7 +168,19 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	}
 	fVar := len(vars)
 	ops := lp.RatOps{}
-	prob := lp.New[rat.Rat](ops, fVar+1)
+	var prob *lp.Problem[rat.Rat]
+	var lpws *lp.Workspace[rat.Rat]
+	if p.ws != nil {
+		if p.ws.lpProb == nil {
+			p.ws.lpProb = lp.New[rat.Rat](ops, fVar+1)
+			p.ws.lpws = lp.NewWorkspace[rat.Rat]()
+		} else {
+			p.ws.lpProb.Reset(fVar + 1)
+		}
+		prob, lpws = p.ws.lpProb, p.ws.lpws
+	} else {
+		prob = lp.New[rat.Rat](ops, fVar+1)
+	}
 	prob.SetObjectiveCoef(fVar, rat.One)
 
 	// flo ≤ F ≤ fhi.
@@ -183,29 +225,25 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 		prob.AddSparse(vs, cs, lp.EQ, rat.FromFloat(p.Tasks[k].Work))
 	}
 
-	sol, err := prob.Solve()
+	sol, err := prob.SolveWith(lpws)
 	if err != nil {
 		return nil, fmt.Errorf("offline: System (1) refinement: %w", err)
 	}
 	fstar := sol.X[fVar]
-	alloc := &Alloc{Problem: p, Stretch: fstar.Float()}
-	alloc.Bounds = make([]float64, len(bounds))
-	for i, b := range bounds {
-		alloc.Bounds[i] = b.Eval(fstar).Float()
-	}
-	alloc.Work = make([][][]float64, nT)
-	for t := range alloc.Work {
-		alloc.Work[t] = make([][]float64, m)
-		for i := range alloc.Work[t] {
-			alloc.Work[t][i] = make([]float64, n)
-		}
+	alloc := p.allocSlot(allocSolveSlot(p))
+	alloc.prepare(p, fstar.Float(), nil, nT, m, n)
+	alloc.Bounds = alloc.Bounds[:0]
+	for _, b := range bounds {
+		alloc.Bounds = append(alloc.Bounds, b.Eval(fstar).Float())
 	}
 	for vi, tr := range vars {
 		if w := sol.X[vi].Float(); w > 0 {
 			alloc.Work[tr.t][tr.i][tr.k] += w
 		}
 	}
-	return &Solution{Stretch: fstar.Float(), ExactStretch: fstar, Alloc: alloc}, nil
+	out := p.solution()
+	*out = Solution{Stretch: fstar.Float(), ExactStretch: fstar, Alloc: alloc}
+	return out, nil
 }
 
 // intervalAffines returns the epochal boundaries as affine functions of F,

@@ -3,7 +3,6 @@ package offline
 import (
 	"fmt"
 
-	"stretchsched/internal/flow"
 	"stretchsched/internal/model"
 )
 
@@ -21,8 +20,14 @@ import (
 // per unit of work.
 func (p *Problem) Refine(f float64) (*Alloc, error) {
 	n := len(p.Tasks)
+	var slot *Alloc
+	if p.ws != nil {
+		slot = &p.ws.allocRefine
+	}
 	if n == 0 {
-		return &Alloc{Problem: p, Stretch: f}, nil
+		a := p.allocSlot(slot)
+		a.prepare(p, f, nil, 0, 0, 0)
+		return a, nil
 	}
 	net := p.network(f)
 	m := p.Inst.Platform.NumMachines()
@@ -37,16 +42,14 @@ func (p *Problem) Refine(f float64) (*Alloc, error) {
 	sink := 1 + n + nT*m
 
 	total := p.totalWork()
-	g := flow.NewMinCost(sink+1, 1e-12*(1+total))
+	g := p.mcGraph(sink+1, 1e-12*(1+total))
 	for k := range p.Tasks {
 		g.AddEdge(src, taskNode(k), p.Tasks[k].Work, 0)
 	}
 	// Normalise interval midpoints by the horizon start: a common shift of
 	// all costs changes the objective by a constant and keeps costs ≥ 0.
 	t0 := net.bounds[0]
-	type binEdge struct{ t, i, k, id int }
-	var edges []binEdge
-	binUsed := make(map[int]bool)
+	binUsed, edges := p.binScratch(sink + 1)
 	for k := range p.Tasks {
 		for _, t := range net.admiss[k] {
 			mid := (net.bounds[t]+net.bounds[t+1])/2 - t0
@@ -68,20 +71,17 @@ func (p *Problem) Refine(f float64) (*Alloc, error) {
 				length*p.Inst.Platform.Machine(model.MachineID(i)).Speed, 0)
 		}
 	}
+	if p.ws != nil {
+		p.ws.edges = edges
+	}
 
 	shipped, _ := g.Run(src, sink)
 	if shipped < total*(1-1e-9)-1e-12 {
 		return nil, fmt.Errorf("offline: refine: stretch %v infeasible (%.9g of %.9g shipped)",
 			f, shipped, total)
 	}
-	alloc := &Alloc{Problem: p, Stretch: f, Bounds: net.bounds}
-	alloc.Work = make([][][]float64, nT)
-	for t := range alloc.Work {
-		alloc.Work[t] = make([][]float64, m)
-		for i := range alloc.Work[t] {
-			alloc.Work[t][i] = make([]float64, n)
-		}
-	}
+	alloc := p.allocSlot(slot)
+	alloc.prepare(p, f, net.bounds, nT, m, n)
 	for _, e := range edges {
 		if fl := g.EdgeFlow(e.id); fl > 0 {
 			alloc.Work[e.t][e.i][e.k] += fl

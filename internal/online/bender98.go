@@ -23,6 +23,7 @@ type Bender98 struct {
 	// Alpha overrides the expansion factor; 0 means √∆ as in the paper.
 	Alpha float64
 
+	ws       *offline.Workspace
 	deadline []float64
 	released int
 }
@@ -30,12 +31,21 @@ type Bender98 struct {
 // NewBender98 returns the heuristic with the paper's α = √∆.
 func NewBender98() *Bender98 { return &Bender98{} }
 
+// SetWorkspace attaches a pooled solver workspace for the per-arrival
+// offline solves — the dominant cost of this algorithm (§5.3). Must not be
+// called mid-run.
+func (b *Bender98) SetWorkspace(ws *offline.Workspace) { b.ws = ws }
+
 // Name implements sim.Policy.
 func (b *Bender98) Name() string { return "Bender98" }
 
 // Init implements sim.Policy.
 func (b *Bender98) Init(inst *model.Instance) {
-	b.deadline = make([]float64, inst.NumJobs())
+	n := inst.NumJobs()
+	if cap(b.deadline) < n {
+		b.deadline = make([]float64, n)
+	}
+	b.deadline = b.deadline[:n]
 	for j := range b.deadline {
 		b.deadline[j] = math.Inf(1)
 	}
@@ -56,7 +66,12 @@ func (b *Bender98) OnEvent(ctx *sim.Ctx) {
 	b.released = released
 
 	// Offline problem over all released jobs, from scratch.
-	prob := &offline.Problem{Inst: ctx.Inst}
+	var prob *offline.Problem
+	if b.ws != nil {
+		prob = b.ws.Problem(ctx.Inst)
+	} else {
+		prob = &offline.Problem{Inst: ctx.Inst}
+	}
 	minAlone, maxAlone := math.Inf(1), 0.0
 	for j := range ctx.Released {
 		if !ctx.Released[j] {

@@ -60,8 +60,16 @@ type Heuristic struct {
 	Optimized bool
 	Solver    offline.Solver
 
-	lastStretch float64
+	ws            *offline.Workspace
+	lastStretch   float64
+	lastRefineErr error
 }
+
+// SetWorkspace attaches a pooled solver workspace: every per-arrival
+// re-optimisation then reuses one set of problem/flow/allocation/plan
+// buffers instead of rebuilding them (see offline.Workspace). Must not be
+// called mid-run.
+func (h *Heuristic) SetWorkspace(ws *offline.Workspace) { h.ws = ws }
 
 // onlineRelTol is the bisection tolerance of the per-arrival step-2 solves.
 // It is looser than the offline default: the plan is recomputed at the next
@@ -91,15 +99,33 @@ func (h *Heuristic) Name() string {
 // in step 2 (diagnostic).
 func (h *Heuristic) LastStretch() float64 { return h.lastStretch }
 
+// LastRefineErr returns the System (2) failure of the most recent Plan
+// call, or nil if the last refinement succeeded (diagnostic). Unlike the
+// offline planner, the online heuristic deliberately falls back to the
+// step-2 allocation on refinement failure — the plan is recomputed at the
+// next arrival anyway — but the failure is recorded, never swallowed.
+func (h *Heuristic) LastRefineErr() error { return h.lastRefineErr }
+
 // Init implements sim.Planner.
-func (h *Heuristic) Init(*model.Instance) { h.lastStretch = 0 }
+func (h *Heuristic) Init(*model.Instance) {
+	h.lastStretch = 0
+	h.lastRefineErr = nil
+}
 
 // Plan implements sim.Planner; it is invoked by the engine at the start and
 // at every job arrival, which realises the paper's "preempt and recompute on
 // every release" loop.
 func (h *Heuristic) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
-	prob := offline.FromContext(ctx)
+	var prob *offline.Problem
+	if h.ws != nil {
+		prob = h.ws.FromContext(ctx)
+	} else {
+		prob = offline.FromContext(ctx)
+	}
 	if len(prob.Tasks) == 0 {
+		if h.ws != nil {
+			return h.ws.EmptyPlan(ctx.Inst.Platform.NumMachines()), nil
+		}
 		return sim.NewPlan(ctx.Inst.Platform.NumMachines()), nil
 	}
 	sol, err := h.Solver.OptimalStretch(prob)
@@ -116,6 +142,7 @@ func (h *Heuristic) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
 			// tolerance; retry with a hair of slack before giving up.
 			refined, err = prob.Refine(sol.Stretch * (1 + 1e-9))
 		}
+		h.lastRefineErr = err
 		if err == nil {
 			alloc = refined
 		}
@@ -143,12 +170,17 @@ func (h *Heuristic) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
 type EGDF struct {
 	Solver offline.Solver
 
+	ws       *offline.Workspace
 	rank     map[model.JobID]int
 	released int
 }
 
 // NewEGDF returns an Online-EGDF policy.
 func NewEGDF() *EGDF { return &EGDF{Solver: offline.Solver{RelTol: onlineRelTol}} }
+
+// SetWorkspace attaches a pooled solver workspace for the per-arrival
+// re-optimisations. Must not be called mid-run.
+func (e *EGDF) SetWorkspace(ws *offline.Workspace) { e.ws = ws }
 
 // Name implements sim.Policy.
 func (e *EGDF) Name() string { return "Online-EGDF" }
@@ -172,7 +204,12 @@ func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 	}
 	e.released = released
 
-	prob := offline.FromContext(ctx)
+	var prob *offline.Problem
+	if e.ws != nil {
+		prob = e.ws.FromContext(ctx)
+	} else {
+		prob = offline.FromContext(ctx)
+	}
 	if len(prob.Tasks) == 0 {
 		e.rank = map[model.JobID]int{}
 		return

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"stretchsched/internal/model"
 )
@@ -25,6 +25,19 @@ type Plan struct {
 // NewPlan returns an empty plan for m machines.
 func NewPlan(m int) *Plan { return &Plan{PerMachine: make([][]PlanSlice, m)} }
 
+// Reset clears the plan back to m empty machine timetables, retaining every
+// per-machine slice buffer, so planners that emit a fresh timetable at every
+// arrival (the LP-based online heuristics) reuse one Plan allocation-free.
+func (p *Plan) Reset(m int) {
+	if cap(p.PerMachine) < m {
+		p.PerMachine = make([][]PlanSlice, m)
+	}
+	p.PerMachine = p.PerMachine[:m]
+	for i := range p.PerMachine {
+		p.PerMachine[i] = p.PerMachine[i][:0]
+	}
+}
+
 // Add appends a slice to machine mid's timetable (kept sorted by caller or
 // normalised by Normalize).
 func (p *Plan) Add(mid model.MachineID, s PlanSlice) {
@@ -35,10 +48,25 @@ func (p *Plan) Add(mid model.MachineID, s PlanSlice) {
 
 // Normalize sorts each machine's slices by start time and validates
 // non-overlap. It returns an error describing the first violation.
+// The sort is slices.SortFunc — not sort.Slice, whose reflect-based swapper
+// allocates — and start times tie-break by job so the order is total.
 func (p *Plan) Normalize() error {
 	for mid := range p.PerMachine {
 		sl := p.PerMachine[mid]
-		sort.Slice(sl, func(a, b int) bool { return sl[a].Start < sl[b].Start })
+		slices.SortFunc(sl, func(a, b PlanSlice) int {
+			switch {
+			case a.Start < b.Start:
+				return -1
+			case a.Start > b.Start:
+				return 1
+			case a.Job < b.Job:
+				return -1
+			case a.Job > b.Job:
+				return 1
+			default:
+				return 0
+			}
+		})
 		for k := 1; k < len(sl); k++ {
 			if sl[k].Start < sl[k-1].End-1e-9*(1+math.Abs(sl[k-1].End)) {
 				return fmt.Errorf("sim: plan overlap on machine %d at t=%v", mid, sl[k].Start)
