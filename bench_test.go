@@ -214,12 +214,14 @@ func BenchmarkFluidEngineSteadyState(b *testing.B) {
 // BenchmarkFluidEngineSteadyState: one engine + one planner workspace
 // replaying each planned (or planner-workspace-backed) scheduler through
 // core.Runner, which caches the instances and wires the workspace. The
-// allocs/op column is the headline: 0 for the offline planners, and the
-// online/Bender98 reduction the workspace overhaul bought.
+// allocs/op column is the headline: 0 for the offline planners, the
+// online/Bender98 reduction the workspace overhaul bought, and for
+// Offline-Exact the residual math/big escapes of the small-rational
+// backend (its ns/op is the acceptance number of that fast path).
 func BenchmarkPlannedEngine(b *testing.B) {
 	inst := benchInstance(b, 25)
 	runner := core.NewRunner()
-	for _, name := range []string{"Offline", "Offline-Refined", "Online", "Online-EDF", "Bender98"} {
+	for _, name := range []string{"Offline", "Offline-Refined", "Offline-Exact", "Online", "Online-EDF", "Bender98"} {
 		s := core.MustGet(name)
 		if _, err := runner.Run(s, inst); err != nil {
 			b.Fatal(err)

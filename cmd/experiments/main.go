@@ -9,10 +9,14 @@
 //	experiments -tables all -runs 3         # all sixteen tables, one pass
 //	experiments -figure 3 -runs 10          # both panels of Figure 3
 //	experiments -table 1 -horizon 900       # paper-scale 15-minute windows
+//	experiments -tables all -shard 2/6 -csv shard2.csv   # one matrix job
+//	experiments -tables all -dryrun -csv expected.csv    # row-count oracle
+//	experiments -tables all -fromcsv merged.csv          # tables, no grid
 //
 // The scheduled nightly workflow (.github/workflows/nightly.yml) runs the
-// paper-scale pass — `-tables all -horizon 900 -runs 200` — and archives
-// the streamed per-instance CSV as an artifact.
+// paper-scale pass — `-tables all -horizon 900 -runs 200` — as a matrix of
+// `-shard k/n` jobs whose CSVs a final job concatenates, checks against a
+// `-dryrun` row count, and renders into tables via `-fromcsv`.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"stretchsched/internal/core"
@@ -38,20 +43,81 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS); results are identical for any value")
 		csvOut   = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
 		progress = flag.Bool("progress", false, "report grid progress on stderr")
+		shard    = flag.String("shard", "", `run only shard "k/n" of the grid (k in 0..n-1); seeds match the unsharded run`)
+		dryRun   = flag.Bool("dryrun", false, "generate instances but run no scheduler (metrics are NA); predicts CSV row counts")
+		fromCSV  = flag.String("fromcsv", "", "aggregate tables from an existing results CSV instead of running the grid")
 	)
 	flag.Parse()
 
 	switch {
 	case *figure != "":
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
+	case *fromCSV != "":
+		var nums []int
+		switch {
+		case *tables == "all":
+			nums = allTableNumbers()
+		case *table >= 1 && *table <= 16:
+			nums = []int{*table}
+		default:
+			fmt.Fprintln(os.Stderr, "experiments: -fromcsv needs -table N or -tables all")
+			os.Exit(2)
+		}
+		tablesFromCSV(nums, *fromCSV)
 	case *tables == "all":
-		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress)
+		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun)
 	case *table >= 1 && *table <= 16:
-		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress)
+		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all, or -figure 3|3a|3b")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// parseShard reads a "k/n" shard spec; the empty spec is the whole grid.
+func parseShard(spec string) (k, n int, err error) {
+	if spec == "" {
+		return 0, 1, nil
+	}
+	a, b, ok := strings.Cut(spec, "/")
+	if ok {
+		if k, err = strconv.Atoi(a); err == nil {
+			n, err = strconv.Atoi(b)
+		}
+	}
+	if !ok || err != nil || n <= 0 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: want k/n with 0 <= k < n", spec)
+	}
+	return k, n, nil
+}
+
+// tablesFromCSV aggregates and renders tables from an existing raw dump.
+func tablesFromCSV(nums []int, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	results, err := exp.ReadResultsCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %d instances read from %s\n\n", len(results), path)
+	renderTables(nums, results)
+}
+
+func renderTables(nums []int, results []exp.InstanceResult) {
+	for _, n := range nums {
+		spec, err := exp.TableByNumber(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		rows := exp.Aggregate(results, spec.Filter, core.Table1Names())
+		fmt.Println(exp.Render(fmt.Sprintf("Table %d: %s", spec.Number, spec.Title), rows))
 	}
 }
 
@@ -77,7 +143,7 @@ func allTableNumbers() []int {
 	return out
 }
 
-func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool) {
+func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool, shard string, dryRun bool) {
 	start := time.Now()
 	opts := exp.Options{
 		Runs:       runs,
@@ -85,6 +151,16 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 		TargetJobs: target,
 		Horizon:    horizon,
 		Workers:    workers,
+		DryRun:     dryRun,
+	}
+	points := exp.DefaultGrid()
+	shardK, shardN, err := parseShard(shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if shardN > 1 {
+		points, opts.PointIndices = exp.ShardGrid(points, shardK, shardN)
 	}
 	if progress {
 		opts.Progress = func(done, total int) {
@@ -102,11 +178,11 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 		// stream is byte-identical for any worker count.
 		writeCSV(csvOut, func(f *os.File) error {
 			var err error
-			results, err = exp.RunGridCSV(f, exp.DefaultGrid(), opts)
+			results, err = exp.RunGridCSV(f, points, opts)
 			return err
 		})
 	} else {
-		results = exp.RunGrid(exp.DefaultGrid(), opts)
+		results = exp.RunGrid(points, opts)
 	}
 	errCount := 0
 	for _, r := range results {
@@ -114,15 +190,14 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 	}
 	fmt.Printf("# grid: %d instances in %v (%d scheduler errors)\n\n",
 		len(results), time.Since(start).Round(time.Second), errCount)
-	for _, n := range nums {
-		spec, err := exp.TableByNumber(n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		rows := exp.Aggregate(results, spec.Filter, core.Table1Names())
-		fmt.Println(exp.Render(fmt.Sprintf("Table %d: %s", spec.Number, spec.Title), rows))
+	if shardN > 1 || dryRun {
+		// Tables over a partial (or metric-less) grid would mislead; the
+		// nightly merge job renders them from the merged CSV instead.
+		fmt.Printf("# table rendering skipped (shard %d/%d, dryrun=%v); use -fromcsv on the merged CSV\n",
+			shardK, shardN, dryRun)
+		return
 	}
+	renderTables(nums, results)
 }
 
 func runFigure(which string, runs int, seed int64, workers int, csvOut string) {

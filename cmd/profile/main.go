@@ -22,6 +22,9 @@ func main() {
 	target := flag.Int("target", 30, "target jobs per instance")
 	workers := flag.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
 	allocs := flag.Bool("allocs", false, "report per-run heap allocations (single-instance mode)")
+	exact := flag.Bool("exact", false, "include the exact rational backend (Offline-Exact) in single-instance mode; combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
+	jobs := flag.Int("jobs", 40, "target jobs of the single heavy instance")
+	sites := flag.Int("sites", 20, "sites (and databanks) of the single heavy instance")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
 	flag.Parse()
 
@@ -54,8 +57,8 @@ func main() {
 	}
 
 	inst, err := workload.Config{
-		Sites: 20, Databanks: 20, Availability: 0.9, Density: 3.0,
-		TargetJobs: 40, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
+		Sites: *sites, Databanks: *sites, Availability: 0.9, Density: 3.0,
+		TargetJobs: *jobs, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
 	}.Generate()
 	if err != nil {
 		panic(err)
@@ -63,9 +66,15 @@ func main() {
 	fmt.Println("jobs:", inst.NumJobs())
 	// One engine and one planner workspace reused across schedulers; with
 	// -allocs, the second (warmed-up) run shows the steady-state allocation
-	// behaviour the experiment grid sees — 0 for the planned schedulers.
+	// behaviour the experiment grid sees — 0 for the planned schedulers,
+	// and with -exact the residual math/big escapes of the small-rational
+	// backend (near 0 on small-value instances).
 	runner := core.NewRunner()
-	for _, name := range []string{"Offline", "Offline-Refined", "Online", "Online-EGDF", "SWRPT", "MCT-Div"} {
+	names := []string{"Offline", "Offline-Refined", "Online", "Online-EGDF", "SWRPT", "MCT-Div"}
+	if *exact {
+		names = append(names, "Offline-Exact")
+	}
+	for _, name := range names {
 		s := core.MustGet(name)
 		t0 := time.Now()
 		sched, err := runner.Run(s, inst)

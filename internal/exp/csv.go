@@ -114,6 +114,104 @@ func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult
 	return results, werr
 }
 
+// ReadResultsCSV parses a raw per-instance metric dump produced by
+// WriteResultsCSV / RunGridCSV (or by concatenating per-shard dumps, as
+// the nightly matrix merge does) back into InstanceResults, grouping the
+// per-scheduler rows of one instance by (grid point, run). Row order
+// within an instance is preserved; instances appear in first-row order.
+// It is the read side that lets tables be aggregated from an existing CSV
+// instead of a live grid pass.
+func ReadResultsCSV(r io.Reader) ([]InstanceResult, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("exp: results CSV header: %w", err)
+	}
+	if len(header) != len(resultsHeader) {
+		return nil, fmt.Errorf("exp: results CSV header has %d columns, want %d",
+			len(header), len(resultsHeader))
+	}
+	for i, name := range resultsHeader {
+		if header[i] != name {
+			return nil, fmt.Errorf("exp: results CSV column %d is %q, want %q",
+				i, header[i], name)
+		}
+	}
+	type instKey struct {
+		point GridPoint
+		run   int
+	}
+	var results []InstanceResult
+	index := map[instKey]int{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return results, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exp: results CSV line %d: %w", line, err)
+		}
+		bad := func(col string, err error) error {
+			return fmt.Errorf("exp: results CSV line %d: bad %s: %w", line, col, err)
+		}
+		sites, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, bad("sites", err)
+		}
+		dbs, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, bad("databanks", err)
+		}
+		avail, err := parseFloat(row[2])
+		if err != nil {
+			return nil, bad("availability", err)
+		}
+		density, err := parseFloat(row[3])
+		if err != nil {
+			return nil, bad("density", err)
+		}
+		run, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, bad("run", err)
+		}
+		jobs, err := strconv.Atoi(row[5])
+		if err != nil {
+			return nil, bad("jobs", err)
+		}
+		maxS, err := parseFloat(row[7])
+		if err != nil {
+			return nil, bad("max_stretch", err)
+		}
+		sumS, err := parseFloat(row[8])
+		if err != nil {
+			return nil, bad("sum_stretch", err)
+		}
+		key := instKey{GridPoint{sites, dbs, avail, density}, run}
+		ri, ok := index[key]
+		if !ok {
+			ri = len(results)
+			index[key] = ri
+			results = append(results, InstanceResult{
+				Point:      key.point,
+				Run:        run,
+				Jobs:       jobs,
+				MaxStretch: map[string]float64{},
+				SumStretch: map[string]float64{},
+			})
+		}
+		results[ri].MaxStretch[row[6]] = maxS
+		results[ri].SumStretch[row[6]] = sumS
+	}
+}
+
+// parseFloat reads a formatFloat value, mapping "NA" back to NaN.
+func parseFloat(s string) (float64, error) {
+	if s == "NA" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
 // WriteFigure3CSV dumps the Figure 3 series.
 func WriteFigure3CSV(w io.Writer, points []Fig3Point) error {
 	cw := csv.NewWriter(w)

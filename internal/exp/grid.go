@@ -80,6 +80,19 @@ type Options struct {
 	// Workers bounds parallelism (0 = GOMAXPROCS). The worker count never
 	// affects results: instance seeds depend only on grid coordinates.
 	Workers int
+	// PointIndices, when non-nil, holds the global grid index of each
+	// entry of the points slice (len(PointIndices) == len(points)). It is
+	// how a sharded run — one slice of the grid per CI matrix job, see
+	// ShardGrid — derives exactly the per-(point, run) instance seeds of
+	// the unsharded grid: seeds depend on the global index, never on the
+	// position within the shard. Nil means points[i] is global index i.
+	PointIndices []int
+	// DryRun generates every instance but runs no scheduler, recording
+	// NaN for every metric. The result and CSV row structure is identical
+	// to a real run's at a tiny fraction of the cost, so a dry pass
+	// predicts the exact row count a sharded matrix must merge back
+	// together (the nightly workflow asserts this).
+	DryRun bool
 	// Progress, when non-nil, is called after every completed instance
 	// with the number of finished instances and the total. Calls are
 	// serialised across workers.
@@ -212,6 +225,35 @@ func shardOrder(points []GridPoint, opts Options, total, nShards int) []int {
 	return order
 }
 
+// globalPointIndex maps a position in the points slice to the grid index
+// that seeds its instances (identity unless Options.PointIndices remaps).
+func (o Options) globalPointIndex(pi int) int {
+	if o.PointIndices != nil {
+		return o.PointIndices[pi]
+	}
+	return pi
+}
+
+// ShardGrid cuts points into the k-th of n interleaved shards —
+// points[k], points[k+n], points[k+2n], … — returning the shard and the
+// global indices to pass as Options.PointIndices, so every shard derives
+// the same instance seeds it would in an unsharded run. Interleaving
+// (rather than contiguous ranges) spreads the expensive high-site,
+// high-density tail of the default grid across all shards, keeping a CI
+// matrix balanced. It panics unless 0 ≤ k < n.
+func ShardGrid(points []GridPoint, k, n int) ([]GridPoint, []int) {
+	if n <= 0 || k < 0 || k >= n {
+		panic(fmt.Sprintf("exp: shard %d/%d out of range", k, n))
+	}
+	var shard []GridPoint
+	var indices []int
+	for i := k; i < len(points); i += n {
+		shard = append(shard, points[i])
+		indices = append(indices, i)
+	}
+	return shard, indices
+}
+
 // RunGrid evaluates the configured schedulers over points × runs on the
 // sharded worker pool and returns one InstanceResult per instance, indexed
 // by pointIdx·Runs + run regardless of worker count.
@@ -252,7 +294,7 @@ func runGridSharded(points []GridPoint, opts Options,
 				}
 				for ti := lo; ti < hi; ti++ {
 					pi, run := ti/opts.Runs, ti%opts.Runs
-					results[ti] = runOne(runner, points[pi], run, pi, opts)
+					results[ti] = runOne(runner, points[pi], run, opts.globalPointIndex(pi), opts)
 					if opts.Progress != nil {
 						// Count under the same lock that serialises the
 						// callback, so done values arrive in order and
@@ -291,6 +333,15 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 	}
 	res.Jobs = inst.NumJobs()
 	if inst.NumJobs() == 0 {
+		return res
+	}
+	if opts.DryRun {
+		// Record every scheduler as NaN so the result (and CSV row)
+		// structure matches a real run exactly, without simulating.
+		for _, name := range opts.Schedulers {
+			res.MaxStretch[name] = math.NaN()
+			res.SumStretch[name] = math.NaN()
+		}
 		return res
 	}
 	for _, name := range opts.Schedulers {

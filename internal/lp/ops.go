@@ -67,13 +67,19 @@ func (o Float64Ops) Sign(a float64) int {
 
 func (o Float64Ops) Cmp(a, b float64) int { return o.Sign(a - b) }
 
-// RatOps is the exact backend over immutable rationals.
+// RatOps is the exact backend over immutable rationals. Every arithmetic
+// result is passed through rat.Reduce: values that escaped to math/big
+// during a pivot (overflowing products of float-derived coefficients) are
+// demoted back to the inline int64 small form the moment cancellation
+// brings them back in range, so tableaus whose entries simplify — the
+// common case, since most columns are 0/±1 — stay in the allocation-free
+// small-value regime.
 type RatOps struct{}
 
-func (RatOps) Add(a, b rat.Rat) rat.Rat    { return a.Add(b) }
-func (RatOps) Sub(a, b rat.Rat) rat.Rat    { return a.Sub(b) }
-func (RatOps) Mul(a, b rat.Rat) rat.Rat    { return a.Mul(b) }
-func (RatOps) Div(a, b rat.Rat) rat.Rat    { return a.Div(b) }
+func (RatOps) Add(a, b rat.Rat) rat.Rat    { return a.Add(b).Reduce() }
+func (RatOps) Sub(a, b rat.Rat) rat.Rat    { return a.Sub(b).Reduce() }
+func (RatOps) Mul(a, b rat.Rat) rat.Rat    { return a.Mul(b).Reduce() }
+func (RatOps) Div(a, b rat.Rat) rat.Rat    { return a.Div(b).Reduce() }
 func (RatOps) Neg(a rat.Rat) rat.Rat       { return a.Neg() }
 func (RatOps) Zero() rat.Rat               { return rat.Zero }
 func (RatOps) One() rat.Rat                { return rat.One }

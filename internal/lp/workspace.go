@@ -6,8 +6,10 @@ package lp
 // that solves many programs of similar shape (the exact System (1)
 // refinement of the offline solver, the lpcli REPL) performs no steady-state
 // tableau allocation. Arithmetic-side allocation is the backend's business:
-// the float64 backend allocates nothing, the exact rational backend
-// allocates per big.Rat operation regardless of the workspace.
+// the float64 backend allocates nothing, and the exact rational backend
+// stores rat.Rat values inline in the pooled tableau rows, so it too
+// allocates nothing while entries stay in rat's int64 small form — only
+// values that overflow into math/big cost heap (see rat.Rat and RatOps).
 //
 // A Workspace must not be used from multiple goroutines, and the Solution
 // returned by Problem.SolveWith (including its X vector) is overwritten by

@@ -47,6 +47,68 @@ func TestExactModeRandomCrossValidation(t *testing.T) {
 	}
 }
 
+// TestExactWorkspaceMatchesFresh: the pooled exact path — LP problem,
+// tableau workspace, construction scratch — produces bit-identical results
+// to the workspace-less one, across interleaved instance sizes (so grown
+// and shrunk scratch is exercised in both directions).
+func TestExactWorkspaceMatchesFresh(t *testing.T) {
+	ws := NewWorkspace()
+	exact := Solver{Exact: true}
+	for i, nJobs := range []int{8, 3, 10, 2, 6} {
+		inst := plannerTestInstance(t, 700+int64(i), nJobs)
+		fsol, err := exact.OptimalStretch(FromInstance(inst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		psol, err := exact.OptimalStretch(ws.FromInstance(inst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psol.ExactStretch.Cmp(fsol.ExactStretch) != 0 {
+			t.Fatalf("jobs=%d: pooled exact stretch %v, fresh %v",
+				nJobs, psol.ExactStretch, fsol.ExactStretch)
+		}
+		if psol.Stretch != fsol.Stretch {
+			t.Fatalf("jobs=%d: pooled stretch %v, fresh %v", nJobs, psol.Stretch, fsol.Stretch)
+		}
+		if len(psol.Alloc.Bounds) != len(fsol.Alloc.Bounds) {
+			t.Fatalf("jobs=%d: bounds %d pooled vs %d fresh",
+				nJobs, len(psol.Alloc.Bounds), len(fsol.Alloc.Bounds))
+		}
+		for b := range fsol.Alloc.Bounds {
+			if fsol.Alloc.Bounds[b] != psol.Alloc.Bounds[b] {
+				t.Fatalf("jobs=%d: bound %d differs", nJobs, b)
+			}
+		}
+	}
+}
+
+// TestExactSmallDataSteadyStateAllocs is the small-value-regime acceptance
+// of the small-rational backend: on an instance whose releases, sizes and
+// speeds are small integers, every rational the exact System (1) solve
+// touches fits rat's inline int64 form, and a warmed-up workspace-backed
+// exact solve must therefore not allocate at all — the exact analogue of
+// TestRunPlannedOfflineSteadyStateAllocs.
+func TestExactSmallDataSteadyStateAllocs(t *testing.T) {
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 4, Databank: 0},
+		{Release: 2, Size: 2, Databank: 0},
+	})
+	ws := NewWorkspace()
+	exact := Solver{Exact: true}
+	if _, err := exact.OptimalStretch(ws.FromInstance(inst)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(30, func() {
+		if _, err := exact.OptimalStretch(ws.FromInstance(inst)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state exact solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestExactStretchIsRational: the exact solver returns the optimum as a
 // true rational, and its float projection matches Stretch.
 func TestExactStretchIsRational(t *testing.T) {

@@ -133,10 +133,19 @@ func allocSolveSlot(p *Problem) *Alloc {
 	return nil
 }
 
+// exTriple identifies one System (1) variable x_{t,i,k}: interval t,
+// machine i, task k. It doubles as the admissibility map key.
+type exTriple struct{ t, i, k int }
+
 // refineExact solves System (1) on [flo, fhi] with exact rational
 // arithmetic: minimise F subject to the interval-capacity and completion
 // constraints, the interval bounds being affine functions of F with the
-// ordering frozen inside the bracket.
+// ordering frozen inside the bracket. With a workspace attached, every
+// construction buffer — variable list, admissibility index, sparse rows,
+// interval affines, the LP itself — is pooled, so the only steady-state
+// allocations left are the math/big escapes of rationals that outgrow the
+// inline small form (none at all on instances with small-rational data;
+// see TestExactSmallDataSteadyStateAllocs).
 func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	mid := flo + (fhi-flo)/2
 	bounds := p.intervalAffines(mid)
@@ -148,9 +157,18 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	n := len(p.Tasks)
 
 	// Variable layout: x_{t,i,k} for admissible triples, then F last.
-	type triple struct{ t, i, k int }
-	var vars []triple
-	varOf := map[[3]int]int{}
+	var vars []exTriple
+	var varOf map[exTriple]int
+	if p.ws != nil {
+		vars = p.ws.exVars[:0]
+		if p.ws.exVarOf == nil {
+			p.ws.exVarOf = map[exTriple]int{}
+		}
+		varOf = p.ws.exVarOf
+		clear(varOf)
+	} else {
+		varOf = map[exTriple]int{}
+	}
 	for k := 0; k < n; k++ {
 		tk := &p.Tasks[k]
 		d := tk.Deadline(mid)
@@ -161,8 +179,8 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 				continue
 			}
 			for _, mi := range p.eligible(k) {
-				varOf[[3]int{t, int(mi), k}] = len(vars)
-				vars = append(vars, triple{t, int(mi), k})
+				varOf[exTriple{t, int(mi), k}] = len(vars)
+				vars = append(vars, exTriple{t, int(mi), k})
 			}
 		}
 	}
@@ -170,7 +188,10 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	ops := lp.RatOps{}
 	var prob *lp.Problem[rat.Rat]
 	var lpws *lp.Workspace[rat.Rat]
+	var vs []int
+	var cs []rat.Rat
 	if p.ws != nil {
+		p.ws.exVars = vars
 		if p.ws.lpProb == nil {
 			p.ws.lpProb = lp.New[rat.Rat](ops, fVar+1)
 			p.ws.lpws = lp.NewWorkspace[rat.Rat]()
@@ -178,24 +199,26 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 			p.ws.lpProb.Reset(fVar + 1)
 		}
 		prob, lpws = p.ws.lpProb, p.ws.lpws
+		vs, cs = p.ws.exVS[:0], p.ws.exCS[:0]
 	} else {
 		prob = lp.New[rat.Rat](ops, fVar+1)
 	}
 	prob.SetObjectiveCoef(fVar, rat.One)
 
-	// flo ≤ F ≤ fhi.
-	prob.AddSparse([]int{fVar}, []rat.Rat{rat.One}, lp.GE, rat.FromFloat(flo))
-	prob.AddSparse([]int{fVar}, []rat.Rat{rat.One}, lp.LE, rat.FromFloat(fhi))
+	// flo ≤ F ≤ fhi. AddSparse copies its arguments, so the vs/cs scratch
+	// pair is reused for every constraint below.
+	vs, cs = append(vs[:0], fVar), append(cs[:0], rat.One)
+	prob.AddSparse(vs, cs, lp.GE, rat.FromFloat(flo))
+	prob.AddSparse(vs, cs, lp.LE, rat.FromFloat(fhi))
 
 	// Capacity: Σ_k x_{t,i,k} ≤ speed_i · len_t(F); len_t is affine in F.
 	for t := 0; t < nT; t++ {
 		lenA := bounds[t+1].A.Sub(bounds[t].A)
 		lenB := bounds[t+1].B.Sub(bounds[t].B)
 		for i := 0; i < m; i++ {
-			var vs []int
-			var cs []rat.Rat
+			vs, cs = vs[:0], cs[:0]
 			for k := 0; k < n; k++ {
-				if v, ok := varOf[[3]int{t, i, k}]; ok {
+				if v, ok := varOf[exTriple{t, i, k}]; ok {
 					vs = append(vs, v)
 					cs = append(cs, rat.One)
 				}
@@ -211,8 +234,7 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	}
 	// Completion: Σ_{t,i} x = Work_k.
 	for k := 0; k < n; k++ {
-		var vs []int
-		var cs []rat.Rat
+		vs, cs = vs[:0], cs[:0]
 		for vi, tr := range vars {
 			if tr.k == k {
 				vs = append(vs, vi)
@@ -223,6 +245,9 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 			return nil, fmt.Errorf("offline: task %d has no admissible slot in [%v,%v]", k, flo, fhi)
 		}
 		prob.AddSparse(vs, cs, lp.EQ, rat.FromFloat(p.Tasks[k].Work))
+	}
+	if p.ws != nil {
+		p.ws.exVS, p.ws.exCS = vs, cs
 	}
 
 	sol, err := prob.SolveWith(lpws)
@@ -246,27 +271,42 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	return out, nil
 }
 
+// affItem pairs an epochal-boundary affine with its value at the probe
+// point, for the intervalAffines sort.
+type affItem struct {
+	aff rat.Affine
+	val float64
+}
+
 // intervalAffines returns the epochal boundaries as affine functions of F,
 // ordered by their value at the probe point fm (inside a milestone-free
 // interval the order is constant). Boundaries strictly below the earliest
 // release are dropped; duplicates (equal at fm, hence equal on the whole
-// interval) are merged.
+// interval) are merged. The returned slice is workspace scratch when p is
+// pooled: valid until the next exact refinement on the same workspace.
 func (p *Problem) intervalAffines(fm float64) []rat.Affine {
-	type item struct {
-		aff rat.Affine
-		val float64
+	var items []affItem
+	var out []rat.Affine
+	if p.ws != nil {
+		items, out = p.ws.exItems[:0], p.ws.exBounds[:0]
 	}
-	var items []item
 	minRel := math.Inf(1)
 	for k := range p.Tasks {
 		t := &p.Tasks[k]
 		minRel = math.Min(minRel, t.Release)
 		items = append(items,
-			item{rat.Const(rat.FromFloat(t.Release)), t.Release},
-			item{rat.Line(rat.FromFloat(t.DeadA), rat.FromFloat(t.DeadB)), t.Deadline(fm)})
+			affItem{rat.Const(rat.FromFloat(t.Release)), t.Release},
+			affItem{rat.Line(rat.FromFloat(t.DeadA), rat.FromFloat(t.DeadB)), t.Deadline(fm)})
 	}
-	sort.Slice(items, func(a, b int) bool { return items[a].val < items[b].val })
-	var out []rat.Affine
+	slices.SortFunc(items, func(a, b affItem) int {
+		switch {
+		case a.val < b.val:
+			return -1
+		case a.val > b.val:
+			return 1
+		}
+		return 0
+	})
 	var lastVal float64
 	for _, it := range items {
 		if it.val < minRel-1e-12*(1+math.Abs(minRel)) {
@@ -277,6 +317,9 @@ func (p *Problem) intervalAffines(fm float64) []rat.Affine {
 		}
 		out = append(out, it.aff)
 		lastVal = it.val
+	}
+	if p.ws != nil {
+		p.ws.exItems, p.ws.exBounds = items, out
 	}
 	return out
 }

@@ -65,9 +65,19 @@ type Workspace struct {
 	ks         []int
 	plan       sim.Plan
 
-	// Exact-mode System (1) solver state.
-	lpProb *lp.Problem[rat.Rat]
-	lpws   *lp.Workspace[rat.Rat]
+	// Exact-mode System (1) solver state: the pooled rational LP, its
+	// tableau workspace, and the refineExact construction scratch — the
+	// admissible-triple list and index, one reusable sparse-row buffer
+	// pair, and the interval-affine structure — so a steady-state exact
+	// refinement rebuilds System (1) without reallocating any of it.
+	lpProb   *lp.Problem[rat.Rat]
+	lpws     *lp.Workspace[rat.Rat]
+	exVars   []exTriple
+	exVarOf  map[exTriple]int
+	exVS     []int
+	exCS     []rat.Rat
+	exItems  []affItem
+	exBounds []rat.Affine
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily on

@@ -1,26 +1,50 @@
-// Package rat provides immutable exact rational scalars on top of math/big,
-// plus one-dimensional affine forms a + b·x used by the milestone machinery
-// of the offline max-stretch solver.
+// Package rat provides immutable exact rational scalars, plus
+// one-dimensional affine forms a + b·x used by the milestone machinery of
+// the offline max-stretch solver.
 //
 // The paper (§5.3) reports that its offline solver is "occasionally beaten"
 // by online heuristics because of floating-point precision loss when two
 // epochal times nearly coincide. Exact rationals remove that failure mode,
 // at a constant-factor cost; the fast float64 paths elsewhere in this
 // repository fall back to this package whenever exactness matters.
+//
+// # Representation
+//
+// A Rat is stored in one of two forms. The small form is an inline
+// int64 numerator/denominator pair: all arithmetic on it is a handful of
+// machine operations (binary GCD, 128-bit overflow checks via bits.Mul64)
+// and allocates nothing. When a result no longer fits — numerator or
+// denominator magnitude above MaxInt64 — the operation escapes to the big
+// form, a *math/big.Rat, and every operation involving a big operand stays
+// big: the package never demotes behind the caller's back. Reduce demotes
+// an escaped value back to the small form when it fits again; hot loops
+// that want to stay in the small regime (the exact LP backend, see
+// lp.RatOps) apply it after each operation.
 package rat
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"math/bits"
+	"strconv"
 )
 
 // Rat is an immutable rational number. The zero value is 0.
 //
 // Immutability is the point of the wrapper: math/big.Rat has an imperative,
 // aliasing API that is easy to misuse inside solver pivots. All arithmetic
-// here allocates a fresh value and never mutates operands.
+// here returns a fresh value and never mutates operands, which also makes
+// it safe for two Rats to share an escaped *big.Rat.
 type Rat struct {
-	r *big.Rat // nil means zero
+	// Small form (r == nil): the value num/den with den > 0,
+	// gcd(|num|, den) == 1 and |num|, den ≤ MaxInt64 — MinInt64 is kept out
+	// of both fields so negation can never overflow. The zero value
+	// (num == 0, den == 0) is the canonical 0.
+	num, den int64
+	// Big form (r != nil): num/den are meaningless. The pointed-to value is
+	// never mutated, so ops may return an operand's pointer unchanged.
+	r *big.Rat
 }
 
 // Zero is the rational 0.
@@ -29,29 +53,147 @@ var Zero = Rat{}
 // One is the rational 1.
 var One = FromInt(1)
 
+// small builds a small-form Rat from a reduced num/den pair with den > 0,
+// canonicalising zero.
+func small(num, den int64) Rat {
+	if num == 0 {
+		return Rat{}
+	}
+	return Rat{num: num, den: den}
+}
+
+// normSmall reduces num/den (den > 0) by their GCD and canonicalises.
+func normSmall(num, den int64) Rat {
+	if num == 0 {
+		return Rat{}
+	}
+	if g := int64(gcd64(absU(num), uint64(den))); g > 1 {
+		num, den = num/g, den/g
+	}
+	return Rat{num: num, den: den}
+}
+
+// nd returns the small-form numerator and denominator, mapping the zero
+// value to 0/1. Only valid when a.r == nil.
+func (a Rat) nd() (num, den int64) {
+	if a.den == 0 {
+		return 0, 1
+	}
+	return a.num, a.den
+}
+
+// absU is |n| as a uint64 (correct for MinInt64, which the small form
+// nevertheless never holds).
+func absU(n int64) uint64 {
+	if n < 0 {
+		return uint64(-n)
+	}
+	return uint64(n)
+}
+
+// gcd64 is the binary GCD of a and b; gcd64(0, b) = b.
+func gcd64(a, b uint64) uint64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	k := bits.TrailingZeros64(a | b)
+	a >>= bits.TrailingZeros64(a)
+	for {
+		b >>= bits.TrailingZeros64(b)
+		if a > b {
+			a, b = b, a
+		}
+		b -= a
+		if b == 0 {
+			return a << k
+		}
+	}
+}
+
+// mul64 returns a·b, reporting overflow past ±MaxInt64 (MinInt64 counts as
+// overflow so the small form stays negation-safe).
+func mul64(a, b int64) (int64, bool) {
+	hi, lo := bits.Mul64(absU(a), absU(b))
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, true
+	}
+	if (a < 0) != (b < 0) {
+		return -int64(lo), false
+	}
+	return int64(lo), false
+}
+
+// add64 returns a+b, reporting overflow (MinInt64 counts as overflow).
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if ((a^s)&(b^s)) < 0 || s == math.MinInt64 {
+		return 0, true
+	}
+	return s, false
+}
+
 // FromInt returns the rational n/1.
-func FromInt(n int64) Rat { return Rat{big.NewRat(n, 1)} }
+func FromInt(n int64) Rat {
+	if n == math.MinInt64 {
+		return Rat{r: big.NewRat(n, 1)}
+	}
+	return small(n, 1)
+}
 
 // FromFrac returns the rational num/den. It panics if den == 0.
 func FromFrac(num, den int64) Rat {
 	if den == 0 {
 		panic("rat: zero denominator")
 	}
-	return Rat{big.NewRat(num, den)}
+	if num == math.MinInt64 || den == math.MinInt64 {
+		// Constructors demote when the reduced value fits (e.g. MinInt64/2).
+		return Rat{r: big.NewRat(num, den)}.Reduce()
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	return normSmall(num, den)
 }
 
 // FromFloat returns the exact rational value of f.
 // It panics if f is NaN or ±Inf, which have no rational representation.
 func FromFloat(f float64) Rat {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("rat: cannot represent %v", f))
+	}
+	if f == 0 {
+		return Rat{}
+	}
+	// f = m·2^e exactly, with m odd after stripping trailing zero bits.
+	frac, exp := math.Frexp(f)
+	m := int64(frac * (1 << 53))
+	e := exp - 53
+	if tz := bits.TrailingZeros64(absU(m)); tz > 0 {
+		m >>= tz
+		e += tz
+	}
+	if e >= 0 {
+		if e+bits.Len64(absU(m)) <= 63 {
+			return small(m<<e, 1)
+		}
+	} else if -e <= 62 {
+		// m is odd, so m / 2^-e is already reduced.
+		return small(m, int64(1)<<-e)
+	}
+	// Magnitude or precision beyond the small form: escape.
 	r := new(big.Rat).SetFloat64(f)
 	if r == nil {
 		panic(fmt.Sprintf("rat: cannot represent %v", f))
 	}
-	return Rat{r}
+	return Rat{r: r}
 }
 
-// FromBig returns a Rat holding a copy of r.
-func FromBig(r *big.Rat) Rat { return Rat{new(big.Rat).Set(r)} }
+// FromBig returns a Rat holding the value of r (copied, then demoted to the
+// small form if it fits).
+func FromBig(r *big.Rat) Rat { return Rat{r: new(big.Rat).Set(r)}.Reduce() }
 
 // Parse reads a rational from a string in "a/b" or decimal notation.
 func Parse(s string) (Rat, error) {
@@ -59,51 +201,228 @@ func Parse(s string) (Rat, error) {
 	if !ok {
 		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
 	}
-	return Rat{r}, nil
+	return Rat{r: r}.Reduce(), nil
 }
 
-func (a Rat) big() *big.Rat {
+// IsSmall reports whether a is held in the inline int64 form. Arithmetic on
+// small operands allocates nothing unless the result overflows.
+func (a Rat) IsSmall() bool { return a.r == nil }
+
+// Reduce returns a demoted to the small form when its numerator and
+// denominator fit int64, and a unchanged otherwise. Arithmetic never
+// demotes on its own — once a value escapes to math/big it stays big — so
+// long-running exact computations call Reduce at natural boundaries (the
+// LP backend applies it after every operation) to return to the fast
+// small-value regime.
+func (a Rat) Reduce() Rat {
 	if a.r == nil {
-		return new(big.Rat)
+		return a
 	}
-	return a.r
+	num, den := a.r.Num(), a.r.Denom()
+	if num.IsInt64() && den.IsInt64() {
+		n, d := num.Int64(), den.Int64()
+		if n != math.MinInt64 && d != math.MinInt64 {
+			// big.Rat keeps gcd(|n|, d) == 1 and d > 0.
+			return small(n, d)
+		}
+	}
+	return a
+}
+
+// bigRef materialises a as a *big.Rat, allocating only for small values.
+// Callers must not mutate the result when a is big.
+func (a Rat) bigRef() *big.Rat {
+	if a.r != nil {
+		return a.r
+	}
+	n, d := a.nd()
+	return big.NewRat(n, d)
 }
 
 // Float returns the nearest float64 to a.
 func (a Rat) Float() float64 {
-	f, _ := a.big().Float64()
+	if a.r != nil {
+		f, _ := a.r.Float64()
+		return f
+	}
+	n, d := a.nd()
+	if n == 0 {
+		return 0
+	}
+	if d == 1 {
+		return float64(n) // int64→float64 conversion rounds correctly
+	}
+	// When both operands convert exactly, IEEE division rounds correctly.
+	const exact = int64(1) << 53
+	if n > -exact && n < exact && d < exact {
+		return float64(n) / float64(d)
+	}
+	f, _ := big.NewRat(n, d).Float64()
 	return f
 }
 
 // Big returns a copy of a as a *big.Rat.
-func (a Rat) Big() *big.Rat { return new(big.Rat).Set(a.big()) }
+func (a Rat) Big() *big.Rat { return new(big.Rat).Set(a.bigRef()) }
+
+// addSmall computes a + sign·b on small operands; ok is false on overflow
+// (sign is ±1, so sign·b cannot itself overflow).
+func addSmall(a, b Rat, sign int64) (Rat, bool) {
+	an, ad := a.nd()
+	bn, bd := b.nd()
+	bn *= sign
+	if an == 0 {
+		return small(bn, bd), true
+	}
+	if bn == 0 {
+		return small(an, ad), true
+	}
+	// a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d).
+	g := int64(gcd64(uint64(ad), uint64(bd)))
+	ad2, bd2 := ad/g, bd/g
+	p1, ov1 := mul64(an, bd2)
+	p2, ov2 := mul64(bn, ad2)
+	num, ov3 := add64(p1, p2)
+	den, ov4 := mul64(ad, bd2)
+	if ov1 || ov2 || ov3 || ov4 {
+		return Rat{}, false
+	}
+	// num can still share a factor of g with den.
+	return normSmall(num, den), true
+}
+
+// mulSmall computes a·b on small operands; ok is false on overflow.
+func mulSmall(a, b Rat) (Rat, bool) {
+	an, ad := a.nd()
+	bn, bd := b.nd()
+	if an == 0 || bn == 0 {
+		return Rat{}, true
+	}
+	// Cross-reduce first so the products are as small as possible; the
+	// result is then already in lowest terms.
+	g1 := int64(gcd64(absU(an), uint64(bd)))
+	g2 := int64(gcd64(absU(bn), uint64(ad)))
+	num, ov1 := mul64(an/g1, bn/g2)
+	den, ov2 := mul64(ad/g2, bd/g1)
+	if ov1 || ov2 {
+		return Rat{}, false
+	}
+	return Rat{num: num, den: den}, true
+}
+
+// invSmall returns 1/b for a small nonzero b.
+func invSmall(b Rat) Rat {
+	bn, bd := b.nd()
+	if bn < 0 {
+		return Rat{num: -bd, den: -bn}
+	}
+	return Rat{num: bd, den: bn}
+}
 
 // Add returns a + b.
-func (a Rat) Add(b Rat) Rat { return Rat{new(big.Rat).Add(a.big(), b.big())} }
+func (a Rat) Add(b Rat) Rat {
+	if a.r == nil && b.r == nil {
+		if r, ok := addSmall(a, b, 1); ok {
+			return r
+		}
+	}
+	if a.r == nil && a.den == 0 {
+		return b
+	}
+	if b.r == nil && b.den == 0 {
+		return a
+	}
+	return Rat{r: new(big.Rat).Add(a.bigRef(), b.bigRef())}
+}
 
 // Sub returns a - b.
-func (a Rat) Sub(b Rat) Rat { return Rat{new(big.Rat).Sub(a.big(), b.big())} }
+func (a Rat) Sub(b Rat) Rat {
+	if a.r == nil && b.r == nil {
+		if r, ok := addSmall(a, b, -1); ok {
+			return r
+		}
+	}
+	if b.r == nil && b.den == 0 {
+		return a
+	}
+	if a.r == nil && a.den == 0 {
+		return b.Neg()
+	}
+	return Rat{r: new(big.Rat).Sub(a.bigRef(), b.bigRef())}
+}
 
 // Mul returns a * b.
-func (a Rat) Mul(b Rat) Rat { return Rat{new(big.Rat).Mul(a.big(), b.big())} }
+func (a Rat) Mul(b Rat) Rat {
+	if a.r == nil && b.r == nil {
+		if r, ok := mulSmall(a, b); ok {
+			return r
+		}
+	}
+	// Annihilator and unit shortcuts keep the mixed path allocation-free
+	// on the 0/±1 entries that dominate simplex tableaus.
+	if a.r == nil {
+		switch {
+		case a.den == 0:
+			return Rat{}
+		case a.num == 1 && a.den == 1:
+			return b
+		case a.num == -1 && a.den == 1:
+			return b.Neg()
+		}
+	}
+	if b.r == nil {
+		switch {
+		case b.den == 0:
+			return Rat{}
+		case b.num == 1 && b.den == 1:
+			return a
+		case b.num == -1 && b.den == 1:
+			return a.Neg()
+		}
+	}
+	return Rat{r: new(big.Rat).Mul(a.bigRef(), b.bigRef())}
+}
 
 // Div returns a / b. It panics if b is zero.
 func (a Rat) Div(b Rat) Rat {
 	if b.Sign() == 0 {
 		panic("rat: division by zero")
 	}
-	return Rat{new(big.Rat).Quo(a.big(), b.big())}
+	if b.r == nil {
+		if a.r == nil {
+			if r, ok := mulSmall(a, invSmall(b)); ok {
+				return r
+			}
+		}
+		if b.num == 1 && b.den == 1 {
+			return a
+		}
+		if b.num == -1 && b.den == 1 {
+			return a.Neg()
+		}
+	}
+	if a.r == nil && a.den == 0 {
+		return Rat{}
+	}
+	return Rat{r: new(big.Rat).Quo(a.bigRef(), b.bigRef())}
 }
 
 // Neg returns -a.
-func (a Rat) Neg() Rat { return Rat{new(big.Rat).Neg(a.big())} }
+func (a Rat) Neg() Rat {
+	if a.r == nil {
+		return small(-a.num, a.den)
+	}
+	return Rat{r: new(big.Rat).Neg(a.r)}
+}
 
 // Inv returns 1/a. It panics if a is zero.
 func (a Rat) Inv() Rat {
 	if a.Sign() == 0 {
 		panic("rat: inverse of zero")
 	}
-	return Rat{new(big.Rat).Inv(a.big())}
+	if a.r == nil {
+		return invSmall(a)
+	}
+	return Rat{r: new(big.Rat).Inv(a.r)}
 }
 
 // Abs returns |a|.
@@ -115,10 +434,60 @@ func (a Rat) Abs() Rat {
 }
 
 // Sign returns -1, 0 or +1 according to the sign of a.
-func (a Rat) Sign() int { return a.big().Sign() }
+func (a Rat) Sign() int {
+	if a.r != nil {
+		return a.r.Sign()
+	}
+	switch {
+	case a.num > 0:
+		return 1
+	case a.num < 0:
+		return -1
+	}
+	return 0
+}
 
 // Cmp compares a and b and returns -1, 0 or +1.
-func (a Rat) Cmp(b Rat) int { return a.big().Cmp(b.big()) }
+func (a Rat) Cmp(b Rat) int {
+	if a.r == nil && b.r == nil {
+		sa, sb := a.Sign(), b.Sign()
+		switch {
+		case sa != sb:
+			if sa < sb {
+				return -1
+			}
+			return 1
+		case sa == 0:
+			return 0
+		}
+		// Same nonzero sign: compare |an|·bd against |bn|·ad in 128 bits,
+		// flipping the answer for negatives.
+		an, ad := a.nd()
+		bn, bd := b.nd()
+		h1, l1 := bits.Mul64(absU(an), uint64(bd))
+		h2, l2 := bits.Mul64(absU(bn), uint64(ad))
+		c := 0
+		switch {
+		case h1 != h2:
+			if h1 < h2 {
+				c = -1
+			} else {
+				c = 1
+			}
+		case l1 != l2:
+			if l1 < l2 {
+				c = -1
+			} else {
+				c = 1
+			}
+		}
+		if sa < 0 {
+			c = -c
+		}
+		return c
+	}
+	return a.bigRef().Cmp(b.bigRef())
+}
 
 // Equal reports whether a == b.
 func (a Rat) Equal(b Rat) bool { return a.Cmp(b) == 0 }
@@ -146,7 +515,16 @@ func Max(a, b Rat) Rat {
 }
 
 // String formats a in exact "a/b" notation.
-func (a Rat) String() string { return a.big().RatString() }
+func (a Rat) String() string {
+	if a.r != nil {
+		return a.r.RatString()
+	}
+	n, d := a.nd()
+	if d == 1 {
+		return strconv.FormatInt(n, 10)
+	}
+	return strconv.FormatInt(n, 10) + "/" + strconv.FormatInt(d, 10)
+}
 
 // Affine is the one-dimensional affine form A + B·x with exact coefficients.
 // Epochal times in the offline solver are affine functions of the stretch

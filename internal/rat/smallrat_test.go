@@ -1,0 +1,330 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// checkInvariant fails unless a satisfies the representation invariant of
+// the small form: canonical zero, positive reduced denominator, MinInt64
+// kept out of both fields.
+func checkInvariant(t *testing.T, a Rat, ctx string) {
+	t.Helper()
+	if a.r != nil {
+		return
+	}
+	if a.num == 0 {
+		if a.den != 0 {
+			t.Fatalf("%s: non-canonical zero %d/%d", ctx, a.num, a.den)
+		}
+		return
+	}
+	if a.den <= 0 {
+		t.Fatalf("%s: non-positive denominator %d/%d", ctx, a.num, a.den)
+	}
+	if a.num == math.MinInt64 || a.den == math.MinInt64 {
+		t.Fatalf("%s: MinInt64 leaked into small form %d/%d", ctx, a.num, a.den)
+	}
+	if g := gcd64(absU(a.num), uint64(a.den)); g != 1 {
+		t.Fatalf("%s: unreduced small form %d/%d (gcd %d)", ctx, a.num, a.den, g)
+	}
+}
+
+// oracle mirrors one Rat operation on pure big.Rat values.
+type oracle struct {
+	name  string
+	rat   func(a, b Rat) Rat
+	big   func(a, b *big.Rat) *big.Rat
+	defOK func(b Rat) bool // operand filter (division by zero)
+}
+
+var oracles = []oracle{
+	{"Add", Rat.Add, func(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }, nil},
+	{"Sub", Rat.Sub, func(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }, nil},
+	{"Mul", Rat.Mul, func(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }, nil},
+	{"Div", Rat.Div, func(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) },
+		func(b Rat) bool { return b.Sign() != 0 }},
+}
+
+// diffCheck runs every operation on (a, b) against the big.Rat oracle.
+func diffCheck(t *testing.T, a, b Rat) {
+	t.Helper()
+	ab, bb := a.Big(), b.Big()
+	for _, op := range oracles {
+		if op.defOK != nil && !op.defOK(b) {
+			continue
+		}
+		got := op.rat(a, b)
+		want := op.big(ab, bb)
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("%s(%v, %v) = %v, oracle %v", op.name, a, b, got, want.RatString())
+		}
+		checkInvariant(t, got, op.name)
+	}
+	if got, want := a.Cmp(b), ab.Cmp(bb); got != want {
+		t.Fatalf("Cmp(%v, %v) = %d, oracle %d", a, b, got, want)
+	}
+	if got, want := a.Sign(), ab.Sign(); got != want {
+		t.Fatalf("Sign(%v) = %d, oracle %d", a, got, want)
+	}
+	if got := a.Neg(); got.Big().Cmp(new(big.Rat).Neg(ab)) != 0 {
+		t.Fatalf("Neg(%v) = %v", a, got)
+	}
+	if a.Sign() != 0 {
+		if got := a.Inv(); got.Big().Cmp(new(big.Rat).Inv(ab)) != 0 {
+			t.Fatalf("Inv(%v) = %v", a, got)
+		}
+	}
+	if got := a.Reduce(); got.Big().Cmp(ab) != 0 {
+		t.Fatalf("Reduce(%v) = %v changed the value", a, got)
+	}
+}
+
+// interestingInt64s are operands engineered to sit at the overflow escape
+// boundary: products and cross-sums of adjacent pairs straddle MaxInt64.
+var interestingInt64s = []int64{
+	0, 1, -1, 2, 3, 7, -12, 1000003,
+	math.MaxInt64, math.MaxInt64 - 1, -math.MaxInt64,
+	math.MaxInt64 / 2, math.MaxInt64/2 + 1, -(math.MaxInt64 / 2),
+	int64(1) << 31, (int64(1) << 31) + 1, int64(3037000499), // ≈ √MaxInt64
+	int64(3037000500), -int64(3037000500), (int64(1) << 62) - 1,
+}
+
+// TestDifferentialInteresting pits every operation on every pair of
+// boundary operands against the big.Rat oracle, including pairs whose
+// intermediate products overflow int64 mid-operation.
+func TestDifferentialInteresting(t *testing.T) {
+	var vals []Rat
+	for _, n := range interestingInt64s {
+		for _, d := range interestingInt64s {
+			if d == 0 {
+				continue
+			}
+			vals = append(vals, FromFrac(n, d))
+		}
+	}
+	for _, a := range vals {
+		checkInvariant(t, a, "FromFrac")
+	}
+	// The full cross product is ~160k pairs; sample deterministically.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		diffCheck(t, a, b)
+	}
+}
+
+// TestDifferentialRandom drives random operand chains through both
+// representations: escaped values (from deliberately overflowing products)
+// are mixed back in as operands, exercising small/big and big/big paths.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randRat := func() Rat {
+		switch rng.Intn(4) {
+		case 0: // small values
+			return FromFrac(rng.Int63n(2000)-1000, 1+rng.Int63n(1000))
+		case 1: // near the escape boundary
+			return FromFrac(rng.Int63()-math.MaxInt64/2, 1+rng.Int63())
+		case 2: // escaped: product of two near-boundary values
+			a := FromFrac(rng.Int63(), 1+rng.Int63n(1000))
+			b := FromFrac(rng.Int63(), 1+rng.Int63n(1000))
+			return a.Mul(b)
+		default: // float-derived dyadic
+			return FromFloat((rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(120)-60))
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		diffCheck(t, randRat(), randRat())
+	}
+}
+
+// TestFromFracMinInt64 covers the one constructor edge the small form
+// excludes: MinInt64 operands go through math/big, but the constructor
+// still demotes when the reduced value fits (constructors demote; only
+// arithmetic never does).
+func TestFromFracMinInt64(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		want     string
+		small    bool
+	}{
+		{math.MinInt64, 2, "-4611686018427387904", true},
+		{math.MinInt64, math.MinInt64, "1", true},
+		{2, math.MinInt64, "-1/4611686018427387904", true},
+		{math.MinInt64, 1, "-9223372036854775808", false},
+		{math.MinInt64, 3, "-9223372036854775808/3", false},
+		{1, math.MinInt64, "-1/9223372036854775808", false},
+	}
+	for _, c := range cases {
+		r := FromFrac(c.num, c.den)
+		checkInvariant(t, r, "FromFrac")
+		if r.String() != c.want || r.IsSmall() != c.small {
+			t.Errorf("FromFrac(%d, %d) = %v (small=%v), want %v (small=%v)",
+				c.num, c.den, r, r.IsSmall(), c.want, c.small)
+		}
+		if want := big.NewRat(c.num, c.den); r.Big().Cmp(want) != 0 {
+			t.Errorf("FromFrac(%d, %d) = %v, oracle %v", c.num, c.den, r, want.RatString())
+		}
+	}
+}
+
+// TestEscapeAndReduce walks a value across the escape boundary and back:
+// squaring escapes to math/big, dividing the square root back out shrinks
+// the value, and Reduce must then demote it to the small form again.
+func TestEscapeAndReduce(t *testing.T) {
+	a := FromFrac(math.MaxInt64/3, 1)
+	sq := a.Mul(a)
+	if sq.IsSmall() {
+		t.Fatal("square of MaxInt64/3 cannot fit the small form")
+	}
+	back := sq.Div(a)
+	if back.IsSmall() {
+		t.Fatal("big operands must stay big until Reduce")
+	}
+	red := back.Reduce()
+	if !red.IsSmall() {
+		t.Fatalf("Reduce(%v) should demote", back)
+	}
+	if !red.Equal(a) || red.Big().Cmp(a.Big()) != 0 {
+		t.Fatalf("Reduce changed the value: %v != %v", red, a)
+	}
+	// A value that genuinely does not fit must survive Reduce unchanged.
+	huge := sq.Mul(sq)
+	if r := huge.Reduce(); r.IsSmall() || r.Big().Cmp(huge.Big()) != 0 {
+		t.Fatalf("Reduce must not demote %v", huge)
+	}
+}
+
+// TestSmallOpsDoNotAllocate is the point of the representation: arithmetic
+// that stays within the small form performs no heap allocation.
+func TestSmallOpsDoNotAllocate(t *testing.T) {
+	a, b := FromFrac(355, 113), FromFrac(-22, 7)
+	var sink Rat
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = a.Add(b).Mul(a).Sub(b).Div(a).Neg()
+		if sink.Cmp(b) == 0 {
+			t.Fatal("unexpected equality")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("small-regime arithmetic allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFromFloatSmallForm checks which floats land in the small form, and
+// that the round trip through Float is exact on both sides of the escape
+// boundary.
+func TestFromFloatSmallForm(t *testing.T) {
+	cases := []struct {
+		f     float64
+		small bool
+	}{
+		{0, true},
+		{1, true},
+		{-1, true},
+		{0.5, true},
+		{0.1, true},                 // 3602879701896397 / 2^55, both fit
+		{0.1 + 0.2, true},           // 1351079888211149 / 2^52
+		{1.5e15, true},              // integral, fits int64
+		{math.Ldexp(1, 62), true},   // 2^62
+		{math.Ldexp(1, 63), false},  // 2^63 overflows int64
+		{math.Ldexp(1, -62), true},  // den 2^62
+		{math.Ldexp(1, -63), false}, // den 2^63 overflows
+		{math.Ldexp(3, -62), true},  // 3 / 2^62
+		{1e300, false},              // magnitude far beyond int64
+		{5e-324, false},             // subnormal, den 2^1074
+		{math.MaxFloat64, false},
+		{math.SmallestNonzeroFloat64, false},
+	}
+	for _, c := range cases {
+		r := FromFloat(c.f)
+		checkInvariant(t, r, "FromFloat")
+		if r.IsSmall() != c.small {
+			t.Errorf("FromFloat(%g).IsSmall() = %v, want %v", c.f, r.IsSmall(), c.small)
+		}
+		if got := r.Float(); got != c.f {
+			t.Errorf("FromFloat(%g).Float() = %g, round trip broken", c.f, got)
+		}
+		// Whatever the form, the value must equal the big.Rat reference.
+		if want := new(big.Rat).SetFloat64(c.f); r.Big().Cmp(want) != 0 {
+			t.Errorf("FromFloat(%g) = %v, oracle %v", c.f, r, want.RatString())
+		}
+	}
+}
+
+// TestFromFloatRandomRoundTrip hammers the FromFloat/Float round trip with
+// random floats across the full exponent range.
+func TestFromFloatRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		r := FromFloat(f)
+		checkInvariant(t, r, "FromFloat")
+		if got := r.Float(); got != f {
+			t.Fatalf("round trip %v -> %v (bits %x)", f, got, math.Float64bits(f))
+		}
+		if want := new(big.Rat).SetFloat64(f); r.Big().Cmp(want) != 0 {
+			t.Fatalf("FromFloat(%v) = %v, oracle %v", f, r, want.RatString())
+		}
+	}
+}
+
+// TestMixedRepresentationEquality: the same value reached through the
+// small and the big form must compare equal and hash to the same string.
+func TestMixedRepresentationEquality(t *testing.T) {
+	small := FromFrac(22, 7)
+	big1, err := Parse("22/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forcedBig := FromFrac(44, 1).Div(FromInt(14)) // small path, still 22/7
+	viaEscape := FromFrac(22, 7).Mul(FromFrac(math.MaxInt64/2, 1)).
+		Div(FromFrac(math.MaxInt64/2, 1)) // escapes, stays big
+	if viaEscape.IsSmall() {
+		t.Fatal("expected an escaped representation")
+	}
+	for _, v := range []Rat{big1, forcedBig, viaEscape} {
+		if !small.Equal(v) || small.Cmp(v) != 0 || v.Cmp(small) != 0 {
+			t.Fatalf("22/7 relatives are unequal: %v vs %v", small, v)
+		}
+		if v.String() != "22/7" {
+			t.Fatalf("String() = %q, want 22/7", v.String())
+		}
+	}
+}
+
+// FuzzRatDifferential is the fuzzing entry point of the differential
+// oracle: two operands assembled from raw int64 fuzz input are run through
+// every operation on both representations.
+func FuzzRatDifferential(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64-1), int64(-math.MaxInt64), int64(2))
+	f.Add(int64(3037000499), int64(3037000500), int64(1)<<62, int64(7))
+	f.Add(int64(0), int64(1), int64(0), int64(-1))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 || an == math.MinInt64 || ad == math.MinInt64 ||
+			bn == math.MinInt64 || bd == math.MinInt64 {
+			return
+		}
+		a, b := FromFrac(an, ad), FromFrac(bn, bd)
+		ab, bb := a.Big(), b.Big()
+		for _, op := range oracles {
+			if op.defOK != nil && !op.defOK(b) {
+				continue
+			}
+			got := op.rat(a, b)
+			if want := op.big(ab, bb); got.Big().Cmp(want) != 0 {
+				t.Fatalf("%s(%v, %v) = %v, oracle %v", op.name, a, b, got, want.RatString())
+			}
+		}
+		if got, want := a.Cmp(b), ab.Cmp(bb); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, oracle %d", a, b, got, want)
+		}
+	})
+}
