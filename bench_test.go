@@ -237,6 +237,35 @@ func BenchmarkPlannedEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkOfflineExactScale is the acceptance benchmark of the sparse
+// revised simplex: Offline-Exact through core.Runner on paper-scale
+// platforms (10 and 20 sites, the §5.3 grid's heavy tail), the instances
+// that were impractical on the dense tableau — 16m20s at 10 sites on the
+// measurement host, versus ~2s through the revised method, and 20 sites
+// did not finish at all (~18s revised). CI records one iteration of each
+// in BENCH_<sha>.json via the bench-smoke job.
+func BenchmarkOfflineExactScale(b *testing.B) {
+	for _, sites := range []int{10, 20} {
+		inst, err := workload.Config{
+			Sites: sites, Databanks: sites, Availability: 0.9, Density: 3.0,
+			TargetJobs: 20, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := core.NewRunner()
+		s := core.MustGet("Offline-Exact")
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(s, inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGridWorkers measures the sharded runner's scaling on a fixed
 // grid slice: the same work at 1 worker and at GOMAXPROCS workers, with
 // bitwise-identical results (see exp.TestGridWorkerInvariance).
@@ -296,6 +325,31 @@ func BenchmarkSimplexRational(b *testing.B) {
 	}
 }
 
+// BenchmarkSimplexRevised is BenchmarkSimplexRational through the revised
+// solver: the same tiny dense box LP, tracking the revised method's
+// per-solve constant factors (eta file, column build, BTRAN pricing). On
+// programs this small and dense the tableau is competitive — which is why
+// it stays the float-path solver; the revised method's case is the sparse
+// System (1) scale of BenchmarkOfflineExactScale and the ablation below.
+func BenchmarkSimplexRevised(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := lp.New[rat.Rat](lp.RatOps{}, 6)
+		p.SetMaximize(true)
+		one := rat.One
+		for v := 0; v < 6; v++ {
+			p.SetObjectiveCoef(v, rat.FromInt(int64(v+1)))
+			row := make([]rat.Rat, 6)
+			row[v] = one
+			p.AddDense(row, lp.LE, rat.FromInt(10))
+		}
+		p.AddDense([]rat.Rat{one, one, one, one, one, one}, lp.LE, rat.FromInt(20))
+		if _, err := p.SolveRevised(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMinCostFlow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -316,8 +370,12 @@ func BenchmarkMinCostFlow(b *testing.B) {
 // --- ablation benchmarks (design choices from DESIGN.md) ---
 
 // BenchmarkAblationExactRefinement compares the float bisection refinement
-// against the exact rational System (1) LP on the same instance: the price
-// of eliminating the §5.3 precision anomaly.
+// against the exact rational System (1) LP on the same instance — the
+// price of eliminating the §5.3 precision anomaly — and, within the exact
+// mode, the sparse revised simplex against the dense-tableau oracle
+// (Solver.DenseLP): the System (1) ablation DESIGN.md quotes. The gap
+// between the last two grows with platform size; see
+// BenchmarkOfflineExactScale for the paper-scale end of the curve.
 func BenchmarkAblationExactRefinement(b *testing.B) {
 	inst := benchInstance(b, 8)
 	prob := offline.FromInstance(inst)
@@ -329,8 +387,16 @@ func BenchmarkAblationExactRefinement(b *testing.B) {
 			}
 		}
 	})
-	b.Run("exact-lp", func(b *testing.B) {
+	b.Run("exact-lp-revised", func(b *testing.B) {
 		s := offline.Solver{Exact: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.OptimalStretch(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-lp-dense", func(b *testing.B) {
+		s := offline.Solver{Exact: true, DenseLP: true}
 		for i := 0; i < b.N; i++ {
 			if _, err := s.OptimalStretch(prob); err != nil {
 				b.Fatal(err)

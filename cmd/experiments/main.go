@@ -12,11 +12,14 @@
 //	experiments -tables all -shard 2/6 -csv shard2.csv   # one matrix job
 //	experiments -tables all -dryrun -csv expected.csv    # row-count oracle
 //	experiments -tables all -fromcsv merged.csv          # tables, no grid
+//	experiments ... -csv s.csv -digest s.digest          # per-point digests
 //
 // The scheduled nightly workflow (.github/workflows/nightly.yml) runs the
 // paper-scale pass — `-tables all -horizon 900 -runs 200` — as a matrix of
 // `-shard k/n` jobs whose CSVs a final job concatenates, checks against a
-// `-dryrun` row count, and renders into tables via `-fromcsv`.
+// `-dryrun` row count and the shards' per-point row digests (recomputed
+// from the merged file with `-fromcsv ... -digest`), and renders into
+// tables via `-fromcsv`.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		shard    = flag.String("shard", "", `run only shard "k/n" of the grid (k in 0..n-1); seeds match the unsharded run`)
 		dryRun   = flag.Bool("dryrun", false, "generate instances but run no scheduler (metrics are NA); predicts CSV row counts")
 		fromCSV  = flag.String("fromcsv", "", "aggregate tables from an existing results CSV instead of running the grid")
+		digest   = flag.String("digest", "", "write per-point row digests (one FNV-64a line per grid point) to this file; with -fromcsv they are recomputed from the CSV, which is how the nightly merge detects corrupted shards")
 	)
 	flag.Parse()
 
@@ -53,26 +57,30 @@ func main() {
 	case *figure != "":
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
 	case *fromCSV != "":
-		var nums []int
-		switch {
-		case *tables == "all":
-			nums = allTableNumbers()
-		case *table >= 1 && *table <= 16:
-			nums = []int{*table}
-		default:
-			fmt.Fprintln(os.Stderr, "experiments: -fromcsv needs -table N or -tables all")
-			os.Exit(2)
-		}
-		tablesFromCSV(nums, *fromCSV)
+		fromCSVMain(*tables, *table, *fromCSV, *digest)
 	case *tables == "all":
-		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun)
+		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest)
 	case *table >= 1 && *table <= 16:
-		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun)
+		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all, or -figure 3|3a|3b")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func fromCSVMain(tables string, table int, fromCSV, digest string) {
+	var nums []int
+	switch {
+	case tables == "all":
+		nums = allTableNumbers()
+	case table >= 1 && table <= 16:
+		nums = []int{table}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: -fromcsv needs -table N or -tables all")
+		os.Exit(2)
+	}
+	tablesFromCSV(nums, fromCSV, digest)
 }
 
 // parseShard reads a "k/n" shard spec; the empty spec is the whole grid.
@@ -92,8 +100,9 @@ func parseShard(spec string) (k, n int, err error) {
 	return k, n, nil
 }
 
-// tablesFromCSV aggregates and renders tables from an existing raw dump.
-func tablesFromCSV(nums []int, path string) {
+// tablesFromCSV aggregates and renders tables from an existing raw dump,
+// optionally recomputing the per-point row digests of its rows.
+func tablesFromCSV(nums []int, path, digest string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -106,7 +115,26 @@ func tablesFromCSV(nums []int, path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("# %d instances read from %s\n\n", len(results), path)
+	writeDigests(digest, results)
 	renderTables(nums, results)
+}
+
+// writeDigests writes per-point row digests to path (no-op when empty).
+func writeDigests(path string, results []exp.InstanceResult) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := exp.WritePointDigests(f, results, core.Table1Names()); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# per-point row digests written to %s\n\n", path)
 }
 
 func renderTables(nums []int, results []exp.InstanceResult) {
@@ -143,7 +171,7 @@ func allTableNumbers() []int {
 	return out
 }
 
-func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool, shard string, dryRun bool) {
+func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool, shard string, dryRun bool, digest string) {
 	start := time.Now()
 	opts := exp.Options{
 		Runs:       runs,
@@ -184,12 +212,15 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 	} else {
 		results = exp.RunGrid(points, opts)
 	}
-	errCount := 0
+	writeDigests(digest, results)
+	errCount, stretchErrs, refineErrs := 0, 0, 0
 	for _, r := range results {
 		errCount += len(r.Errs)
+		stretchErrs += r.StretchErrs
+		refineErrs += r.RefineErrs
 	}
-	fmt.Printf("# grid: %d instances in %v (%d scheduler errors)\n\n",
-		len(results), time.Since(start).Round(time.Second), errCount)
+	fmt.Printf("# grid: %d instances in %v (%d scheduler errors, %d stretch-solve failures, %d refine fallbacks)\n\n",
+		len(results), time.Since(start).Round(time.Second), errCount, stretchErrs, refineErrs)
 	if shardN > 1 || dryRun {
 		// Tables over a partial (or metric-less) grid would mislead; the
 		// nightly merge job renders them from the merged CSV instead.

@@ -13,6 +13,9 @@ import (
 
 	"stretchsched/internal/core"
 	"stretchsched/internal/exp"
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/sim"
 	"stretchsched/internal/workload"
 )
 
@@ -23,6 +26,7 @@ func main() {
 	workers := flag.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
 	allocs := flag.Bool("allocs", false, "report per-run heap allocations (single-instance mode)")
 	exact := flag.Bool("exact", false, "include the exact rational backend (Offline-Exact) in single-instance mode; combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
+	denseLP := flag.Bool("denselp", false, "with -exact: solve System (1) on the dense tableau instead of the revised simplex (the ablation baseline; expect orders of magnitude slower at scale)")
 	jobs := flag.Int("jobs", 40, "target jobs of the single heavy instance")
 	sites := flag.Int("sites", 20, "sites (and databanks) of the single heavy instance")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
@@ -74,10 +78,18 @@ func main() {
 	if *exact {
 		names = append(names, "Offline-Exact")
 	}
+	denseWS := offline.NewWorkspace()
+	run := func(name string) (*model.Schedule, error) {
+		if name == "Offline-Exact" && *denseLP {
+			pl := &offline.Planner{Solver: offline.Solver{Exact: true, DenseLP: true}}
+			pl.SetWorkspace(denseWS)
+			return sim.RunPlanned(inst, pl)
+		}
+		return runner.Run(core.MustGet(name), inst)
+	}
 	for _, name := range names {
-		s := core.MustGet(name)
 		t0 := time.Now()
-		sched, err := runner.Run(s, inst)
+		sched, err := run(name)
 		if err != nil {
 			fmt.Println(name, "ERR", err)
 			continue
@@ -85,10 +97,13 @@ func main() {
 		elapsed := time.Since(t0).Round(time.Millisecond)
 		line := fmt.Sprintf("%-16s %8v  max=%.3f sum=%.1f",
 			name, elapsed, sched.MaxStretch(inst), sched.SumStretch(inst))
+		if se, re, ok := runner.SolveFailures(name); ok && se+re > 0 {
+			line += fmt.Sprintf("  solve-failures=%d/%d", se, re)
+		}
 		if *allocs {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
-			if _, err := runner.Run(s, inst); err != nil {
+			if _, err := run(name); err != nil {
 				fmt.Println(name, "ERR", err)
 				continue
 			}

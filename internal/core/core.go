@@ -38,6 +38,13 @@ type workspaceUser interface {
 	SetWorkspace(ws *offline.Workspace)
 }
 
+// solveDiagnostics is implemented by schedulers that record per-event
+// solver failures they fell back from instead of aborting (the online
+// heuristics' Refine fallback, Online-EGDF's optimal-stretch retry).
+type solveDiagnostics interface {
+	SolveFailures() (stretchErrs, refineErrs int)
+}
+
 // Runner executes schedulers on one reusable simulation engine and one
 // pooled planner workspace, so harnesses that replay many instances (the
 // experiment grid, benchmarks) avoid per-run allocation: registry-backed
@@ -92,6 +99,27 @@ func (r *Runner) Run(s Scheduler, inst *model.Instance) (*model.Schedule, error)
 		return eb.RunWith(r.eng, inst)
 	}
 	return s.Run(inst)
+}
+
+// SolveFailures reports the per-event solver-failure counters recorded by
+// the named scheduler's cached instance during its most recent run on this
+// Runner, and whether the scheduler records them at all (only the LP-based
+// online schedulers do). The counters are the diagnostics seam behind
+// cmd/experiments' failure summary: fallbacks are part of the algorithms'
+// contract, but a grid pass that silently absorbed thousands of them would
+// mislead, so they are counted where they happen and surfaced here.
+func (r *Runner) SolveFailures(name string) (stretchErrs, refineErrs int, ok bool) {
+	var inst any
+	if pl, found := r.planners[name]; found {
+		inst = pl
+	} else if pol, found := r.policies[name]; found {
+		inst = pol
+	}
+	if sd, found := inst.(solveDiagnostics); found {
+		stretchErrs, refineErrs = sd.SolveFailures()
+		return stretchErrs, refineErrs, true
+	}
+	return 0, 0, false
 }
 
 type policyScheduler struct {

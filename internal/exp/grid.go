@@ -153,6 +153,12 @@ type InstanceResult struct {
 	MaxStretch map[string]float64
 	SumStretch map[string]float64
 	Errs       []error
+	// StretchErrs and RefineErrs count the per-event solver failures the
+	// online schedulers recorded and fell back from (step-2 optimal
+	// stretch, step-3 System (2) refinement) on this instance — recorded
+	// diagnostics, not run errors; cmd/experiments sums them per pass.
+	StretchErrs int
+	RefineErrs  int
 }
 
 // shardSize is the number of (point, run) tasks per worker shard: small
@@ -364,6 +370,10 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 		}
 		res.MaxStretch[name] = sched.MaxStretch(inst)
 		res.SumStretch[name] = sched.SumStretch(inst)
+		if se, re, ok := runner.SolveFailures(name); ok {
+			res.StretchErrs += se
+			res.RefineErrs += re
+		}
 	}
 	return res
 }

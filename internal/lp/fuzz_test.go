@@ -1,0 +1,125 @@
+package lp
+
+import (
+	"testing"
+
+	"stretchsched/internal/rat"
+)
+
+// fuzzLP is one decoded differential-fuzz instance: a small LP with
+// small-integer data (so the exact solve stays fast even on adversarial
+// inputs).
+type fuzzLP struct {
+	nvars, ncons int
+	maximize     bool
+	obj          []int64
+	rows         [][]int64
+	rels         []Rel
+	rhs          []int64
+}
+
+// decodeFuzzLP reads an instance from raw fuzz bytes: header, then one
+// signed byte per coefficient, mapped into small ranges.
+func decodeFuzzLP(data []byte) (fuzzLP, bool) {
+	if len(data) < 4 {
+		return fuzzLP{}, false
+	}
+	lp := fuzzLP{
+		nvars:    1 + int(data[0]%5),
+		ncons:    1 + int(data[1]%5),
+		maximize: data[2]%2 == 1,
+	}
+	data = data[3:]
+	next := func() int64 {
+		if len(data) == 0 {
+			return 0
+		}
+		v := int64(int8(data[0]))
+		data = data[1:]
+		return v
+	}
+	lp.obj = make([]int64, lp.nvars)
+	for v := range lp.obj {
+		lp.obj[v] = next() % 10
+	}
+	rels := [3]Rel{LE, GE, EQ}
+	for r := 0; r < lp.ncons; r++ {
+		row := make([]int64, lp.nvars)
+		for v := range row {
+			row[v] = next() % 6
+		}
+		lp.rows = append(lp.rows, row)
+		lp.rels = append(lp.rels, rels[uint8(next())%3])
+		lp.rhs = append(lp.rhs, next()%12)
+	}
+	return lp, true
+}
+
+// build materialises the instance over the exact backend, with unit box
+// constraints x_v ≤ 16 appended so most instances are bounded (the rest
+// exercise status agreement on Unbounded/Infeasible).
+func (l fuzzLP) build() *Problem[rat.Rat] {
+	p := New[rat.Rat](RatOps{}, l.nvars)
+	p.SetMaximize(l.maximize)
+	for v, c := range l.obj {
+		p.SetObjectiveCoef(v, rat.FromFrac(c, int64(1+v)))
+	}
+	for r, row := range l.rows {
+		coefs := make([]rat.Rat, l.nvars)
+		for v, c := range row {
+			coefs[v] = rat.FromInt(c)
+		}
+		p.AddDense(coefs, l.rels[r], rat.FromInt(l.rhs[r]))
+	}
+	box := make([]rat.Rat, l.nvars)
+	for v := 0; v < l.nvars; v++ {
+		for i := range box {
+			box[i] = rat.Zero
+		}
+		box[v] = rat.One
+		p.AddDense(box, LE, rat.FromInt(16))
+	}
+	return p
+}
+
+// FuzzSimplexDifferential is the dense-vs-revised oracle, in the mould of
+// rat.FuzzRatDifferential: a small LP decoded from raw fuzz bytes is
+// solved by both the dense tableau and the sparse revised simplex under
+// exact rational arithmetic, where "identical" means identical — equal
+// Status and bit-equal optimal objective, no tolerance. Optimal bases may
+// legitimately differ at degenerate optima, so X itself is not compared,
+// but both solutions' objectives must re-evaluate from their X exactly.
+func FuzzSimplexDifferential(f *testing.F) {
+	f.Add([]byte{2, 2, 1, 16, 50, 5, 1, 7, 9, 200, 3})
+	f.Add([]byte{3, 4, 0, 255, 128, 127, 0, 85, 170, 51, 204, 15, 2, 90, 33, 7, 211})
+	f.Add([]byte{1, 1, 1, 129, 1, 3})
+	f.Add([]byte{4, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
+	f.Add([]byte{5, 5, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, ok := decodeFuzzLP(data)
+		if !ok {
+			return
+		}
+		ds, derr := inst.build().Solve()
+		rs, rerr := inst.build().SolveRevised()
+		if ds.Status != rs.Status {
+			t.Fatalf("status: dense %v (err %v), revised %v (err %v)",
+				ds.Status, derr, rs.Status, rerr)
+		}
+		if ds.Status != Optimal {
+			return
+		}
+		if !ds.Objective.Equal(rs.Objective) {
+			t.Fatalf("objective: dense %v, revised %v", ds.Objective, rs.Objective)
+		}
+		for _, sol := range []*Solution[rat.Rat]{ds, rs} {
+			got := rat.Zero
+			for v, c := range inst.obj {
+				got = got.Add(rat.FromFrac(c, int64(1+v)).Mul(sol.X[v]))
+			}
+			if !got.Equal(sol.Objective) {
+				t.Fatalf("objective %v does not re-evaluate from X (%v)", sol.Objective, got)
+			}
+		}
+	})
+}

@@ -1,12 +1,16 @@
-// Package lp implements a dense two-phase primal simplex solver.
+// Package lp implements two-phase primal simplex solvers: a dense tableau
+// and a sparse revised method with a product-form basis inverse.
 //
 // The paper's offline max-stretch algorithm (System (1)) and the sum-stretch
 // refinement of its online heuristics (System (2)) are linear programs. The
 // original work used an external LP solver; Go's standard library has none,
-// so this package provides one from scratch. It is generic over the scalar
-// field: a fast float64 backend with tolerances for simulation, and an exact
-// big.Rat backend that eliminates the floating-point milestone anomaly the
-// paper reports in §5.3.
+// so this package provides them from scratch, generic over the scalar
+// field: a fast float64 backend with tolerances for simulation, and an
+// exact rational backend that eliminates the floating-point milestone
+// anomaly the paper reports in §5.3. The dense tableau (Solve/SolveWith)
+// is the float-path solver and differential oracle; the revised simplex
+// (SolveRevised/SolveRevisedWith, see revised.go) is the exact backend's
+// production solver for the paper-scale sparse programs.
 package lp
 
 import "stretchsched/internal/rat"
@@ -18,6 +22,12 @@ type Ops[T any] interface {
 	Sub(a, b T) T
 	Mul(a, b T) T
 	Div(a, b T) T
+	// MulAdd returns a + b·c. Backends fuse it where that matters: the
+	// exact backend evaluates the whole expression before deciding whether
+	// it fits the inline small form, so accumulate chains (simplex eta
+	// updates) whose intermediates overflow but whose results cancel back
+	// into range stay allocation-free.
+	MulAdd(a, b, c T) T
 	Neg(a T) T
 	Zero() T
 	One() T
@@ -39,16 +49,17 @@ type Float64Ops struct {
 // NewFloat64Ops returns a Float64Ops with the default tolerance 1e-9.
 func NewFloat64Ops() Float64Ops { return Float64Ops{Eps: 1e-9} }
 
-func (o Float64Ops) Add(a, b float64) float64    { return a + b }
-func (o Float64Ops) Sub(a, b float64) float64    { return a - b }
-func (o Float64Ops) Mul(a, b float64) float64    { return a * b }
-func (o Float64Ops) Div(a, b float64) float64    { return a / b }
-func (o Float64Ops) Neg(a float64) float64       { return -a }
-func (o Float64Ops) Zero() float64               { return 0 }
-func (o Float64Ops) One() float64                { return 1 }
-func (o Float64Ops) FromInt(n int64) float64     { return float64(n) }
-func (o Float64Ops) FromFloat(f float64) float64 { return f }
-func (o Float64Ops) Float(a float64) float64     { return a }
+func (o Float64Ops) Add(a, b float64) float64       { return a + b }
+func (o Float64Ops) Sub(a, b float64) float64       { return a - b }
+func (o Float64Ops) Mul(a, b float64) float64       { return a * b }
+func (o Float64Ops) Div(a, b float64) float64       { return a / b }
+func (o Float64Ops) MulAdd(a, b, c float64) float64 { return a + b*c }
+func (o Float64Ops) Neg(a float64) float64          { return -a }
+func (o Float64Ops) Zero() float64                  { return 0 }
+func (o Float64Ops) One() float64                   { return 1 }
+func (o Float64Ops) FromInt(n int64) float64        { return float64(n) }
+func (o Float64Ops) FromFloat(f float64) float64    { return f }
+func (o Float64Ops) Float(a float64) float64        { return a }
 
 func (o Float64Ops) Sign(a float64) int {
 	eps := o.Eps
@@ -76,15 +87,16 @@ func (o Float64Ops) Cmp(a, b float64) int { return o.Sign(a - b) }
 // small-value regime.
 type RatOps struct{}
 
-func (RatOps) Add(a, b rat.Rat) rat.Rat    { return a.Add(b).Reduce() }
-func (RatOps) Sub(a, b rat.Rat) rat.Rat    { return a.Sub(b).Reduce() }
-func (RatOps) Mul(a, b rat.Rat) rat.Rat    { return a.Mul(b).Reduce() }
-func (RatOps) Div(a, b rat.Rat) rat.Rat    { return a.Div(b).Reduce() }
-func (RatOps) Neg(a rat.Rat) rat.Rat       { return a.Neg() }
-func (RatOps) Zero() rat.Rat               { return rat.Zero }
-func (RatOps) One() rat.Rat                { return rat.One }
-func (RatOps) FromInt(n int64) rat.Rat     { return rat.FromInt(n) }
-func (RatOps) FromFloat(f float64) rat.Rat { return rat.FromFloat(f) }
-func (RatOps) Float(a rat.Rat) float64     { return a.Float() }
-func (RatOps) Sign(a rat.Rat) int          { return a.Sign() }
-func (RatOps) Cmp(a, b rat.Rat) int        { return a.Cmp(b) }
+func (RatOps) Add(a, b rat.Rat) rat.Rat       { return a.Add(b).Reduce() }
+func (RatOps) Sub(a, b rat.Rat) rat.Rat       { return a.Sub(b).Reduce() }
+func (RatOps) Mul(a, b rat.Rat) rat.Rat       { return a.Mul(b).Reduce() }
+func (RatOps) Div(a, b rat.Rat) rat.Rat       { return a.Div(b).Reduce() }
+func (RatOps) MulAdd(a, b, c rat.Rat) rat.Rat { return rat.MulAdd(a, b, c) }
+func (RatOps) Neg(a rat.Rat) rat.Rat          { return a.Neg() }
+func (RatOps) Zero() rat.Rat                  { return rat.Zero }
+func (RatOps) One() rat.Rat                   { return rat.One }
+func (RatOps) FromInt(n int64) rat.Rat        { return rat.FromInt(n) }
+func (RatOps) FromFloat(f float64) rat.Rat    { return rat.FromFloat(f) }
+func (RatOps) Float(a rat.Rat) float64        { return a.Float() }
+func (RatOps) Sign(a rat.Rat) int             { return a.Sign() }
+func (RatOps) Cmp(a, b rat.Rat) int           { return a.Cmp(b) }

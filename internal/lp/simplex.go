@@ -50,13 +50,47 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
-// ErrNotOptimal is wrapped by Solve when the problem has no optimum.
+// ErrNotOptimal is wrapped by Solve when the problem has no optimum. The
+// typed sentinels below wrap it and name the concrete non-optimal status,
+// so callers can tell an infeasible program from a cycling one:
+//
+//	errors.Is(err, lp.ErrNotOptimal) // any non-optimal outcome
+//	errors.Is(err, lp.ErrInfeasible) // specifically no feasible point
 var ErrNotOptimal = errors.New("lp: no optimal solution")
 
+// Typed non-optimal outcomes, each wrapping ErrNotOptimal.
+var (
+	ErrInfeasible = fmt.Errorf("%w: infeasible", ErrNotOptimal)
+	ErrUnbounded  = fmt.Errorf("%w: unbounded", ErrNotOptimal)
+	ErrIterLimit  = fmt.Errorf("%w: iteration limit reached", ErrNotOptimal)
+)
+
+// Err returns the typed sentinel for a non-optimal status, or nil for
+// Optimal.
+func (s Status) Err() error {
+	switch s {
+	case Optimal:
+		return nil
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	case IterLimit:
+		return ErrIterLimit
+	}
+	return fmt.Errorf("%w: %v", ErrNotOptimal, s)
+}
+
+// constraint is one row Σ coefs[k]·x[vars[k]] rel rhs, stored sparsely.
+// Entries may repeat a variable; consumers accumulate. Sparse rows are what
+// let both solvers scale: the dense tableau scatters them once into its
+// rows, and the revised solver transposes them into sparse columns, so a
+// System (1) program with ~95% zeros never materialises its zero entries.
 type constraint[T any] struct {
-	coef []T // dense, length nvars; entries beyond stored length are zero
-	rel  Rel
-	rhs  T
+	vars  []int
+	coefs []T
+	rel   Rel
+	rhs   T
 }
 
 // Problem is a linear program over nonnegative variables:
@@ -103,29 +137,38 @@ func (p *Problem[T]) SetObjectiveCoef(v int, c T) {
 func (p *Problem[T]) SetMaximize(maximize bool) { p.maximize = maximize }
 
 // AddDense adds the constraint coef·x rel rhs. coef may be shorter than the
-// variable count; missing coefficients are zero. The slice is not retained.
+// variable count; missing coefficients are zero. Only entries with nonzero
+// Sign are stored; the slice is not retained.
 func (p *Problem[T]) AddDense(coef []T, rel Rel, rhs T) {
 	if len(coef) > p.nvars {
 		panic("lp: constraint wider than variable count")
 	}
 	c := p.appendCon()
-	c.coef = growSlice(c.coef, len(coef))
-	copy(c.coef, coef)
+	for v, val := range coef {
+		if p.ops.Sign(val) != 0 {
+			c.vars = append(c.vars, v)
+			c.coefs = append(c.coefs, val)
+		}
+	}
 	c.rel, c.rhs = rel, rhs
 }
 
-// AddSparse adds the constraint Σ coefs[k]·x[vars[k]] rel rhs.
+// AddSparse adds the constraint Σ coefs[k]·x[vars[k]] rel rhs. A variable
+// may appear more than once; its coefficients accumulate. The slices are
+// not retained.
 func (p *Problem[T]) AddSparse(vars []int, coefs []T, rel Rel, rhs T) {
 	if len(vars) != len(coefs) {
 		panic("lp: vars/coefs length mismatch")
 	}
 	c := p.appendCon()
-	c.coef = growSlice(c.coef, p.nvars)
-	for i := range c.coef {
-		c.coef[i] = p.ops.Zero()
-	}
 	for k, v := range vars {
-		c.coef[v] = p.ops.Add(c.coef[v], coefs[k])
+		if v < 0 || v >= p.nvars {
+			panic("lp: variable index out of range")
+		}
+		if p.ops.Sign(coefs[k]) != 0 {
+			c.vars = append(c.vars, v)
+			c.coefs = append(c.coefs, coefs[k])
+		}
 	}
 	c.rel, c.rhs = rel, rhs
 }
@@ -154,7 +197,7 @@ func (p *Problem[T]) SolveWith(ws *Workspace[T]) (*Solution[T], error) {
 	t := newTableau(p, ws)
 	sol := t.solve()
 	if sol.Status != Optimal {
-		return sol, fmt.Errorf("lp: %v: %w", sol.Status, ErrNotOptimal)
+		return sol, sol.Status.Err()
 	}
 	return sol, nil
 }
@@ -207,13 +250,14 @@ func newTableau[T any](p *Problem[T], ws *Workspace[T]) *tableau[T] {
 	// appending.
 	width := n + m
 	slack := p.nvars
-	for r, c := range p.cons {
+	for r := range p.cons {
+		c := &p.cons[r]
 		row := growSlice(t.a[r], width)
 		for j := range row {
 			row[j] = ops.Zero()
 		}
-		for j, v := range c.coef {
-			row[j] = v
+		for k, v := range c.vars {
+			row[v] = ops.Add(row[v], c.coefs[k])
 		}
 		rhs := c.rhs
 		switch c.rel {
@@ -393,10 +437,12 @@ func (t *tableau[T]) optimize(obj []T) (Status, T) {
 			if ops.Sign(cb) == 0 {
 				continue
 			}
+			ncb := ops.Neg(cb)
+			row := t.a[r]
 			for j := 0; j < width; j++ {
-				z[j] = ops.Sub(z[j], ops.Mul(cb, t.a[r][j]))
+				z[j] = ops.MulAdd(z[j], ncb, row[j])
 			}
-			val = ops.Add(val, ops.Mul(cb, t.b[r]))
+			val = ops.MulAdd(val, cb, t.b[r])
 		}
 		return val
 	}
@@ -462,11 +508,12 @@ func (t *tableau[T]) optimize(obj []T) (Status, T) {
 		// Update reduced costs incrementally: z ← z - z[enter]·(pivot row).
 		ze := z[enter]
 		if ops.Sign(ze) != 0 {
+			nze := ops.Neg(ze)
 			row := t.a[leave]
 			for j := 0; j < width; j++ {
-				z[j] = ops.Sub(z[j], ops.Mul(ze, row[j]))
+				z[j] = ops.MulAdd(z[j], nze, row[j])
 			}
-			val = ops.Add(val, ops.Mul(ze, t.b[leave]))
+			val = ops.MulAdd(val, ze, t.b[leave])
 		}
 		z[enter] = ops.Zero()
 	}
@@ -506,12 +553,13 @@ func (t *tableau[T]) pivot(row, col int) {
 			t.a[r][col] = ops.Zero()
 			continue
 		}
+		nf := ops.Neg(factor)
 		arow := t.a[r]
 		for j := 0; j < width; j++ {
-			arow[j] = ops.Sub(arow[j], ops.Mul(factor, prow[j]))
+			arow[j] = ops.MulAdd(arow[j], nf, prow[j])
 		}
 		arow[col] = ops.Zero()
-		t.b[r] = ops.Sub(t.b[r], ops.Mul(factor, t.b[row]))
+		t.b[r] = ops.MulAdd(t.b[r], nf, t.b[row])
 		// Degenerate negative dust from float cancellation: clamp to zero so
 		// the ratio test stays consistent.
 		if ops.Sign(t.b[r]) < 0 {

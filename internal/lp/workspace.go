@@ -16,6 +16,7 @@ package lp
 // the next SolveWith on the same workspace.
 type Workspace[T any] struct {
 	tab    tableau[T]
+	rev    revised[T] // sparse revised-simplex state (SolveRevisedWith)
 	sol    Solution[T]
 	phase1 []T
 	phase2 []T
@@ -44,14 +45,17 @@ func (p *Problem[T]) Reset(nvars int) {
 }
 
 // appendCon extends p.cons by one slot, resurrecting a previously-used
-// constraint (and its coefficient buffer) when the backing array allows.
+// constraint (and its sparse row buffers) when the backing array allows.
 func (p *Problem[T]) appendCon() *constraint[T] {
 	if len(p.cons) < cap(p.cons) {
 		p.cons = p.cons[:len(p.cons)+1]
 	} else {
 		p.cons = append(p.cons, constraint[T]{})
 	}
-	return &p.cons[len(p.cons)-1]
+	c := &p.cons[len(p.cons)-1]
+	c.vars = c.vars[:0]
+	c.coefs = c.coefs[:0]
+	return c
 }
 
 // growSlice returns s resized to length n, reusing its backing array when

@@ -109,6 +109,36 @@ func TestExactSmallDataSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestExactDenseMatchesRevised: the sparse revised simplex (the exact
+// backend's production solver) and the dense tableau (kept as oracle,
+// Solver.DenseLP) must agree on the exact optimal stretch — not within a
+// tolerance but as identical rationals — across random instances. The
+// witness allocations may differ (degenerate optima have many vertices),
+// but both must be valid.
+func TestExactDenseMatchesRevised(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 8; trial++ {
+		inst := randomInstance(t, rng, 1+rng.Intn(2), 1+rng.Intn(2), 2+rng.Intn(5))
+
+		revised := Solver{Exact: true}
+		rsol, err := revised.OptimalStretch(FromInstance(inst))
+		if err != nil {
+			t.Fatalf("trial %d revised: %v", trial, err)
+		}
+		dense := Solver{Exact: true, DenseLP: true}
+		dsol, err := dense.OptimalStretch(FromInstance(inst))
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		if rsol.ExactStretch.Cmp(dsol.ExactStretch) != 0 {
+			t.Fatalf("trial %d: revised stretch %v, dense %v",
+				trial, rsol.ExactStretch, dsol.ExactStretch)
+		}
+		checkAlloc(t, rsol.Alloc)
+		checkAlloc(t, dsol.Alloc)
+	}
+}
+
 // TestExactStretchIsRational: the exact solver returns the optimum as a
 // true rational, and its float projection matches Stretch.
 func TestExactStretchIsRational(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 
 	"stretchsched/internal/model"
 	"stretchsched/internal/sim"
@@ -178,27 +177,60 @@ func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
 // at the allocation start, then by job ID. It is used as a priority list
 // for the greedy spatial rule rather than as an explicit timetable.
 func (a *Alloc) GlobalOrder() []model.JobID {
+	return a.AppendGlobalOrder(nil)
+}
+
+// AppendGlobalOrder appends the GlobalOrder priority list to dst and
+// returns it. With a workspace-backed problem the sort index and the
+// completion-interval table are pooled scratch, so a caller that also
+// reuses dst (Online-EGDF holds its list across arrival events) performs
+// no steady-state allocation.
+func (a *Alloc) AppendGlobalOrder(dst []model.JobID) []model.JobID {
+	ws := a.Problem.ws
 	n := len(a.Problem.Tasks)
-	ks := make([]int, n)
-	for k := range ks {
-		ks[k] = k
+
+	// Completion intervals once per task, not per comparison.
+	var lastGlobal []int
+	if ws != nil {
+		if cap(ws.lastGlobal) < n {
+			ws.lastGlobal = make([]int, n)
+		}
+		lastGlobal = ws.lastGlobal[:n]
+	} else {
+		lastGlobal = make([]int, n)
 	}
-	sort.Slice(ks, func(x, y int) bool {
-		kx, ky := ks[x], ks[y]
-		lx, ly := a.LastInterval(kx), a.LastInterval(ky)
-		if lx != ly {
-			return lx < ly
+	for k := 0; k < n; k++ {
+		lastGlobal[k] = a.LastInterval(k)
+	}
+
+	var ks []int
+	if ws != nil {
+		ks = ws.ks[:0]
+	} else {
+		ks = make([]int, 0, n)
+	}
+	for k := 0; k < n; k++ {
+		ks = append(ks, k)
+	}
+	slices.SortFunc(ks, func(kx, ky int) int {
+		if lastGlobal[kx] != lastGlobal[ky] {
+			return lastGlobal[kx] - lastGlobal[ky]
 		}
 		sx := a.Problem.Tasks[kx].DeadB * a.Problem.Tasks[kx].Work
 		sy := a.Problem.Tasks[ky].DeadB * a.Problem.Tasks[ky].Work
-		if sx != sy {
-			return sx < sy
+		switch {
+		case sx < sy:
+			return -1
+		case sx > sy:
+			return 1
 		}
-		return a.Problem.Tasks[kx].Job < a.Problem.Tasks[ky].Job
+		return int(a.Problem.Tasks[kx].Job) - int(a.Problem.Tasks[ky].Job)
 	})
-	out := make([]model.JobID, n)
-	for i, k := range ks {
-		out[i] = a.Problem.Tasks[k].Job
+	for _, k := range ks {
+		dst = append(dst, a.Problem.Tasks[k].Job)
 	}
-	return out
+	if ws != nil {
+		ws.ks = ks
+	}
+	return dst
 }

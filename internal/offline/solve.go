@@ -20,6 +20,13 @@ type Solver struct {
 	// RelTol is the relative width at which float bisection stops
 	// (default 1e-10).
 	RelTol float64
+	// DenseLP routes the exact System (1) program through the dense
+	// simplex tableau instead of the sparse revised method. The dense
+	// tableau pays O(m·n) row work per pivot on a matrix that is ~95%
+	// zeros at paper scale, so this exists only as the differential
+	// oracle and ablation baseline (equivalence tests, cmd/profile
+	// -denselp); leave it off otherwise.
+	DenseLP bool
 }
 
 // Solution is an optimal max-stretch together with a witness allocation.
@@ -250,7 +257,17 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 		p.ws.exVS, p.ws.exCS = vs, cs
 	}
 
-	sol, err := prob.SolveWith(lpws)
+	var sol *lp.Solution[rat.Rat]
+	var err error
+	if s.DenseLP {
+		sol, err = prob.SolveWith(lpws)
+	} else {
+		// The revised simplex is the production exact path: System (1)
+		// matrices are overwhelmingly sparse (each variable touches one
+		// capacity and one completion row), which the dense tableau cannot
+		// exploit.
+		sol, err = prob.SolveRevisedWith(lpws)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("offline: System (1) refinement: %w", err)
 	}

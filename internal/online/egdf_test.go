@@ -1,0 +1,103 @@
+package online
+
+import (
+	"errors"
+	"testing"
+
+	"stretchsched/internal/offline"
+	"stretchsched/internal/sim"
+)
+
+// TestEGDFSurfacesSolveFailures is the EGDF counterpart of
+// offline.TestPlannerSurfacesRefineError: a forced step-2 failure must be
+// counted and retrievable — not silently absorbed by the keep-previous-
+// order fallback — while the run still completes every job.
+func TestEGDFSurfacesSolveFailures(t *testing.T) {
+	inst := randomInstance(t, 611, 2, 2, 8)
+	boom := errors.New("forced optimal-stretch failure")
+
+	e := NewEGDF()
+	e.solve = func(*offline.Solver, *offline.Problem) (*offline.Solution, error) {
+		return nil, boom
+	}
+	sched, err := sim.RunList(inst, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range sched.Completion {
+		if c <= 0 {
+			t.Fatalf("job %d never completed despite the fallback order", j)
+		}
+	}
+	se, re := e.SolveFailures()
+	if se == 0 {
+		t.Fatal("forced step-2 failures were not counted")
+	}
+	if re != 0 {
+		t.Fatalf("refineErrs = %d without a refine failure", re)
+	}
+	if !errors.Is(e.LastStretchErr(), boom) {
+		t.Fatalf("LastStretchErr = %v, want the forced failure", e.LastStretchErr())
+	}
+
+	// Counters are per-run: Init must clear them.
+	e.Init(inst)
+	if se, re := e.SolveFailures(); se != 0 || re != 0 || e.LastStretchErr() != nil {
+		t.Fatalf("Init left counters (%d, %d, %v)", se, re, e.LastStretchErr())
+	}
+}
+
+// TestEGDFSurfacesRefineFailures: a forced step-3 failure falls back to
+// ranking the unrefined allocation — recorded, with the run completing and
+// the schedule matching what a never-refining EGDF computes.
+func TestEGDFSurfacesRefineFailures(t *testing.T) {
+	inst := randomInstance(t, 613, 2, 2, 8)
+	boom := errors.New("forced refine failure")
+
+	e := NewEGDF()
+	e.refine = func(*offline.Problem, float64) (*offline.Alloc, error) {
+		return nil, boom
+	}
+	sched, err := sim.RunList(inst, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range sched.Completion {
+		if c <= 0 {
+			t.Fatalf("job %d never completed", j)
+		}
+	}
+	se, re := e.SolveFailures()
+	if re == 0 {
+		t.Fatal("forced refine failures were not counted")
+	}
+	if se != 0 {
+		t.Fatalf("stretchErrs = %d without a stretch failure", se)
+	}
+	if !errors.Is(e.LastRefineErr(), boom) {
+		t.Fatalf("LastRefineErr = %v, want the forced failure", e.LastRefineErr())
+	}
+}
+
+// TestEGDFRankingSteadyStateAllocs gates the pooled ranking path: with a
+// workspace attached, replaying Online-EGDF through one engine must not
+// allocate at all in steady state — the rank map, the GlobalOrder output
+// and its sort scratch are all reused across arrival events and runs
+// (ROADMAP PR 2 follow-up; companion of TestOnlineWorkspaceReducesAllocs).
+func TestEGDFRankingSteadyStateAllocs(t *testing.T) {
+	inst := randomInstance(t, 97, 2, 2, 10)
+	eng := sim.NewEngine()
+	e := NewEGDF()
+	e.SetWorkspace(offline.NewWorkspace())
+	if _, err := eng.RunList(inst, e); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.RunList(inst, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state EGDF run allocates %.1f objects/op, want 0", allocs)
+	}
+}

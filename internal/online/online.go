@@ -62,6 +62,7 @@ type Heuristic struct {
 
 	ws            *offline.Workspace
 	lastStretch   float64
+	refineErrs    int
 	lastRefineErr error
 }
 
@@ -106,9 +107,18 @@ func (h *Heuristic) LastStretch() float64 { return h.lastStretch }
 // next arrival anyway — but the failure is recorded, never swallowed.
 func (h *Heuristic) LastRefineErr() error { return h.lastRefineErr }
 
+// SolveFailures returns the number of per-arrival solver failures recorded
+// by the current run. Step-2 failures abort the run through Plan's error
+// (stretchErrs is always 0 here, kept for interface symmetry with EGDF);
+// step-3 failures fall back to the unrefined allocation and count.
+func (h *Heuristic) SolveFailures() (stretchErrs, refineErrs int) {
+	return 0, h.refineErrs
+}
+
 // Init implements sim.Planner.
 func (h *Heuristic) Init(*model.Instance) {
 	h.lastStretch = 0
+	h.refineErrs = 0
 	h.lastRefineErr = nil
 }
 
@@ -145,6 +155,8 @@ func (h *Heuristic) Plan(ctx *sim.Ctx) (*sim.Plan, error) {
 		h.lastRefineErr = err
 		if err == nil {
 			alloc = refined
+		} else {
+			h.refineErrs++
 		}
 	} else {
 		// Step-2-only baseline: any deadline-feasible allocation, with no
@@ -172,7 +184,22 @@ type EGDF struct {
 
 	ws       *offline.Workspace
 	rank     map[model.JobID]int
+	order    []model.JobID // pooled GlobalOrder output
+	hasRank  bool
 	released int
+
+	// Per-event solver failures are fallbacks by design (the previous
+	// priority order keeps the simulation running), but they are recorded,
+	// never swallowed — the policy counterpart of the planner's RefineErr
+	// seam. Counters reset at Init; cmd/experiments aggregates them as
+	// grid diagnostics.
+	stretchErrs    int
+	refineErrs     int
+	lastStretchErr error
+	lastRefineErr  error
+
+	solve  func(*offline.Solver, *offline.Problem) (*offline.Solution, error) // test seam; nil means Solver.OptimalStretch
+	refine func(*offline.Problem, float64) (*offline.Alloc, error)            // test seam; nil means Problem.Refine
 }
 
 // NewEGDF returns an Online-EGDF policy.
@@ -185,10 +212,28 @@ func (e *EGDF) SetWorkspace(ws *offline.Workspace) { e.ws = ws }
 // Name implements sim.Policy.
 func (e *EGDF) Name() string { return "Online-EGDF" }
 
+// SolveFailures returns how many per-event step-2 (optimal stretch) and
+// step-3 (System (2) refinement) solves failed — and fell back — during
+// the current run (diagnostic; see LastStretchErr and LastRefineErr).
+func (e *EGDF) SolveFailures() (stretchErrs, refineErrs int) {
+	return e.stretchErrs, e.refineErrs
+}
+
+// LastStretchErr returns the most recent step-2 failure of the current
+// run, or nil. A failure leaves the previous priority order in place.
+func (e *EGDF) LastStretchErr() error { return e.lastStretchErr }
+
+// LastRefineErr returns the most recent step-3 failure of the current run,
+// or nil. A failure ranks by the unrefined step-2 allocation instead.
+func (e *EGDF) LastRefineErr() error { return e.lastRefineErr }
+
 // Init implements sim.Policy.
 func (e *EGDF) Init(*model.Instance) {
-	e.rank = nil
+	clear(e.rank)
+	e.hasRank = false
 	e.released = 0
+	e.stretchErrs, e.refineErrs = 0, 0
+	e.lastStretchErr, e.lastRefineErr = nil, nil
 }
 
 // OnEvent recomputes the global priority list whenever new jobs arrived.
@@ -199,7 +244,7 @@ func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 			released++
 		}
 	}
-	if released == e.released && e.rank != nil {
+	if released == e.released && e.hasRank {
 		return // completions do not change the order
 	}
 	e.released = released
@@ -211,23 +256,45 @@ func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 		prob = offline.FromContext(ctx)
 	}
 	if len(prob.Tasks) == 0 {
-		e.rank = map[model.JobID]int{}
+		clear(e.rank)
+		e.hasRank = true
 		return
 	}
-	sol, err := e.Solver.OptimalStretch(prob)
+	solve := e.solve
+	if solve == nil {
+		solve = (*offline.Solver).OptimalStretch
+	}
+	sol, err := solve(&e.Solver, prob)
 	if err != nil {
 		// Degenerate numeric failure: keep the previous order rather than
 		// stopping the simulation; SWRPT ties still give a total order.
+		// Recorded, not swallowed.
+		e.stretchErrs++
+		e.lastStretchErr = err
 		return
 	}
 	alloc := sol.Alloc
-	if refined, err := prob.Refine(sol.Stretch); err == nil {
-		alloc = refined
+	refine := e.refine
+	if refine == nil {
+		refine = (*offline.Problem).Refine
 	}
-	e.rank = map[model.JobID]int{}
-	for i, j := range alloc.GlobalOrder() {
+	if refined, err := refine(prob, sol.Stretch); err == nil {
+		alloc = refined
+	} else {
+		// Fall back to ranking the step-2 allocation; recorded likewise.
+		e.refineErrs++
+		e.lastRefineErr = err
+	}
+	e.order = alloc.AppendGlobalOrder(e.order[:0])
+	if e.rank == nil {
+		e.rank = map[model.JobID]int{}
+	} else {
+		clear(e.rank)
+	}
+	for i, j := range e.order {
 		e.rank[j] = i
 	}
+	e.hasRank = true
 }
 
 // Less implements sim.Policy.

@@ -406,6 +406,34 @@ func (a Rat) Div(b Rat) Rat {
 	return Rat{r: new(big.Rat).Quo(a.bigRef(), b.bigRef())}
 }
 
+// MulAdd returns a + b·c as one fused operation. The point over
+// a.Add(b.Mul(c)) is escape behaviour, not value: the product and the sum
+// are attempted in the int64 small form together, and when that fails the
+// whole expression is evaluated in math/big once and demoted once, so a
+// b·c whose intermediate would escape but whose final value fits still
+// comes back small. It is the accumulate primitive of the revised-simplex
+// eta updates (see lp.Ops.MulAdd), which are long chains of exactly this
+// shape.
+func MulAdd(a, b, c Rat) Rat {
+	// Annihilator shortcuts first: they keep the mixed small/big path free
+	// of big temporaries on the 0-heavy vectors of sparse solvers.
+	if b.Sign() == 0 || c.Sign() == 0 {
+		return a
+	}
+	if a.Sign() == 0 {
+		return b.Mul(c).Reduce()
+	}
+	if a.r == nil && b.r == nil && c.r == nil {
+		if p, ok := mulSmall(b, c); ok {
+			if s, ok := addSmall(a, p, 1); ok {
+				return s
+			}
+		}
+	}
+	prod := new(big.Rat).Mul(b.bigRef(), c.bigRef())
+	return Rat{r: prod.Add(prod, a.bigRef())}.Reduce()
+}
+
 // Neg returns -a.
 func (a Rat) Neg() Rat {
 	if a.r == nil {

@@ -141,6 +141,62 @@ func TestDifferentialRandom(t *testing.T) {
 	}
 }
 
+// TestMulAddDifferential checks the fused accumulate against the big.Rat
+// oracle on boundary triples, and pins its escape contract: MulAdd always
+// returns the small form whenever the final value fits int64, even when
+// the intermediate product b·c would overflow on its own — the property
+// a.Add(b.Mul(c)) does not have, and the reason the revised-simplex eta
+// updates use it.
+func TestMulAddDifferential(t *testing.T) {
+	var vals []Rat
+	for _, n := range interestingInt64s {
+		for _, d := range interestingInt64s {
+			if d == 0 {
+				continue
+			}
+			vals = append(vals, FromFrac(n, d))
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		c := vals[rng.Intn(len(vals))]
+		got := MulAdd(a, b, c)
+		want := new(big.Rat).Mul(b.Big(), c.Big())
+		want.Add(want, a.Big())
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("MulAdd(%v, %v, %v) = %v, oracle %v", a, b, c, got, want.RatString())
+		}
+		checkInvariant(t, got, "MulAdd")
+		if want.Num().IsInt64() && want.Denom().IsInt64() &&
+			want.Num().Int64() != math.MinInt64 &&
+			want.Denom().Int64() != math.MinInt64 && !got.IsSmall() {
+			t.Fatalf("MulAdd(%v, %v, %v): value %v fits int64 but stayed big",
+				a, b, c, want.RatString())
+		}
+	}
+}
+
+// TestMulAddEscapedIntermediate pins the motivating case explicitly: the
+// product overflows the small form, the sum cancels back into range, and
+// the fused form still lands small.
+func TestMulAddEscapedIntermediate(t *testing.T) {
+	b := FromInt(3037000500) // > √MaxInt64: b·b overflows int64
+	prod := b.Mul(b)
+	if prod.IsSmall() {
+		t.Fatal("test operand no longer overflows; pick a larger one")
+	}
+	a := prod.Neg().Add(One).Reduce()
+	got := MulAdd(a, b, b) // a + b² = 1
+	if !got.Equal(One) {
+		t.Fatalf("MulAdd = %v, want 1", got)
+	}
+	if !got.IsSmall() {
+		t.Fatal("fused result stayed big despite fitting")
+	}
+}
+
 // TestFromFracMinInt64 covers the one constructor edge the small form
 // excludes: MinInt64 operands go through math/big, but the constructor
 // still demotes when the reduced value fits (constructors demote; only
