@@ -266,6 +266,38 @@ func BenchmarkOfflineExactScale(b *testing.B) {
 	}
 }
 
+// BenchmarkOfflineExactFloatHeavy is the acceptance benchmark of the
+// 128-bit medium rational tier: Offline-Exact on generator workloads whose
+// processing times carry full float64 mantissas over heterogeneous-speed
+// platforms — the §5.3-style instances whose exact pivot products exceed 63
+// bits at nearly every step. Before the medium tier those products escaped
+// to allocating big.Rat values (13.8M allocs/run at 10 sites on the PR 4
+// tree); with it they stay in inline fixed-width arithmetic, and the
+// allocs/op column — recorded per commit in BENCH_<sha>.json by the
+// bench-smoke job, with TestExactFloatHeavySteadyStateAllocs gating the
+// steady state — is the number this tier is judged by.
+func BenchmarkOfflineExactFloatHeavy(b *testing.B) {
+	for _, sites := range []int{3, 10} {
+		inst, err := workload.Config{
+			Sites: sites, Databanks: sites, Availability: 0.9, Density: 3.0,
+			TargetJobs: 25, SizeRange: [2]float64{10, 200}, Seed: 77_000_077,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := core.NewRunner()
+		s := core.MustGet("Offline-Exact")
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(s, inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGridWorkers measures the sharded runner's scaling on a fixed
 // grid slice: the same work at 1 worker and at GOMAXPROCS workers, with
 // bitwise-identical results (see exp.TestGridWorkerInvariance).

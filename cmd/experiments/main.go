@@ -36,24 +36,27 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1-16)")
-		tables   = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
-		figure   = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
-		runs     = flag.Int("runs", 3, "instances per configuration (paper: 200)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		target   = flag.Int("target", 30, "expected jobs per instance")
-		horizon  = flag.Float64("horizon", 0, "fixed arrival window in seconds (0: use -target)")
-		workers  = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS); results are identical for any value")
-		csvOut   = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
-		progress = flag.Bool("progress", false, "report grid progress on stderr")
-		shard    = flag.String("shard", "", `run only shard "k/n" of the grid (k in 0..n-1); seeds match the unsharded run`)
-		dryRun   = flag.Bool("dryrun", false, "generate instances but run no scheduler (metrics are NA); predicts CSV row counts")
-		fromCSV  = flag.String("fromcsv", "", "aggregate tables from an existing results CSV instead of running the grid")
-		digest   = flag.String("digest", "", "write per-point row digests (one FNV-64a line per grid point) to this file; with -fromcsv they are recomputed from the CSV, which is how the nightly merge detects corrupted shards")
+		table       = flag.Int("table", 0, "regenerate one table (1-16)")
+		tables      = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
+		figure      = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
+		runs        = flag.Int("runs", 3, "instances per configuration (paper: 200)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		target      = flag.Int("target", 30, "expected jobs per instance")
+		horizon     = flag.Float64("horizon", 0, "fixed arrival window in seconds (0: use -target)")
+		workers     = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS); results are identical for any value")
+		csvOut      = flag.String("csv", "", "also dump raw per-instance metrics to this CSV file")
+		progress    = flag.Bool("progress", false, "report grid progress on stderr")
+		shard       = flag.String("shard", "", `run only shard "k/n" of the grid (k in 0..n-1); seeds match the unsharded run`)
+		dryRun      = flag.Bool("dryrun", false, "generate instances but run no scheduler (metrics are NA); predicts CSV row counts")
+		fromCSV     = flag.String("fromcsv", "", "aggregate tables from an existing results CSV instead of running the grid")
+		digest      = flag.String("digest", "", "write per-point row digests (one FNV-64a line per grid point) to this file; with -fromcsv they are recomputed from the CSV, which is how the nightly merge detects corrupted shards")
+		verifyExact = flag.Bool("verifyexact", false, "run the exact-verification lane: Offline-Exact vs Offline and the online heuristics on a deterministic 10/20-site grid subsample, exiting nonzero if the §5.3 anomaly reappears (honours -runs, -seed, -target, -workers, -progress)")
 	)
 	flag.Parse()
 
 	switch {
+	case *verifyExact:
+		runVerifyExact(*runs, *seed, *target, *workers, *progress)
 	case *figure != "":
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
 	case *fromCSV != "":
@@ -67,6 +70,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runVerifyExact is the weekly CI lane's entry point: the exact optimum
+// must never be beaten on the sampled paper-scale instances.
+func runVerifyExact(runs int, seed int64, target, workers int, progress bool) {
+	start := time.Now()
+	opts := exp.VerifyExactOptions{
+		Runs: runs, Seed: seed, TargetJobs: target, Workers: workers,
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rverify-exact: %d/%d instances", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep := exp.VerifyExact(opts)
+	fmt.Printf("verify-exact: %d points × %d runs in %v (%d scheduler errors)\n",
+		len(rep.Points), runs, time.Since(start).Round(time.Second), rep.Errs)
+	for _, res := range rep.Results {
+		exact := res.MaxStretch["Offline-Exact"]
+		offline := res.MaxStretch["Offline"]
+		fmt.Printf("  %v run %d: jobs=%d exact=%.9g offline=%.9g\n",
+			res.Point, res.Run, res.Jobs, exact, offline)
+	}
+	if rep.Errs > 0 {
+		for _, res := range rep.Results {
+			for _, err := range res.Errs {
+				fmt.Fprintln(os.Stderr, "verify-exact:", err)
+			}
+		}
+		os.Exit(1)
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "verify-exact: §5.3 anomaly detected on %d instance(s):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "  ", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("verify-exact: §5.3 anomaly eliminated on every sampled instance")
 }
 
 func fromCSVMain(tables string, table int, fromCSV, digest string) {

@@ -27,6 +27,7 @@ func main() {
 	allocs := flag.Bool("allocs", false, "report per-run heap allocations (single-instance mode)")
 	exact := flag.Bool("exact", false, "include the exact rational backend (Offline-Exact) in single-instance mode; combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
 	denseLP := flag.Bool("denselp", false, "with -exact: solve System (1) on the dense tableau instead of the revised simplex (the ablation baseline; expect orders of magnitude slower at scale)")
+	tiers := flag.Bool("tiers", false, "with -exact: print the rational backend's per-run small/medium/big op and promotion/demotion counters")
 	jobs := flag.Int("jobs", 40, "target jobs of the single heavy instance")
 	sites := flag.Int("sites", 20, "sites (and databanks) of the single heavy instance")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
@@ -88,6 +89,12 @@ func main() {
 		return runner.Run(core.MustGet(name), inst)
 	}
 	for _, name := range names {
+		// Per-run tier counters: the workspace accumulates across runs, so
+		// reset before the timed run and snapshot right after it (the
+		// -allocs rerun below would otherwise double-count).
+		if ts := runner.ExactTierStats(); *tiers && ts != nil {
+			ts.Reset()
+		}
 		t0 := time.Now()
 		sched, err := run(name)
 		if err != nil {
@@ -95,11 +102,16 @@ func main() {
 			continue
 		}
 		elapsed := time.Since(t0).Round(time.Millisecond)
+		tierLine := ""
+		if ts := runner.ExactTierStats(); *tiers && ts != nil && ts.Total() > 0 {
+			tierLine = "\n                 tiers: " + ts.String()
+		}
 		line := fmt.Sprintf("%-16s %8v  max=%.3f sum=%.1f",
 			name, elapsed, sched.MaxStretch(inst), sched.SumStretch(inst))
 		if se, re, ok := runner.SolveFailures(name); ok && se+re > 0 {
 			line += fmt.Sprintf("  solve-failures=%d/%d", se, re)
 		}
+		line += tierLine
 		if *allocs {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)

@@ -14,6 +14,7 @@ import (
 	"stretchsched/internal/offline"
 	"stretchsched/internal/online"
 	"stretchsched/internal/policy"
+	"stretchsched/internal/rat"
 	"stretchsched/internal/sim"
 )
 
@@ -120,6 +121,15 @@ func (r *Runner) SolveFailures(name string) (stretchErrs, refineErrs int, ok boo
 		return stretchErrs, refineErrs, true
 	}
 	return 0, 0, false
+}
+
+// ExactTierStats returns the exact rational backend's representation-tier
+// counters accumulated on this runner's workspace (small/medium/big ops,
+// promotions, demotions — see rat.TierStats), or nil when no exact solve
+// has run on it. The counters are cumulative; callers wanting per-run
+// numbers (cmd/profile -tiers) call Reset between runs.
+func (r *Runner) ExactTierStats() *rat.TierStats {
+	return r.ws.TierStats()
 }
 
 type policyScheduler struct {

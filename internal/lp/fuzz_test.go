@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"math"
 	"testing"
 
 	"stretchsched/internal/rat"
@@ -8,10 +9,14 @@ import (
 
 // fuzzLP is one decoded differential-fuzz instance: a small LP with
 // small-integer data (so the exact solve stays fast even on adversarial
-// inputs).
+// inputs), or — in float-heavy mode — the same structure with every
+// coefficient scaled by √2 to a full 53-bit mantissa, the shape of the
+// heterogeneous-platform System (1) programs whose products overflow the
+// int64 small form and exercise the 128-bit medium tier.
 type fuzzLP struct {
 	nvars, ncons int
 	maximize     bool
+	floatHeavy   bool
 	obj          []int64
 	rows         [][]int64
 	rels         []Rel
@@ -25,9 +30,10 @@ func decodeFuzzLP(data []byte) (fuzzLP, bool) {
 		return fuzzLP{}, false
 	}
 	lp := fuzzLP{
-		nvars:    1 + int(data[0]%5),
-		ncons:    1 + int(data[1]%5),
-		maximize: data[2]%2 == 1,
+		nvars:      1 + int(data[0]%5),
+		ncons:      1 + int(data[1]%5),
+		maximize:   data[2]&1 == 1,
+		floatHeavy: data[2]&2 == 2,
 	}
 	data = data[3:]
 	next := func() int64 {
@@ -58,18 +64,35 @@ func decodeFuzzLP(data []byte) (fuzzLP, bool) {
 // build materialises the instance over the exact backend, with unit box
 // constraints x_v ≤ 16 appended so most instances are bounded (the rest
 // exercise status agreement on Unbounded/Infeasible).
+// conv maps one decoded data coefficient into the exact field. In
+// float-heavy mode every nonzero coefficient carries √2's full mantissa:
+// exact pivots then produce >63-bit products immediately, keeping the
+// whole solve in the medium (and occasionally big) tier.
+func (l fuzzLP) conv(c int64) rat.Rat {
+	if l.floatHeavy && c != 0 {
+		return rat.FromFloat(float64(c) * math.Sqrt2)
+	}
+	return rat.FromInt(c)
+}
+
+// objCoef is the objective coefficient of variable v — shared by build and
+// the re-evaluation check of the fuzz body.
+func (l fuzzLP) objCoef(v int) rat.Rat {
+	return l.conv(l.obj[v]).Div(rat.FromInt(int64(1 + v)))
+}
+
 func (l fuzzLP) build() *Problem[rat.Rat] {
 	p := New[rat.Rat](RatOps{}, l.nvars)
 	p.SetMaximize(l.maximize)
-	for v, c := range l.obj {
-		p.SetObjectiveCoef(v, rat.FromFrac(c, int64(1+v)))
+	for v := range l.obj {
+		p.SetObjectiveCoef(v, l.objCoef(v))
 	}
 	for r, row := range l.rows {
 		coefs := make([]rat.Rat, l.nvars)
 		for v, c := range row {
-			coefs[v] = rat.FromInt(c)
+			coefs[v] = l.conv(c)
 		}
-		p.AddDense(coefs, l.rels[r], rat.FromInt(l.rhs[r]))
+		p.AddDense(coefs, l.rels[r], l.conv(l.rhs[r]))
 	}
 	box := make([]rat.Rat, l.nvars)
 	for v := 0; v < l.nvars; v++ {
@@ -95,6 +118,11 @@ func FuzzSimplexDifferential(f *testing.F) {
 	f.Add([]byte{1, 1, 1, 129, 1, 3})
 	f.Add([]byte{4, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
 	f.Add([]byte{5, 5, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Float-heavy seeds (header bit 2): full-mantissa √2-scaled data, the
+	// medium-tier workload of the heterogeneous-platform experiments.
+	f.Add([]byte{2, 2, 3, 16, 50, 5, 1, 7, 9, 200, 3})
+	f.Add([]byte{3, 4, 2, 255, 128, 127, 0, 85, 170, 51, 204, 15, 2, 90, 33, 7, 211})
+	f.Add([]byte{4, 3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		inst, ok := decodeFuzzLP(data)
 		if !ok {
@@ -114,8 +142,8 @@ func FuzzSimplexDifferential(f *testing.F) {
 		}
 		for _, sol := range []*Solution[rat.Rat]{ds, rs} {
 			got := rat.Zero
-			for v, c := range inst.obj {
-				got = got.Add(rat.FromFrac(c, int64(1+v)).Mul(sol.X[v]))
+			for v := range inst.obj {
+				got = got.Add(inst.objCoef(v).Mul(sol.X[v]))
 			}
 			if !got.Equal(sol.Objective) {
 				t.Fatalf("objective %v does not re-evaluate from X (%v)", sol.Objective, got)

@@ -24,10 +24,14 @@ type Ops[T any] interface {
 	Div(a, b T) T
 	// MulAdd returns a + b·c. Backends fuse it where that matters: the
 	// exact backend evaluates the whole expression before deciding whether
-	// it fits the inline small form, so accumulate chains (simplex eta
+	// it fits an inline fixed-width form, so accumulate chains (simplex eta
 	// updates) whose intermediates overflow but whose results cancel back
 	// into range stay allocation-free.
 	MulAdd(a, b, c T) T
+	// MulSub returns a - b·c, fused like MulAdd. It exists for the pricing
+	// dot products (reduced cost = c_j - y·A_j), where a separate Neg per
+	// element would double the value traffic through the ops boundary.
+	MulSub(a, b, c T) T
 	Neg(a T) T
 	Zero() T
 	One() T
@@ -54,6 +58,7 @@ func (o Float64Ops) Sub(a, b float64) float64       { return a - b }
 func (o Float64Ops) Mul(a, b float64) float64       { return a * b }
 func (o Float64Ops) Div(a, b float64) float64       { return a / b }
 func (o Float64Ops) MulAdd(a, b, c float64) float64 { return a + b*c }
+func (o Float64Ops) MulSub(a, b, c float64) float64 { return a - b*c }
 func (o Float64Ops) Neg(a float64) float64          { return -a }
 func (o Float64Ops) Zero() float64                  { return 0 }
 func (o Float64Ops) One() float64                   { return 1 }
@@ -79,24 +84,48 @@ func (o Float64Ops) Sign(a float64) int {
 func (o Float64Ops) Cmp(a, b float64) int { return o.Sign(a - b) }
 
 // RatOps is the exact backend over immutable rationals. Every arithmetic
-// result is passed through rat.Reduce: values that escaped to math/big
-// during a pivot (overflowing products of float-derived coefficients) are
-// demoted back to the inline int64 small form the moment cancellation
-// brings them back in range, so tableaus whose entries simplify — the
-// common case, since most columns are 0/±1 — stay in the allocation-free
-// small-value regime.
-type RatOps struct{}
+// result is passed through rat.Reduce: values that promoted to the 128-bit
+// medium form or escaped to math/big during a pivot (overflowing products
+// of float-derived coefficients) are demoted back down the representation
+// ladder the moment cancellation brings them back in range, so tableaus
+// whose entries simplify — the common case, since most columns are 0/±1 —
+// stay in the allocation-free fixed-width regime.
+type RatOps struct {
+	// Tiers, when non-nil, accumulates per-operation representation-tier
+	// counters for every arithmetic op this value performs: results by
+	// tier, promotions past the operands' tier (overflow escapes) and
+	// demotions below it (Reduce reclaiming values after cancellation).
+	// Workspace.Tiers is the conventional home; cmd/profile -tiers prints
+	// it. The nil default costs one predictable branch per op.
+	Tiers *rat.TierStats
+}
 
-func (RatOps) Add(a, b rat.Rat) rat.Rat       { return a.Add(b).Reduce() }
-func (RatOps) Sub(a, b rat.Rat) rat.Rat       { return a.Sub(b).Reduce() }
-func (RatOps) Mul(a, b rat.Rat) rat.Rat       { return a.Mul(b).Reduce() }
-func (RatOps) Div(a, b rat.Rat) rat.Rat       { return a.Div(b).Reduce() }
-func (RatOps) MulAdd(a, b, c rat.Rat) rat.Rat { return rat.MulAdd(a, b, c) }
-func (RatOps) Neg(a rat.Rat) rat.Rat          { return a.Neg() }
-func (RatOps) Zero() rat.Rat                  { return rat.Zero }
-func (RatOps) One() rat.Rat                   { return rat.One }
-func (RatOps) FromInt(n int64) rat.Rat        { return rat.FromInt(n) }
-func (RatOps) FromFloat(f float64) rat.Rat    { return rat.FromFloat(f) }
-func (RatOps) Float(a rat.Rat) float64        { return a.Float() }
-func (RatOps) Sign(a rat.Rat) int             { return a.Sign() }
-func (RatOps) Cmp(a, b rat.Rat) int           { return a.Cmp(b) }
+// note2 and note3 record one op against the tier counters, if enabled.
+func (o RatOps) note2(r, a, b rat.Rat) rat.Rat {
+	if o.Tiers != nil {
+		o.Tiers.Note(r.Tier(), max(a.Tier(), b.Tier()))
+	}
+	return r
+}
+
+func (o RatOps) note3(r, a, b, c rat.Rat) rat.Rat {
+	if o.Tiers != nil {
+		o.Tiers.Note(r.Tier(), max(a.Tier(), b.Tier(), c.Tier()))
+	}
+	return r
+}
+
+func (o RatOps) Add(a, b rat.Rat) rat.Rat       { return o.note2(a.Add(b).Reduce(), a, b) }
+func (o RatOps) Sub(a, b rat.Rat) rat.Rat       { return o.note2(a.Sub(b).Reduce(), a, b) }
+func (o RatOps) Mul(a, b rat.Rat) rat.Rat       { return o.note2(a.Mul(b).Reduce(), a, b) }
+func (o RatOps) Div(a, b rat.Rat) rat.Rat       { return o.note2(a.Div(b).Reduce(), a, b) }
+func (o RatOps) MulAdd(a, b, c rat.Rat) rat.Rat { return o.note3(rat.MulAdd(a, b, c), a, b, c) }
+func (o RatOps) MulSub(a, b, c rat.Rat) rat.Rat { return o.note3(rat.MulSub(a, b, c), a, b, c) }
+func (RatOps) Neg(a rat.Rat) rat.Rat            { return a.Neg() }
+func (RatOps) Zero() rat.Rat                    { return rat.Zero }
+func (RatOps) One() rat.Rat                     { return rat.One }
+func (RatOps) FromInt(n int64) rat.Rat          { return rat.FromInt(n) }
+func (RatOps) FromFloat(f float64) rat.Rat      { return rat.FromFloat(f) }
+func (RatOps) Float(a rat.Rat) float64          { return a.Float() }
+func (RatOps) Sign(a rat.Rat) int               { return a.Sign() }
+func (RatOps) Cmp(a, b rat.Rat) int             { return a.Cmp(b) }

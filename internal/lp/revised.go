@@ -32,10 +32,14 @@ package lp
 // is battle-tested) and the differential-test oracle for this file (see
 // FuzzSimplexDifferential).
 
-// revisedRefactorEvery is the eta-file growth (etas appended since the last
-// refactorisation) that triggers a rebuild. Each refactorisation costs one
-// FTRAN per row; between rebuilds every FTRAN/BTRAN pays the accumulated
-// file, so the interval trades those against each other.
+// revisedRefactorEvery is the hard cap on etas appended since the last
+// refactorisation. The primary trigger is nnz-based (see shouldRefactor):
+// rebuild when the nonzeros appended since the last factorisation outweigh
+// the factorisation itself, so the cadence adapts to instance structure —
+// sparse pivots let the file run long, dense ones rebuild early. The eta
+// cap backstops degenerate cases (many near-empty etas) so the file's
+// length, and on the exact backend the accumulated magnitude of its
+// rational entries, stay bounded regardless.
 const revisedRefactorEvery = 64
 
 // etaFile is a product-form basis inverse: B⁻¹ = E_k⁻¹ ⋯ E_1⁻¹, each
@@ -79,6 +83,7 @@ type revised[T any] struct {
 
 	eta        etaFile[T]
 	sinceRefac int  // etas appended since the last refactorisation
+	baseNNZ    int  // eta-file nonzeros right after the last refactorisation
 	refacs     int  // refactorisations this solve (cadence regression guard)
 	failed     bool // refactorisation hit a float-singular basis; abort
 
@@ -137,7 +142,7 @@ func (rv *revised[T]) init(p *Problem[T], ws *Workspace[T]) {
 	}
 	n := p.nvars + nSlack
 	rv.m, rv.n = m, n
-	rv.sinceRefac, rv.refacs, rv.failed = 0, 0, false
+	rv.sinceRefac, rv.baseNNZ, rv.refacs, rv.failed = 0, 0, 0, false
 	rv.cursor, rv.bland, rv.streak, rv.iters = 0, false, 0, 0
 
 	// Count entries per column (structural from the sparse rows, one slack
@@ -315,7 +320,7 @@ func (rv *revised[T]) reducedCost(j int, y []T) T {
 	ops := rv.ops
 	d := rv.cost[j]
 	for idx := rv.colStart[j]; idx < rv.colStart[j+1]; idx++ {
-		d = ops.MulAdd(d, ops.Neg(y[rv.colRow[idx]]), rv.colVal[idx])
+		d = ops.MulSub(d, y[rv.colRow[idx]], rv.colVal[idx])
 	}
 	return d
 }
@@ -426,6 +431,26 @@ func (rv *revised[T]) pivot(leave, enter int, alpha []T) {
 	}
 }
 
+// shouldRefactor reports whether the eta file has outgrown its usefulness.
+// Every FTRAN/BTRAN pays the whole accumulated file; a rebuild replaces it
+// with a fresh factorisation of the current basis (≈ baseNNZ nonzeros, as
+// measured after the previous rebuild). Rebuilding therefore pays for
+// itself within a few iterations once the *appended* nonzeros alone exceed
+// a fresh file — the m slack term keeps small programs, whose rebuild
+// overhead is proportionally larger, from thrashing. The eta-count cap
+// bounds the file (and the exact backend's rational growth) when pivots
+// are so sparse the nnz trigger would let it run indefinitely.
+func (rv *revised[T]) shouldRefactor() bool {
+	if rv.sinceRefac == 0 {
+		return false
+	}
+	if rv.sinceRefac >= revisedRefactorEvery {
+		return true
+	}
+	appended := len(rv.eta.row) - rv.baseNNZ
+	return appended > rv.baseNNZ+rv.m
+}
+
 // refactorize rebuilds the eta file from scratch as the PFI factorisation
 // of the current basis (one FTRAN + eta per row), reassigning basis rows as
 // the elimination pivots dictate, and recomputes xB. On the exact backend
@@ -489,7 +514,11 @@ func (rv *revised[T]) refactorize() {
 	// into sinceRefac, and leaving that count in place would re-trigger a
 	// refactorisation on the very next iteration once the basis holds
 	// revisedRefactorEvery non-unit columns — every paper-scale basis does.
+	// baseNNZ snapshots the fresh file's size for the nnz trigger the same
+	// way: measured after the rebuild, so its own etas never count as
+	// growth.
 	rv.sinceRefac = 0
+	rv.baseNNZ = len(rv.eta.row)
 }
 
 // recomputeXB solves B·xB = b through the current eta file.
@@ -518,7 +547,7 @@ func (rv *revised[T]) optimize() Status {
 			return IterLimit
 		}
 		rv.iters++
-		if rv.sinceRefac >= revisedRefactorEvery {
+		if rv.shouldRefactor() {
 			rv.refactorize()
 			if rv.failed {
 				return IterLimit

@@ -221,16 +221,20 @@ func TestRevisedRefactorisation(t *testing.T) {
 	if rs.Iterations <= revisedRefactorEvery {
 		t.Fatalf("only %d iterations; refactorisation never exercised", rs.Iterations)
 	}
-	// Cadence guard: a rebuild's own etas count into sinceRefac while it
-	// runs, and forgetting to reset the counter *after* the rebuild made
-	// the solver refactorise almost every iteration on any basis holding
-	// ≥ revisedRefactorEvery non-unit columns — every paper-scale basis.
+	// Cadence guards. The trigger is nnz-based (appended eta nonzeros
+	// outweighing the fresh factorisation, see shouldRefactor) with the eta
+	// cap as backstop, so the bound here is anti-thrash, not a fixed
+	// interval: a rebuild's own etas count into sinceRefac and its nonzeros
+	// into the file while it runs, and forgetting to reset the counters
+	// *after* the rebuild made the solver refactorise almost every
+	// iteration on any paper-scale basis. A healthy cadence needs at least
+	// a handful of pivots between rebuilds.
 	if ws.rev.refacs == 0 {
 		t.Fatal("refactorisation never triggered")
 	}
-	if max := rs.Iterations/revisedRefactorEvery + 1; ws.rev.refacs > max {
-		t.Fatalf("%d refactorisations in %d iterations (cadence %d; want ≤ %d)",
-			ws.rev.refacs, rs.Iterations, revisedRefactorEvery, max)
+	if max := rs.Iterations/4 + 1; ws.rev.refacs > max {
+		t.Fatalf("%d refactorisations in %d iterations (want ≤ %d: the cadence is thrashing)",
+			ws.rev.refacs, rs.Iterations, max)
 	}
 }
 

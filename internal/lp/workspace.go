@@ -1,5 +1,7 @@
 package lp
 
+import "stretchsched/internal/rat"
+
 // Workspace owns the mutable solver state of a simplex solve — the tableau
 // (rows, right-hand sides, basis), the phase objectives, the reduced-cost
 // vector and the solution buffer — and is reset between solves, so a caller
@@ -8,8 +10,9 @@ package lp
 // tableau allocation. Arithmetic-side allocation is the backend's business:
 // the float64 backend allocates nothing, and the exact rational backend
 // stores rat.Rat values inline in the pooled tableau rows, so it too
-// allocates nothing while entries stay in rat's int64 small form — only
-// values that overflow into math/big cost heap (see rat.Rat and RatOps).
+// allocates nothing while entries stay in rat's fixed-width forms (the
+// int64 small form and the 128-bit medium tier) — only values that
+// overflow past 128 bits into math/big cost heap (see rat.Rat and RatOps).
 //
 // A Workspace must not be used from multiple goroutines, and the Solution
 // returned by Problem.SolveWith (including its X vector) is overwritten by
@@ -21,7 +24,18 @@ type Workspace[T any] struct {
 	phase1 []T
 	phase2 []T
 	x      []T
+
+	// Tiers is the conventional home of the exact backend's per-operation
+	// representation-tier counters: a caller that builds its Problem with
+	// RatOps{Tiers: ws.Tiers()} has every solve on this workspace counted
+	// (the offline exact refinement does; cmd/profile -tiers prints the
+	// result). Unused by other backends.
+	tiers rat.TierStats
 }
+
+// Tiers returns the workspace's tier-counter slot. The pointer is stable
+// for the workspace's lifetime, so it can be handed to RatOps once.
+func (ws *Workspace[T]) Tiers() *rat.TierStats { return &ws.tiers }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily on first
 // use and grown only when a program exceeds every previous one.

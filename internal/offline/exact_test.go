@@ -7,6 +7,7 @@ import (
 
 	"stretchsched/internal/model"
 	"stretchsched/internal/rat"
+	"stretchsched/internal/workload"
 )
 
 // TestExactModeRandomCrossValidation: on random restricted-availability
@@ -106,6 +107,43 @@ func TestExactSmallDataSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state exact solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestExactFloatHeavySteadyStateAllocs is the float-heavy counterpart of
+// TestExactSmallDataSteadyStateAllocs and the CI gate of the medium tier:
+// on generator instances (full-mantissa processing times, heterogeneous
+// speeds) the exact System (1) coefficients overflow the int64 small form
+// in nearly every pivot product, and before the 128-bit medium tier each
+// of those escaped to an allocating big.Rat — ~10^5 allocations per solve
+// at this size. With the medium tier absorbing them, a warmed-up
+// workspace-backed solve performs only the residual big escapes and the
+// medium→float materialisations of the solution vector. The bound has
+// ~5× headroom over the measured steady state (~850); losing the medium
+// tier regresses it by two orders of magnitude, so a creeping escape
+// leak fails here long before it shows in the nightly grid.
+func TestExactFloatHeavySteadyStateAllocs(t *testing.T) {
+	inst, err := workload.Config{
+		Sites: 3, Databanks: 3, Availability: 0.6, Density: 1.5,
+		TargetJobs: 15, SizeRange: [2]float64{10, 200}, Seed: 4242,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	exact := Solver{Exact: true}
+	if _, err := exact.OptimalStretch(ws.FromInstance(inst)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := exact.OptimalStretch(ws.FromInstance(inst)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 5000
+	if allocs > budget {
+		t.Fatalf("steady-state float-heavy exact solve allocates %.0f objects/op, budget %d",
+			allocs, budget)
 	}
 }
 

@@ -151,8 +151,10 @@ type exTriple struct{ t, i, k int }
 // construction buffer — variable list, admissibility index, sparse rows,
 // interval affines, the LP itself — is pooled, so the only steady-state
 // allocations left are the math/big escapes of rationals that outgrow the
-// inline small form (none at all on instances with small-rational data;
-// see TestExactSmallDataSteadyStateAllocs).
+// inline fixed-width forms, now 128 bits wide (none at all on instances
+// with small-rational data, see TestExactSmallDataSteadyStateAllocs; a
+// budgeted residue on full-mantissa float data, see
+// TestExactFloatHeavySteadyStateAllocs).
 func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	mid := flo + (fhi-flo)/2
 	bounds := p.intervalAffines(mid)
@@ -192,7 +194,6 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 		}
 	}
 	fVar := len(vars)
-	ops := lp.RatOps{}
 	var prob *lp.Problem[rat.Rat]
 	var lpws *lp.Workspace[rat.Rat]
 	var vs []int
@@ -200,15 +201,19 @@ func (s *Solver) refineExact(p *Problem, flo, fhi float64) (*Solution, error) {
 	if p.ws != nil {
 		p.ws.exVars = vars
 		if p.ws.lpProb == nil {
-			p.ws.lpProb = lp.New[rat.Rat](ops, fVar+1)
+			// The LP workspace owns the tier counters; wiring them into the
+			// problem's ops once here has every exact solve on this
+			// workspace instrumented (surfaced via Workspace.TierStats and
+			// cmd/profile -tiers).
 			p.ws.lpws = lp.NewWorkspace[rat.Rat]()
+			p.ws.lpProb = lp.New[rat.Rat](lp.RatOps{Tiers: p.ws.lpws.Tiers()}, fVar+1)
 		} else {
 			p.ws.lpProb.Reset(fVar + 1)
 		}
 		prob, lpws = p.ws.lpProb, p.ws.lpws
 		vs, cs = p.ws.exVS[:0], p.ws.exCS[:0]
 	} else {
-		prob = lp.New[rat.Rat](ops, fVar+1)
+		prob = lp.New[rat.Rat](lp.RatOps{}, fVar+1)
 	}
 	prob.SetObjectiveCoef(fVar, rat.One)
 

@@ -84,6 +84,16 @@ type Workspace struct {
 // first use and grown only when an instance exceeds every previous one.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// TierStats returns the exact backend's representation-tier counters,
+// accumulated across every exact refinement on this workspace, or nil when
+// no exact solve has run yet. Reset between runs for per-run numbers.
+func (ws *Workspace) TierStats() *rat.TierStats {
+	if ws.lpws == nil {
+		return nil
+	}
+	return ws.lpws.Tiers()
+}
+
 // Problem returns the workspace's pooled Problem, emptied and bound to
 // inst. Callers append Tasks themselves (Bender98 builds its from-scratch
 // release-date problem this way); FromInstance and FromContext are the

@@ -1,0 +1,273 @@
+package rat
+
+// medium.go implements the medium tier: rational arithmetic on inline
+// 128-bit unsigned num/den magnitudes with an explicit sign, sitting between
+// the int64 small form and *big.Rat. Operands enter as med values (small
+// values widen losslessly), intermediates run in up to 192 bits (addition
+// cross-products) or 256 bits (comparison cross-products, multiplication
+// overflow checks), and results leave as reduced 128-bit magnitudes or
+// report ok == false, at which point the caller escapes to math/big.
+// Everything here is allocation-free.
+
+// one128 is the u128 constant 1.
+var one128 = u128{lo: 1}
+
+// med is a rational in medium precision: sign·n/d with n, d unsigned
+// 128-bit magnitudes, d > 0 and gcd(n, d) == 1. Zero is n == 0 (neg false,
+// d == 1 by convention).
+type med struct {
+	neg  bool
+	n, d u128
+}
+
+// isOne128 reports x == 1, the "skip the division" test of the reducers.
+func isOne128(x u128) bool { return x.hi == 0 && x.lo == 1 }
+
+// med128 widens a small or medium Rat to medium precision. Callers must not
+// pass big-form values.
+func (a Rat) med128() med {
+	if a.med {
+		return med{a.neg, u128{a.nhi, uint64(a.num)}, u128{a.dhi, uint64(a.den)}}
+	}
+	n, d := a.nd()
+	return med{n < 0, u128From64(absU(n)), u128From64(uint64(d))}
+}
+
+// mkMed assembles a medium-form Rat from a sign and reduced magnitudes with
+// d > 0. The low magnitude words live in the small form's num/den fields
+// (reinterpreted as uint64), so the struct stays at one pointer plus six
+// words regardless of tier.
+func mkMed(neg bool, n, d u128) Rat {
+	if n.isZero() {
+		return Rat{}
+	}
+	return Rat{
+		num: int64(n.lo), den: int64(d.lo),
+		nhi: n.hi, dhi: d.hi,
+		med: true, neg: neg,
+	}
+}
+
+// rat converts a med result to a Rat in medium form (canonical zero aside).
+// Arithmetic never demotes: a med value that happens to fit the small form
+// stays medium until Reduce.
+func (m med) rat() Rat { return mkMed(m.neg, m.n, m.d) }
+
+// sign returns -1, 0 or +1.
+func (m med) sign() int {
+	if m.n.isZero() {
+		return 0
+	}
+	if m.neg {
+		return -1
+	}
+	return 1
+}
+
+// mulMed returns a·b in medium precision; ok is false when the reduced
+// result exceeds 128 bits. Cross-reduction first (gcd(a.n, b.d) and
+// gcd(b.n, a.d)) so the products are as small as possible and the result is
+// already in lowest terms.
+func mulMed(a, b med) (med, bool) {
+	if a.n.isZero() || b.n.isZero() {
+		return med{d: one128}, true
+	}
+	an, bd := a.n, b.d
+	if g := gcd128(an, bd); !isOne128(g) {
+		an, _ = div128(an, g)
+		bd, _ = div128(bd, g)
+	}
+	bn, ad := b.n, a.d
+	if g := gcd128(bn, ad); !isOne128(g) {
+		bn, _ = div128(bn, g)
+		ad, _ = div128(ad, g)
+	}
+	n, ok1 := mul128Checked(an, bn)
+	d, ok2 := mul128Checked(ad, bd)
+	if !ok1 || !ok2 {
+		return med{}, false
+	}
+	return med{a.neg != b.neg, n, d}, true
+}
+
+// invMed returns 1/b for nonzero b.
+func invMed(b med) med { return med{b.neg, b.d, b.n} }
+
+// mul128to192 returns a·b when it fits 192 bits; ok is false otherwise.
+func mul128to192(a, b u128) (u192, bool) {
+	if b.hi == 0 {
+		return mul128by64(a, b.lo), true
+	}
+	if a.hi == 0 {
+		return mul128by64(b, a.lo), true
+	}
+	hi, lo := mul128(a, b)
+	if hi.hi != 0 {
+		return u192{}, false
+	}
+	return u192{w2: hi.lo, w1: lo.hi, w0: lo.lo}, true
+}
+
+// addMed returns a + b in medium precision; ok is false when an
+// intermediate exceeds 192 bits or the reduced result exceeds 128 bits.
+// The shape is the small form's Knuth trick one tier up:
+// a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d), and the
+// final common factor of numerator and denominator necessarily divides g.
+func addMed(a, b med) (med, bool) {
+	if a.n.isZero() {
+		return b, true
+	}
+	if b.n.isZero() {
+		return a, true
+	}
+	g := gcd128(a.d, b.d)
+	ad2, bd2 := a.d, b.d
+	if !isOne128(g) {
+		ad2, _ = div128(ad2, g)
+		bd2, _ = div128(bd2, g)
+	}
+	den, ok := mul128Checked(a.d, bd2)
+	if !ok {
+		return med{}, false
+	}
+	p1, ok1 := mul128to192(a.n, bd2)
+	p2, ok2 := mul128to192(b.n, ad2)
+	if !ok1 || !ok2 {
+		return med{}, false
+	}
+	var t u192
+	var neg bool
+	if a.neg == b.neg {
+		var carry uint64
+		t, carry = add192(p1, p2)
+		if carry != 0 {
+			return med{}, false
+		}
+		neg = a.neg
+	} else {
+		switch cmp192(p1, p2) {
+		case 0:
+			return med{d: one128}, true
+		case 1:
+			t, neg = sub192(p1, p2), a.neg
+		default:
+			t, neg = sub192(p2, p1), b.neg
+		}
+	}
+	if !isOne128(g) {
+		if h := gcd192with128(t, g); !isOne128(h) {
+			t = div192by128Exact(t, h)
+			den, _ = div128(den, h)
+		}
+	}
+	if !t.fits128() {
+		return med{}, false
+	}
+	return med{neg, t.to128(), den}, true
+}
+
+// muladdMed returns a + b·c in medium precision with the product carried as
+// an unreduced 192-bit num/den pair — the fused window that makes MulAdd
+// more than Add∘Mul one tier up: an accumulate whose product overflows 128
+// bits but whose sum cancels back into range stays inline, where the
+// unfused ops would have paid a math/big round trip. Operands must be
+// nonzero; ok is false when an intermediate exceeds 192 bits or the reduced
+// result exceeds 128.
+func muladdMed(a, b, c med) (med, bool) {
+	// Cross-reduce the product's factors so pn/pd is in lowest terms.
+	bn, cd := b.n, c.d
+	if g := gcd128(bn, cd); !isOne128(g) {
+		bn, _ = div128(bn, g)
+		cd, _ = div128(cd, g)
+	}
+	cn, bd := c.n, b.d
+	if g := gcd128(cn, bd); !isOne128(g) {
+		cn, _ = div128(cn, g)
+		bd, _ = div128(bd, g)
+	}
+	pn, ok1 := mul128to192(bn, cn)
+	pd, ok2 := mul128to192(bd, cd)
+	if !ok1 || !ok2 {
+		return med{}, false
+	}
+	pneg := b.neg != c.neg
+
+	// a + sign·pn/pd over the common denominator L = a.d·(pd/g) = pd·(a.d/g)
+	// with g = gcd(a.d, pd); gcd(t, L) divides g exactly as in addMed.
+	g := gcd192with128(pd, a.d)
+	q, r := pd, a.d // pd/g and a.d/g
+	if !isOne128(g) {
+		q = div192by128Exact(pd, g)
+		r, _ = div128(a.d, g)
+	}
+	den, ok := mul192x128to192Checked(q, a.d)
+	if !ok {
+		return med{}, false
+	}
+	n1, ok1 := mul192x128to192Checked(q, a.n)
+	n2, ok2 := mul192x128to192Checked(pn, r)
+	if !ok1 || !ok2 {
+		return med{}, false
+	}
+	var t u192
+	var neg bool
+	if a.neg == pneg {
+		var carry uint64
+		t, carry = add192(n1, n2)
+		if carry != 0 {
+			return med{}, false
+		}
+		neg = a.neg
+	} else {
+		switch cmp192(n1, n2) {
+		case 0:
+			return med{d: one128}, true
+		case 1:
+			t, neg = sub192(n1, n2), a.neg
+		default:
+			t, neg = sub192(n2, n1), pneg
+		}
+	}
+	if !isOne128(g) {
+		if h := gcd192with128(t, g); !isOne128(h) {
+			t = div192by128Exact(t, h)
+			den = div192by128Exact(den, h)
+		}
+	}
+	if !t.fits128() || !den.fits128() {
+		return med{}, false
+	}
+	return med{neg, t.to128(), den.to128()}, true
+}
+
+// negMed returns -a.
+func negMed(a med) med {
+	if a.n.isZero() {
+		return a
+	}
+	return med{!a.neg, a.n, a.d}
+}
+
+// cmpMed compares a and b exactly: sign test, then 256-bit cross products.
+func cmpMed(a, b med) int {
+	sa, sb := a.sign(), b.sign()
+	switch {
+	case sa != sb:
+		if sa < sb {
+			return -1
+		}
+		return 1
+	case sa == 0:
+		return 0
+	}
+	h1, l1 := mul128(a.n, b.d)
+	h2, l2 := mul128(b.n, a.d)
+	c := cmp128(h1, h2)
+	if c == 0 {
+		c = cmp128(l1, l2)
+	}
+	if sa < 0 {
+		c = -c
+	}
+	return c
+}

@@ -1,0 +1,334 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// mustParse builds a Rat from its exact string form, failing the test on a
+// parse error. Parse demotes maximally, so the resulting tier is the lowest
+// that holds the value — which the boundary tests then assert explicitly.
+func mustParse(t *testing.T, s string) Rat {
+	t.Helper()
+	r, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Decimal strings of the powers of two at the representation boundaries.
+const (
+	p63s  = "9223372036854775808"                     // 2^63
+	p63m1 = "9223372036854775807"                     // 2^63 − 1
+	p127s = "170141183460469231731687303715884105728" // 2^127
+	p127m = "170141183460469231731687303715884105727" // 2^127 − 1
+	p128s = "340282366920938463463374607431768211456" // 2^128
+)
+
+// TestTierBoundaries pins which representation each boundary value lands in
+// after Parse (maximal demotion): int64-representable stays small, 64..128
+// bit magnitudes are medium, beyond 128 bits is big — on both sides of each
+// boundary and under sign flips.
+func TestTierBoundaries(t *testing.T) {
+	cases := []struct {
+		s    string
+		tier Tier
+	}{
+		{p63m1, TierSmall},               // 2^63−1: last small integer
+		{"-" + p63m1, TierSmall},         // −(2^63−1): small (MinInt64 excluded)
+		{p63s, TierMedium},               // 2^63: first medium integer
+		{"-" + p63s, TierMedium},         // −2^63 = MinInt64: medium, not small
+		{p63m1 + "/" + p63s, TierMedium}, // (2^63−1)/2^63: den crosses
+		{"-" + p63m1 + "/" + p63s, TierMedium},
+		{p63s + "/" + p63m1, TierMedium}, // 2^63/(2^63−1): num crosses
+		{"1/" + p63m1, TierSmall},        // denominator at the small edge
+		{p127m, TierMedium},              // 2^127−1: still medium
+		{"-" + p127m, TierMedium},
+		{p127m + "/" + p127s, TierMedium}, // (2^127−1)/2^127: both at the top
+		{"-" + p127m + "/" + p127s, TierMedium},
+		{p127s + "/" + p127m, TierMedium}, // 2^127/(2^127−1)
+		{p128s, TierBig},                  // 2^128: beyond the medium form
+		{"-" + p128s, TierBig},
+		{"1/" + p128s, TierBig}, // 2^-128: den beyond
+	}
+	for _, c := range cases {
+		r := mustParse(t, c.s)
+		checkInvariant(t, r, "Parse")
+		if r.Tier() != c.tier {
+			t.Errorf("Parse(%s).Tier() = %v, want %v", c.s, r.Tier(), c.tier)
+		}
+		n := r.Neg()
+		checkInvariant(t, n, "Neg")
+		if n.Tier() != c.tier {
+			t.Errorf("Neg(%s).Tier() = %v, want %v (sign flip must not change tier)",
+				c.s, n.Tier(), c.tier)
+		}
+		if got := n.Neg(); got.Cmp(r) != 0 {
+			t.Errorf("Neg(Neg(%s)) = %v", c.s, got)
+		}
+	}
+}
+
+// TestMediumBoundaryDifferential crosses every operation over operands
+// clustered at both escape boundaries — around 2^63−1/2^63 and
+// 2^127−1/2^127, with sign flips — against the big.Rat oracle, reusing the
+// small-form differential harness (diffCheck also verifies the
+// representation invariant of every result).
+func TestMediumBoundaryDifferential(t *testing.T) {
+	strs := []string{
+		"0", "1", "-1", "2/3", "-355/113",
+		p63m1, "-" + p63m1, p63s, "-" + p63s,
+		p63m1 + "/" + p63s, "-" + p63m1 + "/" + p63s,
+		p63s + "/" + p63m1, "-" + p63s + "/" + p63m1,
+		"1/" + p63s, "-1/" + p63s,
+		p127m, "-" + p127m,
+		p127m + "/" + p127s, "-" + p127m + "/" + p127s,
+		p127s + "/" + p127m, "-" + p127s + "/" + p127m,
+		"1/" + p127s, "-1/" + p127m,
+		p128s, "-" + p128s, "1/" + p128s, // big neighbours of the 128-bit edge
+		p127m + "/3", "3/" + p127m,
+	}
+	var vals []Rat
+	for _, s := range strs {
+		vals = append(vals, mustParse(t, s))
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			diffCheck(t, a, b)
+		}
+	}
+}
+
+// TestMediumMulAddDifferential drives the fused accumulate over
+// boundary-clustered triples spanning all three tiers and checks the value
+// against the big.Rat oracle plus the demotion contract: the result lands
+// in the lowest tier that holds it.
+func TestMediumMulAddDifferential(t *testing.T) {
+	seed := []Rat{
+		mustParse(t, "1"), mustParse(t, "-2/3"),
+		mustParse(t, p63m1), mustParse(t, "-"+p63m1+"/"+p63s),
+		mustParse(t, p63s+"/"+p63m1),
+		mustParse(t, p127m+"/"+p127s), mustParse(t, "-"+p127m),
+		mustParse(t, p127s+"/"+p127m), mustParse(t, "1/"+p127s),
+		mustParse(t, p128s), mustParse(t, "-1/"+p128s),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		a := seed[rng.Intn(len(seed))]
+		b := seed[rng.Intn(len(seed))]
+		c := seed[rng.Intn(len(seed))]
+		got := MulAdd(a, b, c)
+		want := new(big.Rat).Mul(b.Big(), c.Big())
+		want.Add(want, a.Big())
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("MulAdd(%v, %v, %v) = %v, oracle %v", a, b, c, got, want.RatString())
+		}
+		checkInvariant(t, got, "MulAdd")
+		if lowest := FromBig(want); got.Tier() != lowest.Tier() {
+			t.Fatalf("MulAdd(%v, %v, %v) landed %v, want %v (fused results demote maximally)",
+				a, b, c, got.Tier(), lowest.Tier())
+		}
+	}
+}
+
+// TestMulSubDifferential pins the new fused a − b·c against the oracle on
+// the boundary operand pool of the MulAdd differential.
+func TestMulSubDifferential(t *testing.T) {
+	var vals []Rat
+	for _, n := range interestingInt64s {
+		for _, d := range interestingInt64s {
+			if d == 0 {
+				continue
+			}
+			vals = append(vals, FromFrac(n, d))
+		}
+	}
+	vals = append(vals,
+		mustParse(t, p127m+"/"+p127s), mustParse(t, "-"+p127s+"/"+p127m))
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20000; i++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		c := vals[rng.Intn(len(vals))]
+		got := MulSub(a, b, c)
+		want := new(big.Rat).Mul(b.Big(), c.Big())
+		want.Sub(a.Big(), want)
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("MulSub(%v, %v, %v) = %v, oracle %v", a, b, c, got, want.RatString())
+		}
+		checkInvariant(t, got, "MulSub")
+	}
+}
+
+// TestReduceDemotionLadder is the regression for Reduce's three-step
+// contract: after cancellation, big values demote to medium when they fit
+// 128 bits and straight to small when they fit int64, and medium values
+// demote to small — while arithmetic itself never demotes.
+func TestReduceDemotionLadder(t *testing.T) {
+	h := FromFrac(math.MaxInt64/3, 1) // ~61.4 bits
+	h2 := h.Mul(h)                    // ~123 bits: medium
+	if h2.Tier() != TierMedium {
+		t.Fatalf("h² landed %v, want medium", h2.Tier())
+	}
+	h4 := h2.Mul(h2) // ~245 bits: big
+	if h4.Tier() != TierBig {
+		t.Fatalf("h⁴ landed %v, want big", h4.Tier())
+	}
+
+	// big → medium: h⁴/h² is a big-form value whose magnitude fits 128.
+	backMed := h4.Div(h2)
+	if backMed.Tier() != TierBig {
+		t.Fatalf("big-operand division landed %v; arithmetic must not demote", backMed.Tier())
+	}
+	red := backMed.Reduce()
+	if red.Tier() != TierMedium || !red.Equal(h2) {
+		t.Fatalf("Reduce(big holding 123-bit value) = %v tier %v, want h² medium", red, red.Tier())
+	}
+
+	// big → small: h⁴/h³ fits int64; Reduce must skip the ladder entirely.
+	backSmall := h4.Div(h2.Mul(h))
+	if backSmall.Tier() != TierBig {
+		t.Fatalf("big-operand division landed %v; arithmetic must not demote", backSmall.Tier())
+	}
+	if red := backSmall.Reduce(); red.Tier() != TierSmall || !red.Equal(h) {
+		t.Fatalf("Reduce(big holding 61-bit value) = %v tier %v, want h small", red, red.Tier())
+	}
+
+	// medium → small: h²/h fits int64 but stays medium until Reduce.
+	medBack := h2.Div(h)
+	if medBack.Tier() != TierMedium {
+		t.Fatalf("medium-operand division landed %v; arithmetic must not demote", medBack.Tier())
+	}
+	if red := medBack.Reduce(); red.Tier() != TierSmall || !red.Equal(h) {
+		t.Fatalf("Reduce(medium holding 61-bit value) = %v tier %v, want h small", red, red.Tier())
+	}
+
+	// Values that genuinely need their tier must survive Reduce unchanged.
+	for _, v := range []Rat{h, h2, h4} {
+		if red := v.Reduce(); red.Tier() != v.Tier() || red.Cmp(v) != 0 {
+			t.Fatalf("Reduce(%v) changed a canonical value to %v", v, red)
+		}
+	}
+}
+
+// TestMediumOpsDoNotAllocate is the point of the tier: arithmetic whose
+// operands, intermediates and results stay within the 128-bit window (192
+// for the fused product) performs no heap allocation, exactly as the small
+// form guarantees one level down. The operands are sized so every step of
+// the chain stays in-window — medium values near the top of the range
+// legitimately escape when multiplied, which is the promotion contract,
+// not an allocation bug.
+func TestMediumOpsDoNotAllocate(t *testing.T) {
+	x := mustParse(t, "18446744073709551617/1024") // (2^64+1)/2^10
+	y := mustParse(t, "18446744073709551615/1024") // (2^64−1)/2^10
+	c := mustParse(t, p127m+"/"+p127s)
+	if x.Tier() != TierMedium || y.Tier() != TierMedium {
+		t.Fatalf("operand tiers %v %v, want medium", x.Tier(), y.Tier())
+	}
+	// The fused-window triple of TestMulAddFusedWindow.
+	two := FromInt(2)
+	pow := func(k int) Rat {
+		r := One
+		for i := 0; i < k; i++ {
+			r = r.Mul(two)
+		}
+		return r
+	}
+	aw := One.Div(pow(120))
+	bw := pow(70).Add(One).Div(pow(60))
+	cw := pow(70).Sub(One).Div(pow(60))
+	var sink Rat
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = x.Add(y).Mul(x).Sub(y).Div(x).Neg().Reduce()
+		if sink.Cmp(c) == 0 || sink.Sign() == 0 {
+			t.Fatal("unexpected comparison")
+		}
+		if r := MulAdd(aw, bw, cw); r.Sign() == 0 {
+			t.Fatal("bad MulAdd")
+		}
+		if r := MulSub(aw, bw.Neg(), cw); r.Sign() == 0 {
+			t.Fatal("bad MulSub")
+		}
+		_ = c.Inv().Abs()
+	})
+	if allocs != 0 {
+		t.Fatalf("medium-regime arithmetic allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMulAddFusedWindow pins the 192-bit product window: b·c whose
+// numerator exceeds 128 bits fused with an a that cancels the denominator
+// back down must come out small and allocation-free, where the unfused
+// Add∘Mul chain escapes to math/big for the intermediate.
+func TestMulAddFusedWindow(t *testing.T) {
+	two := FromInt(2)
+	pow := func(k int) Rat { // 2^k through medium-safe squaring
+		r := One
+		for i := 0; i < k; i++ {
+			r = r.Mul(two)
+		}
+		return r
+	}
+	b := pow(70).Add(One).Div(pow(60)) // (2^70+1)/2^60, medium
+	c := pow(70).Sub(One).Div(pow(60)) // (2^70−1)/2^60, medium
+	a := One.Div(pow(120))             // 1/2^120, medium
+	if b.Tier() != TierMedium || c.Tier() != TierMedium || a.Tier() != TierMedium {
+		t.Fatalf("operand tiers %v %v %v, want all medium", b.Tier(), c.Tier(), a.Tier())
+	}
+	if p := b.Mul(c); p.Tier() != TierBig {
+		t.Fatalf("unfused product landed %v; pick operands whose product escapes", p.Tier())
+	}
+	got := MulAdd(a, b, c) // (1 + 2^140 − 1)/2^120 = 2^20
+	if !got.Equal(pow(20)) {
+		t.Fatalf("MulAdd = %v, want 2^20", got)
+	}
+	if got.Tier() != TierSmall {
+		t.Fatalf("fused result landed %v, want small", got.Tier())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if r := MulAdd(a, b, c); r.Sign() == 0 {
+			t.Fatal("bad result")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fused 192-bit window allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMediumFromFloatBoundary walks FromFloat across the small/medium and
+// medium/big boundaries: 2^±63 land medium, magnitudes beyond 2^±128 land
+// big, and the round trip through Float stays exact everywhere.
+func TestMediumFromFloatBoundary(t *testing.T) {
+	cases := []struct {
+		f    float64
+		tier Tier
+	}{
+		{math.Ldexp(1, 62), TierSmall},
+		{math.Ldexp(1, 63), TierMedium},
+		{math.Ldexp(1, 127), TierMedium},
+		{math.Ldexp(1, 128), TierBig},
+		{math.Ldexp(-1, 63), TierMedium},
+		{math.Ldexp(1, -62), TierSmall},
+		{math.Ldexp(1, -63), TierMedium},
+		{math.Ldexp(1, -127), TierMedium},
+		{math.Ldexp(1, -128), TierBig},
+		{math.Ldexp(8191, 115), TierMedium}, // 13-bit mantissa at the top edge: 2^128−2^115... still 128 bits
+		{math.Ldexp(8193, 115), TierBig},    // first step past it
+	}
+	for _, c := range cases {
+		r := FromFloat(c.f)
+		checkInvariant(t, r, "FromFloat")
+		if r.Tier() != c.tier {
+			t.Errorf("FromFloat(%g).Tier() = %v, want %v", c.f, r.Tier(), c.tier)
+		}
+		if got := r.Float(); got != c.f {
+			t.Errorf("FromFloat(%g).Float() = %g, round trip broken", c.f, got)
+		}
+		if want := new(big.Rat).SetFloat64(c.f); r.Big().Cmp(want) != 0 {
+			t.Errorf("FromFloat(%g) = %v, oracle %v", c.f, r, want.RatString())
+		}
+	}
+}

@@ -10,16 +10,21 @@
 //
 // # Representation
 //
-// A Rat is stored in one of two forms. The small form is an inline
+// A Rat is stored in one of three forms. The small form is an inline
 // int64 numerator/denominator pair: all arithmetic on it is a handful of
 // machine operations (binary GCD, 128-bit overflow checks via bits.Mul64)
 // and allocates nothing. When a result no longer fits — numerator or
-// denominator magnitude above MaxInt64 — the operation escapes to the big
-// form, a *math/big.Rat, and every operation involving a big operand stays
-// big: the package never demotes behind the caller's back. Reduce demotes
-// an escaped value back to the small form when it fits again; hot loops
-// that want to stay in the small regime (the exact LP backend, see
-// lp.RatOps) apply it after each operation.
+// denominator magnitude above MaxInt64 — the operation promotes to the
+// medium form: inline unsigned 128-bit num/den magnitudes with an explicit
+// sign, whose arithmetic runs on bits.Mul64/bits.Add64 chains with 192-bit
+// intermediates (see medium.go) and still allocates nothing. Only when a
+// reduced result exceeds 128 bits does the operation escape to the big
+// form, a *math/big.Rat. Operations involving a big operand stay big, and
+// medium results stay medium even when they shrink back into int64 range:
+// the package never demotes behind the caller's back. Reduce demotes an
+// escaped value down the ladder (big → medium → small) as far as it fits;
+// hot loops that want to stay in the fixed-width regime (the exact LP
+// backend, see lp.RatOps) apply it after each operation.
 package rat
 
 import (
@@ -37,14 +42,23 @@ import (
 // here returns a fresh value and never mutates operands, which also makes
 // it safe for two Rats to share an escaped *big.Rat.
 type Rat struct {
-	// Small form (r == nil): the value num/den with den > 0,
+	// Small form (r == nil, !med): the value num/den with den > 0,
 	// gcd(|num|, den) == 1 and |num|, den ≤ MaxInt64 — MinInt64 is kept out
 	// of both fields so negation can never overflow. The zero value
 	// (num == 0, den == 0) is the canonical 0.
+	//
+	// Medium form (r == nil, med): the value ±n/d with unsigned 128-bit
+	// magnitudes n = nhi·2^64 + uint64(num), d = dhi·2^64 + uint64(den)
+	// (the small form's fields double as the low words), d > 0,
+	// gcd(n, d) == 1, and the sign in neg. Zero is never medium.
 	num, den int64
-	// Big form (r != nil): num/den are meaningless. The pointed-to value is
-	// never mutated, so ops may return an operand's pointer unchanged.
-	r *big.Rat
+	nhi, dhi uint64
+	// Big form (r != nil): all other fields are meaningless. The pointed-to
+	// value is never mutated, so ops may return an operand's pointer
+	// unchanged.
+	r   *big.Rat
+	med bool
+	neg bool
 }
 
 // Zero is the rational 0.
@@ -74,7 +88,7 @@ func normSmall(num, den int64) Rat {
 }
 
 // nd returns the small-form numerator and denominator, mapping the zero
-// value to 0/1. Only valid when a.r == nil.
+// value to 0/1. Only valid in the small form (r == nil, !med).
 func (a Rat) nd() (num, den int64) {
 	if a.den == 0 {
 		return 0, 1
@@ -98,6 +112,12 @@ func gcd64(a, b uint64) uint64 {
 	}
 	if b == 0 {
 		return a
+	}
+	if a == 1 || b == 1 {
+		// Unit operands are everywhere in simplex data (integer values have
+		// den == 1, tableaus are 0/±1-heavy); without this exit the binary
+		// loop grinds a unit down one subtract-and-shift at a time.
+		return 1
 	}
 	k := bits.TrailingZeros64(a | b)
 	a >>= bits.TrailingZeros64(a)
@@ -138,7 +158,7 @@ func add64(a, b int64) (int64, bool) {
 // FromInt returns the rational n/1.
 func FromInt(n int64) Rat {
 	if n == math.MinInt64 {
-		return Rat{r: big.NewRat(n, 1)}
+		return mkMed(true, u128From64(1<<63), one128)
 	}
 	return small(n, 1)
 }
@@ -179,11 +199,16 @@ func FromFloat(f float64) Rat {
 		if e+bits.Len64(absU(m)) <= 63 {
 			return small(m<<e, 1)
 		}
+		if e+bits.Len64(absU(m)) <= 128 {
+			return mkMed(m < 0, shl128(u128From64(absU(m)), uint(e)), one128)
+		}
 	} else if -e <= 62 {
 		// m is odd, so m / 2^-e is already reduced.
 		return small(m, int64(1)<<-e)
+	} else if -e <= 127 {
+		return mkMed(m < 0, u128From64(absU(m)), shl128(one128, uint(-e)))
 	}
-	// Magnitude or precision beyond the small form: escape.
+	// Magnitude or precision beyond the fixed-width forms: escape.
 	r := new(big.Rat).SetFloat64(f)
 	if r == nil {
 		panic(fmt.Sprintf("rat: cannot represent %v", f))
@@ -206,15 +231,66 @@ func Parse(s string) (Rat, error) {
 
 // IsSmall reports whether a is held in the inline int64 form. Arithmetic on
 // small operands allocates nothing unless the result overflows.
-func (a Rat) IsSmall() bool { return a.r == nil }
+func (a Rat) IsSmall() bool { return a.r == nil && !a.med }
 
-// Reduce returns a demoted to the small form when its numerator and
-// denominator fit int64, and a unchanged otherwise. Arithmetic never
-// demotes on its own — once a value escapes to math/big it stays big — so
-// long-running exact computations call Reduce at natural boundaries (the
-// LP backend applies it after every operation) to return to the fast
-// small-value regime.
+// isSmall, isMed and isBig are the internal form predicates; exactly one
+// holds for any Rat.
+func (a Rat) isSmall() bool { return a.r == nil && !a.med }
+func (a Rat) isMed() bool   { return a.med }
+func (a Rat) isBig() bool   { return a.r != nil }
+
+// Tier identifies which of the three representations holds a value.
+type Tier uint8
+
+const (
+	// TierSmall is the inline int64 num/den form.
+	TierSmall Tier = iota
+	// TierMedium is the inline 128-bit num/den form.
+	TierMedium
+	// TierBig is the escaped *math/big.Rat form.
+	TierBig
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierSmall:
+		return "small"
+	case TierMedium:
+		return "medium"
+	}
+	return "big"
+}
+
+// Tier returns the representation currently holding a.
+func (a Rat) Tier() Tier {
+	switch {
+	case a.r != nil:
+		return TierBig
+	case a.med:
+		return TierMedium
+	}
+	return TierSmall
+}
+
+// Reduce returns a demoted down the representation ladder as far as its
+// value fits: big values whose num/den magnitudes fit 128 bits become
+// medium (or small when they fit int64), and medium values whose
+// magnitudes fit int64 become small. Arithmetic never demotes on its own —
+// once a value promotes it stays there — so long-running exact computations
+// call Reduce at natural boundaries (the LP backend applies it after every
+// operation) to return to the fastest regime that holds the value.
 func (a Rat) Reduce() Rat {
+	if a.med {
+		if a.nhi == 0 && a.dhi == 0 &&
+			uint64(a.num) <= math.MaxInt64 && uint64(a.den) <= math.MaxInt64 {
+			n := a.num // low word; medium invariants give gcd == 1, den > 0
+			if a.neg {
+				n = -n
+			}
+			return small(n, a.den)
+		}
+		return a
+	}
 	if a.r == nil {
 		return a
 	}
@@ -226,14 +302,56 @@ func (a Rat) Reduce() Rat {
 			return small(n, d)
 		}
 	}
+	if num.BitLen() <= 128 && den.BitLen() <= 128 {
+		// big.Rat keeps the pair reduced with den > 0, so the magnitudes
+		// can be lifted into the medium form directly.
+		return mkMed(num.Sign() < 0, u128FromBigAbs(num), u128FromBigAbs(den))
+	}
 	return a
 }
 
-// bigRef materialises a as a *big.Rat, allocating only for small values.
-// Callers must not mutate the result when a is big.
+// u128FromBigAbs returns |x| as a u128; callers check BitLen() <= 128.
+func u128FromBigAbs(x *big.Int) u128 {
+	var v u128
+	for i, w := range x.Bits() {
+		v = or128(v, shl128(u128From64(uint64(w)), uint(i)*uint(bits.UintSize)))
+	}
+	return v
+}
+
+// setBig128 sets dst to the (nonnegative) value of x. The limb slice must
+// be freshly allocated: dst may share storage with math/big internals (a
+// fresh Rat's Denom aliases the package-global 1), so appending into
+// dst.Bits() would corrupt them.
+func setBig128(dst *big.Int, x u128) {
+	var w []big.Word
+	if bits.UintSize == 64 {
+		w = []big.Word{big.Word(x.lo), big.Word(x.hi)}
+	} else {
+		w = []big.Word{big.Word(x.lo), big.Word(x.lo >> 32), big.Word(x.hi), big.Word(x.hi >> 32)}
+	}
+	dst.SetBits(w) // SetBits normalises away leading zero words
+}
+
+// bigRef materialises a as a *big.Rat, allocating only for small and medium
+// values. Callers must not mutate the result when a is big.
 func (a Rat) bigRef() *big.Rat {
 	if a.r != nil {
 		return a.r
+	}
+	if a.med {
+		// The magnitudes are already reduced with d > 0, so the big.Rat can
+		// be assembled through Num/Denom directly — SetFrac would re-run a
+		// two-word GCD for nothing. SetInt64 first: Denom on an
+		// uninitialized Rat returns a detached Int, not a reference.
+		m := a.med128()
+		br := new(big.Rat).SetInt64(1)
+		setBig128(br.Num(), m.n)
+		setBig128(br.Denom(), m.d)
+		if a.neg {
+			br.Neg(br)
+		}
+		return br
 	}
 	n, d := a.nd()
 	return big.NewRat(n, d)
@@ -243,6 +361,14 @@ func (a Rat) bigRef() *big.Rat {
 func (a Rat) Float() float64 {
 	if a.r != nil {
 		f, _ := a.r.Float64()
+		return f
+	}
+	if a.med {
+		// Correct rounding of a 128-bit quotient needs the full big.Rat
+		// machinery; Float on medium values sits outside the solver hot
+		// loops (solution extraction, reporting), so the allocation is
+		// acceptable.
+		f, _ := a.bigRef().Float64()
 		return f
 	}
 	n, d := a.nd()
@@ -320,15 +446,21 @@ func invSmall(b Rat) Rat {
 
 // Add returns a + b.
 func (a Rat) Add(b Rat) Rat {
-	if a.r == nil && b.r == nil {
+	if a.isSmall() && b.isSmall() {
 		if r, ok := addSmall(a, b, 1); ok {
 			return r
 		}
 	}
-	if a.r == nil && a.den == 0 {
+	if !a.isBig() && !b.isBig() {
+		// Small-form overflow or medium operands: the medium lane.
+		if m, ok := addMed(a.med128(), b.med128()); ok {
+			return m.rat()
+		}
+	}
+	if a.isSmall() && a.den == 0 {
 		return b
 	}
-	if b.r == nil && b.den == 0 {
+	if b.isSmall() && b.den == 0 {
 		return a
 	}
 	return Rat{r: new(big.Rat).Add(a.bigRef(), b.bigRef())}
@@ -336,15 +468,20 @@ func (a Rat) Add(b Rat) Rat {
 
 // Sub returns a - b.
 func (a Rat) Sub(b Rat) Rat {
-	if a.r == nil && b.r == nil {
+	if a.isSmall() && b.isSmall() {
 		if r, ok := addSmall(a, b, -1); ok {
 			return r
 		}
 	}
-	if b.r == nil && b.den == 0 {
+	if !a.isBig() && !b.isBig() {
+		if m, ok := addMed(a.med128(), negMed(b.med128())); ok {
+			return m.rat()
+		}
+	}
+	if b.isSmall() && b.den == 0 {
 		return a
 	}
-	if a.r == nil && a.den == 0 {
+	if a.isSmall() && a.den == 0 {
 		return b.Neg()
 	}
 	return Rat{r: new(big.Rat).Sub(a.bigRef(), b.bigRef())}
@@ -352,14 +489,19 @@ func (a Rat) Sub(b Rat) Rat {
 
 // Mul returns a * b.
 func (a Rat) Mul(b Rat) Rat {
-	if a.r == nil && b.r == nil {
+	if a.isSmall() && b.isSmall() {
 		if r, ok := mulSmall(a, b); ok {
 			return r
 		}
 	}
+	if !a.isBig() && !b.isBig() {
+		if m, ok := mulMed(a.med128(), b.med128()); ok {
+			return m.rat()
+		}
+	}
 	// Annihilator and unit shortcuts keep the mixed path allocation-free
 	// on the 0/±1 entries that dominate simplex tableaus.
-	if a.r == nil {
+	if a.isSmall() {
 		switch {
 		case a.den == 0:
 			return Rat{}
@@ -369,7 +511,7 @@ func (a Rat) Mul(b Rat) Rat {
 			return b.Neg()
 		}
 	}
-	if b.r == nil {
+	if b.isSmall() {
 		switch {
 		case b.den == 0:
 			return Rat{}
@@ -387,8 +529,8 @@ func (a Rat) Div(b Rat) Rat {
 	if b.Sign() == 0 {
 		panic("rat: division by zero")
 	}
-	if b.r == nil {
-		if a.r == nil {
+	if b.isSmall() {
+		if a.isSmall() {
 			if r, ok := mulSmall(a, invSmall(b)); ok {
 				return r
 			}
@@ -400,7 +542,12 @@ func (a Rat) Div(b Rat) Rat {
 			return a.Neg()
 		}
 	}
-	if a.r == nil && a.den == 0 {
+	if !a.isBig() && !b.isBig() {
+		if m, ok := mulMed(a.med128(), invMed(b.med128())); ok {
+			return m.rat()
+		}
+	}
+	if a.isSmall() && a.den == 0 {
 		return Rat{}
 	}
 	return Rat{r: new(big.Rat).Quo(a.bigRef(), b.bigRef())}
@@ -408,14 +555,25 @@ func (a Rat) Div(b Rat) Rat {
 
 // MulAdd returns a + b·c as one fused operation. The point over
 // a.Add(b.Mul(c)) is escape behaviour, not value: the product and the sum
-// are attempted in the int64 small form together, and when that fails the
-// whole expression is evaluated in math/big once and demoted once, so a
-// b·c whose intermediate would escape but whose final value fits still
-// comes back small. It is the accumulate primitive of the revised-simplex
-// eta updates (see lp.Ops.MulAdd), which are long chains of exactly this
-// shape.
+// are attempted in the int64 small form together, then in the 128-bit
+// medium form, and only when both fail is the whole expression evaluated in
+// math/big once and demoted once — so a b·c whose intermediate would escape
+// but whose final value fits a fixed-width form still comes back inline,
+// and whenever the final value fits int64 it comes back small. It is the
+// accumulate primitive of the revised-simplex eta updates (see
+// lp.Ops.MulAdd), which are long chains of exactly this shape.
 func MulAdd(a, b, c Rat) Rat {
-	// Annihilator shortcuts first: they keep the mixed small/big path free
+	// The all-small lane runs first, before any Sign dispatch: it is the
+	// statistically dominant case in the solver loops, and mulSmall/addSmall
+	// already handle zero operands exactly.
+	if a.isSmall() && b.isSmall() && c.isSmall() {
+		if p, ok := mulSmall(b, c); ok {
+			if s, ok := addSmall(a, p, 1); ok {
+				return s
+			}
+		}
+	}
+	// Annihilator shortcuts next: they keep the mixed small/big path free
 	// of big temporaries on the 0-heavy vectors of sparse solvers.
 	if b.Sign() == 0 || c.Sign() == 0 {
 		return a
@@ -423,19 +581,29 @@ func MulAdd(a, b, c Rat) Rat {
 	if a.Sign() == 0 {
 		return b.Mul(c).Reduce()
 	}
-	if a.r == nil && b.r == nil && c.r == nil {
-		if p, ok := mulSmall(b, c); ok {
-			if s, ok := addSmall(a, p, 1); ok {
-				return s
-			}
+	if !a.isBig() && !b.isBig() && !c.isBig() {
+		// Medium-precision fusion with the product carried in 192-bit
+		// intermediates, so only the final value needs to fit 128 bits.
+		// Unlike the plain ops, the fused result is demoted to the lowest
+		// tier that fits — that is its contract.
+		if s, ok := muladdMed(a.med128(), b.med128(), c.med128()); ok {
+			return s.rat().Reduce()
 		}
 	}
 	prod := new(big.Rat).Mul(b.bigRef(), c.bigRef())
 	return Rat{r: prod.Add(prod, a.bigRef())}.Reduce()
 }
 
+// MulSub returns a - b·c with MulAdd's fused escape behaviour. Negating b
+// is a sign flip in the small and medium forms, so the fusion is free
+// there; a big b pays one extra big.Rat, on a path that allocates anyway.
+func MulSub(a, b, c Rat) Rat { return MulAdd(a, b.Neg(), c) }
+
 // Neg returns -a.
 func (a Rat) Neg() Rat {
+	if a.med {
+		return mkMed(!a.neg, u128{a.nhi, uint64(a.num)}, u128{a.dhi, uint64(a.den)})
+	}
 	if a.r == nil {
 		return small(-a.num, a.den)
 	}
@@ -446,6 +614,9 @@ func (a Rat) Neg() Rat {
 func (a Rat) Inv() Rat {
 	if a.Sign() == 0 {
 		panic("rat: inverse of zero")
+	}
+	if a.med {
+		return invMed(a.med128()).rat()
 	}
 	if a.r == nil {
 		return invSmall(a)
@@ -466,6 +637,13 @@ func (a Rat) Sign() int {
 	if a.r != nil {
 		return a.r.Sign()
 	}
+	if a.med {
+		// Medium values are never zero.
+		if a.neg {
+			return -1
+		}
+		return 1
+	}
 	switch {
 	case a.num > 0:
 		return 1
@@ -477,6 +655,12 @@ func (a Rat) Sign() int {
 
 // Cmp compares a and b and returns -1, 0 or +1.
 func (a Rat) Cmp(b Rat) int {
+	if a.med || b.med {
+		if !a.isBig() && !b.isBig() {
+			return cmpMed(a.med128(), b.med128())
+		}
+		return a.bigRef().Cmp(b.bigRef())
+	}
 	if a.r == nil && b.r == nil {
 		sa, sb := a.Sign(), b.Sign()
 		switch {
@@ -544,8 +728,8 @@ func Max(a, b Rat) Rat {
 
 // String formats a in exact "a/b" notation.
 func (a Rat) String() string {
-	if a.r != nil {
-		return a.r.RatString()
+	if a.r != nil || a.med {
+		return a.bigRef().RatString()
 	}
 	n, d := a.nd()
 	if d == 1 {

@@ -8,11 +8,28 @@ import (
 )
 
 // checkInvariant fails unless a satisfies the representation invariant of
-// the small form: canonical zero, positive reduced denominator, MinInt64
-// kept out of both fields.
+// its tier — small: canonical zero, positive reduced denominator, MinInt64
+// kept out of both fields; medium: nonzero reduced 128-bit magnitudes with
+// a nonzero denominator.
 func checkInvariant(t *testing.T, a Rat, ctx string) {
 	t.Helper()
 	if a.r != nil {
+		if a.med {
+			t.Fatalf("%s: value is both medium and big", ctx)
+		}
+		return
+	}
+	if a.med {
+		m := a.med128()
+		if m.n.isZero() {
+			t.Fatalf("%s: zero leaked into the medium form", ctx)
+		}
+		if m.d.isZero() {
+			t.Fatalf("%s: zero denominator in medium form", ctx)
+		}
+		if g := gcd128(m.n, m.d); !isOne128(g) {
+			t.Fatalf("%s: unreduced medium form %v (gcd %v)", ctx, a, g)
+		}
 		return
 	}
 	if a.num == 0 {
@@ -356,31 +373,57 @@ func TestMixedRepresentationEquality(t *testing.T) {
 }
 
 // FuzzRatDifferential is the fuzzing entry point of the differential
-// oracle: two operands assembled from raw int64 fuzz input are run through
-// every operation on both representations.
+// oracle: operands assembled from raw int64 fuzz input are run through
+// every operation on all three representations. The raw pair sits at the
+// small/medium escape boundary; its square (up to ~126-bit magnitudes)
+// sits at the medium/big boundary, and its cube lands in the big form —
+// so every tier pairing, including the mixed ones, is fuzzed against the
+// pure big.Rat oracle.
 func FuzzRatDifferential(f *testing.F) {
 	f.Add(int64(1), int64(2), int64(3), int64(4))
 	f.Add(int64(math.MaxInt64), int64(math.MaxInt64-1), int64(-math.MaxInt64), int64(2))
 	f.Add(int64(3037000499), int64(3037000500), int64(1)<<62, int64(7))
 	f.Add(int64(0), int64(1), int64(0), int64(-1))
+	// Boundary-clustered seeds: squares of these land against 2^126 and
+	// their cross products straddle the 128-bit medium/big edge.
+	f.Add(int64(math.MaxInt64), int64(1)<<62, int64(math.MaxInt64-1), int64(math.MaxInt64))
+	f.Add(int64(1)<<62, int64(3), int64(-(int64(1) << 62)), int64(math.MaxInt64))
 	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
 		if ad == 0 || bd == 0 || an == math.MinInt64 || ad == math.MinInt64 ||
 			bn == math.MinInt64 || bd == math.MinInt64 {
 			return
 		}
 		a, b := FromFrac(an, ad), FromFrac(bn, bd)
-		ab, bb := a.Big(), b.Big()
-		for _, op := range oracles {
-			if op.defOK != nil && !op.defOK(b) {
-				continue
-			}
-			got := op.rat(a, b)
-			if want := op.big(ab, bb); got.Big().Cmp(want) != 0 {
-				t.Fatalf("%s(%v, %v) = %v, oracle %v", op.name, a, b, got, want.RatString())
-			}
+		pairs := [][2]Rat{
+			{a, b},                      // small/small (or boundary)
+			{a.Mul(a), b},               // medium-range vs raw
+			{a, b.Mul(b)},               // raw vs medium-range
+			{a.Mul(a), b.Mul(b)},        // medium vs medium
+			{a.Mul(a).Mul(a), b.Mul(b)}, // big-range vs medium
 		}
-		if got, want := a.Cmp(b), ab.Cmp(bb); got != want {
-			t.Fatalf("Cmp(%v, %v) = %d, oracle %d", a, b, got, want)
+		for _, pr := range pairs {
+			x, y := pr[0], pr[1]
+			xb, yb := x.Big(), y.Big()
+			for _, op := range oracles {
+				if op.defOK != nil && !op.defOK(y) {
+					continue
+				}
+				got := op.rat(x, y)
+				if want := op.big(xb, yb); got.Big().Cmp(want) != 0 {
+					t.Fatalf("%s(%v, %v) = %v, oracle %v", op.name, x, y, got, want.RatString())
+				}
+				checkInvariant(t, got, op.name)
+			}
+			if got, want := x.Cmp(y), xb.Cmp(yb); got != want {
+				t.Fatalf("Cmp(%v, %v) = %d, oracle %d", x, y, got, want)
+			}
+			got := MulAdd(x, y, x)
+			want := new(big.Rat).Mul(yb, xb)
+			want.Add(want, xb)
+			if got.Big().Cmp(want) != 0 {
+				t.Fatalf("MulAdd(%v, %v, %v) = %v, oracle %v", x, y, x, got, want.RatString())
+			}
+			checkInvariant(t, got, "MulAdd")
 		}
 	})
 }

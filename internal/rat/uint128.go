@@ -1,0 +1,418 @@
+package rat
+
+// uint128.go is the fixed-width arithmetic substrate of the medium tier: an
+// unsigned 128-bit integer type built on math/bits, plus the 192/256-bit
+// intermediates the medium-form rational operations need (products of two
+// 128-bit magnitudes, cross-sums in rational addition). Everything here is
+// allocation-free; widths are static, so the compiler keeps values in
+// registers or on the stack.
+
+import "math/bits"
+
+// u128 is an unsigned 128-bit integer, hi·2^64 + lo.
+type u128 struct {
+	hi, lo uint64
+}
+
+// u128From64 widens a uint64.
+func u128From64(x uint64) u128 { return u128{lo: x} }
+
+// isZero reports x == 0.
+func (x u128) isZero() bool { return x.hi == 0 && x.lo == 0 }
+
+// fits64 reports whether x fits a uint64.
+func (x u128) fits64() bool { return x.hi == 0 }
+
+// or128 returns a | b.
+func or128(a, b u128) u128 { return u128{a.hi | b.hi, a.lo | b.lo} }
+
+// cmp128 compares a and b, returning -1, 0 or +1.
+func cmp128(a, b u128) int {
+	switch {
+	case a.hi != b.hi:
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	case a.lo != b.lo:
+		if a.lo < b.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// add128 returns a + b and the carry out (0 or 1).
+func add128(a, b u128) (u128, uint64) {
+	lo, c := bits.Add64(a.lo, b.lo, 0)
+	hi, c := bits.Add64(a.hi, b.hi, c)
+	return u128{hi, lo}, c
+}
+
+// sub128 returns a - b; callers guarantee a ≥ b.
+func sub128(a, b u128) u128 {
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	return u128{hi, lo}
+}
+
+// shr128 returns x >> s for 0 ≤ s < 128.
+func shr128(x u128, s uint) u128 {
+	switch {
+	case s == 0:
+		return x
+	case s < 64:
+		return u128{x.hi >> s, x.lo>>s | x.hi<<(64-s)}
+	default:
+		return u128{0, x.hi >> (s - 64)}
+	}
+}
+
+// shl128 returns x << s for 0 ≤ s < 128.
+func shl128(x u128, s uint) u128 {
+	switch {
+	case s == 0:
+		return x
+	case s < 64:
+		return u128{x.hi<<s | x.lo>>(64-s), x.lo << s}
+	default:
+		return u128{x.lo << (s - 64), 0}
+	}
+}
+
+// trailingZeros128 returns the number of trailing zero bits of a nonzero x.
+func trailingZeros128(x u128) uint {
+	if x.lo != 0 {
+		return uint(bits.TrailingZeros64(x.lo))
+	}
+	return 64 + uint(bits.TrailingZeros64(x.hi))
+}
+
+// len128 returns the bit length of x (0 for x == 0).
+func len128(x u128) int {
+	if x.hi != 0 {
+		return 64 + bits.Len64(x.hi)
+	}
+	return bits.Len64(x.lo)
+}
+
+// mul128 returns the full 256-bit product a·b as (hi, lo) 128-bit halves.
+func mul128(a, b u128) (hi, lo u128) {
+	// Schoolbook on 64-bit limbs: (a1·2^64 + a0)(b1·2^64 + b0).
+	h00, l00 := bits.Mul64(a.lo, b.lo) // 2^0 term
+	h01, l01 := bits.Mul64(a.lo, b.hi) // 2^64 term
+	h10, l10 := bits.Mul64(a.hi, b.lo) // 2^64 term
+	h11, l11 := bits.Mul64(a.hi, b.hi) // 2^128 term
+
+	lo.lo = l00
+	w1, c1 := bits.Add64(h00, l01, 0)
+	w1, c2 := bits.Add64(w1, l10, 0)
+	lo.hi = w1
+	w2, c3 := bits.Add64(h01, h10, 0)
+	w2, c4 := bits.Add64(w2, l11, 0)
+	w2, c5 := bits.Add64(w2, c1+c2, 0) // c1+c2 ≤ 2: a value operand, not a carry bit
+	hi.lo = w2
+	hi.hi = h11 + c3 + c4 + c5
+	return hi, lo
+}
+
+// mul128Checked returns a·b when it fits 128 bits; ok is false on overflow.
+func mul128Checked(a, b u128) (u128, bool) {
+	if a.hi == 0 && b.hi == 0 {
+		h, l := bits.Mul64(a.lo, b.lo)
+		return u128{h, l}, true
+	}
+	hi, lo := mul128(a, b)
+	if !hi.isZero() {
+		return u128{}, false
+	}
+	return lo, true
+}
+
+// gcd128 is the binary GCD of a and b; gcd128(0, b) = b.
+func gcd128(a, b u128) u128 {
+	if a.isZero() {
+		return b
+	}
+	if b.isZero() {
+		return a
+	}
+	if isOne128(a) || isOne128(b) {
+		return one128
+	}
+	// Fast path: both fit 64 bits (the common case once operands have been
+	// cross-reduced; medium denominators are often dyadic with small odd part).
+	if a.hi == 0 && b.hi == 0 {
+		return u128From64(gcd64(a.lo, b.lo))
+	}
+	k := trailingZeros128(u128{a.hi | b.hi, a.lo | b.lo})
+	a = shr128(a, trailingZeros128(a))
+	for {
+		b = shr128(b, trailingZeros128(b))
+		if a.hi == 0 && b.hi == 0 {
+			return shl128(u128From64(gcd64(a.lo, b.lo)), k)
+		}
+		if cmp128(a, b) > 0 {
+			a, b = b, a
+		}
+		b = sub128(b, a)
+		if b.isZero() {
+			return shl128(a, k)
+		}
+	}
+}
+
+// div128by64 returns x / d and x mod d for a 64-bit divisor d > 0.
+func div128by64(x u128, d uint64) (q u128, r uint64) {
+	if x.hi == 0 {
+		return u128From64(x.lo / d), x.lo % d
+	}
+	q.hi, r = x.hi/d, x.hi%d
+	q.lo, r = bits.Div64(r, x.lo, d)
+	return q, r
+}
+
+// div128 returns x / d and x mod d for d > 0. The general (d ≥ 2^64) case
+// uses shift-subtract long division over at most 64 quotient bits — the
+// quotient of a 128-bit value by a ≥ 2^64 divisor fits 64 bits — which the
+// medium tier only pays when reducing by a genuinely 128-bit GCD.
+func div128(x, d u128) (q, r u128) {
+	if d.hi == 0 {
+		qq, rr := div128by64(x, d.lo)
+		return qq, u128From64(rr)
+	}
+	if cmp128(x, d) < 0 {
+		return u128{}, x
+	}
+	// Align d's top bit under x's and subtract down.
+	shift := uint(len128(x) - len128(d))
+	dd := shl128(d, shift)
+	var quo uint64
+	for {
+		quo <<= 1
+		if cmp128(x, dd) >= 0 {
+			x = sub128(x, dd)
+			quo |= 1
+		}
+		if shift == 0 {
+			break
+		}
+		shift--
+		dd = shr128(dd, 1)
+	}
+	return u128From64(quo), x
+}
+
+// u192 is an unsigned 192-bit integer, w2·2^128 + w1·2^64 + w0. It exists
+// only as the intermediate width of medium-form addition: products of a
+// 128-bit numerator with a 64-bit reduced denominator, and their cross-sum,
+// before the final GCD reduction brings the result back to 128 bits.
+type u192 struct {
+	w2, w1, w0 uint64
+}
+
+// isZero reports x == 0.
+func (x u192) isZero() bool { return x.w2 == 0 && x.w1 == 0 && x.w0 == 0 }
+
+// fits128 reports whether x fits 128 bits.
+func (x u192) fits128() bool { return x.w2 == 0 }
+
+// to128 truncates x to its low 128 bits; callers check fits128 first.
+func (x u192) to128() u128 { return u128{x.w1, x.w0} }
+
+// mul128by64 returns the 192-bit product a·b of a 128-bit a and 64-bit b.
+func mul128by64(a u128, b uint64) u192 {
+	h0, l0 := bits.Mul64(a.lo, b)
+	h1, l1 := bits.Mul64(a.hi, b)
+	w1, c := bits.Add64(h0, l1, 0)
+	return u192{w2: h1 + c, w1: w1, w0: l0}
+}
+
+// add192 returns a + b and the carry out.
+func add192(a, b u192) (u192, uint64) {
+	w0, c := bits.Add64(a.w0, b.w0, 0)
+	w1, c := bits.Add64(a.w1, b.w1, c)
+	w2, c := bits.Add64(a.w2, b.w2, c)
+	return u192{w2, w1, w0}, c
+}
+
+// sub192 returns a - b; callers guarantee a ≥ b.
+func sub192(a, b u192) u192 {
+	w0, borrow := bits.Sub64(a.w0, b.w0, 0)
+	w1, borrow := bits.Sub64(a.w1, b.w1, borrow)
+	w2, _ := bits.Sub64(a.w2, b.w2, borrow)
+	return u192{w2, w1, w0}
+}
+
+// cmp192 compares a and b, returning -1, 0 or +1.
+func cmp192(a, b u192) int {
+	switch {
+	case a.w2 != b.w2:
+		if a.w2 < b.w2 {
+			return -1
+		}
+		return 1
+	case a.w1 != b.w1:
+		if a.w1 < b.w1 {
+			return -1
+		}
+		return 1
+	case a.w0 != b.w0:
+		if a.w0 < b.w0 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// div192by64 returns x / d and x mod d for a 64-bit divisor d > 0.
+func div192by64(x u192, d uint64) (q u192, r uint64) {
+	q.w2, r = x.w2/d, x.w2%d
+	q.w1, r = bits.Div64(r, x.w1, d)
+	q.w0, r = bits.Div64(r, x.w0, d)
+	return q, r
+}
+
+// mod192by128 returns x mod d for a 128-bit divisor d > 0 with d.hi != 0.
+// Shift-subtract over the (at most 65-bit) quotient range.
+func mod192by128(x u192, d u128) u128 {
+	dx := u192{w1: d.hi, w0: d.lo}
+	if cmp192(x, dx) < 0 {
+		return u128{x.w1, x.w0}
+	}
+	lenX := 0
+	switch {
+	case x.w2 != 0:
+		lenX = 128 + bits.Len64(x.w2)
+	case x.w1 != 0:
+		lenX = 64 + bits.Len64(x.w1)
+	default:
+		lenX = bits.Len64(x.w0)
+	}
+	shift := uint(lenX - len128(d))
+	dd := shl192(dx, shift)
+	for {
+		if cmp192(x, dd) >= 0 {
+			x = sub192(x, dd)
+		}
+		if shift == 0 {
+			break
+		}
+		shift--
+		dd = shr192(dd, 1)
+	}
+	return u128{x.w1, x.w0}
+}
+
+// div192by128Exact returns x / d for d > 0 when the division is exact and
+// the quotient fits 192 bits (it always does: quotients here are num/gcd).
+func div192by128Exact(x u192, d u128) u192 {
+	if d.hi == 0 {
+		q, _ := div192by64(x, d.lo)
+		return q
+	}
+	// Exact division by a ≥ 2^64 divisor: the quotient fits 128 bits.
+	// Long division via shift-subtract, collecting quotient bits.
+	dx := u192{w1: d.hi, w0: d.lo}
+	if cmp192(x, dx) < 0 {
+		return u192{} // only possible when x == 0 for exact division
+	}
+	lenX := 0
+	switch {
+	case x.w2 != 0:
+		lenX = 128 + bits.Len64(x.w2)
+	case x.w1 != 0:
+		lenX = 64 + bits.Len64(x.w1)
+	default:
+		lenX = bits.Len64(x.w0)
+	}
+	shift := uint(lenX - len128(d))
+	dd := shl192(dx, shift)
+	var qhi, qlo uint64
+	for {
+		qhi = qhi<<1 | qlo>>63
+		qlo <<= 1
+		if cmp192(x, dd) >= 0 {
+			x = sub192(x, dd)
+			qlo |= 1
+		}
+		if shift == 0 {
+			break
+		}
+		shift--
+		dd = shr192(dd, 1)
+	}
+	return u192{w1: qhi, w0: qlo}
+}
+
+// shl192 returns x << s for 0 ≤ s < 128 (enough for the division aligners).
+func shl192(x u192, s uint) u192 {
+	for s >= 64 {
+		x = u192{w2: x.w1, w1: x.w0, w0: 0}
+		s -= 64
+	}
+	if s == 0 {
+		return x
+	}
+	return u192{
+		w2: x.w2<<s | x.w1>>(64-s),
+		w1: x.w1<<s | x.w0>>(64-s),
+		w0: x.w0 << s,
+	}
+}
+
+// shr192 returns x >> s for 0 ≤ s < 64.
+func shr192(x u192, s uint) u192 {
+	if s == 0 {
+		return x
+	}
+	return u192{
+		w2: x.w2 >> s,
+		w1: x.w1>>s | x.w2<<(64-s),
+		w0: x.w0>>s | x.w1<<(64-s),
+	}
+}
+
+// mul192by64Checked returns a·b when it fits 192 bits.
+func mul192by64Checked(a u192, b uint64) (u192, bool) {
+	h0, l0 := bits.Mul64(a.w0, b)
+	h1, l1 := bits.Mul64(a.w1, b)
+	h2, l2 := bits.Mul64(a.w2, b)
+	w1, c := bits.Add64(l1, h0, 0)
+	w2, c := bits.Add64(l2, h1, c)
+	if h2 != 0 || c != 0 {
+		return u192{}, false
+	}
+	return u192{w2: w2, w1: w1, w0: l0}, true
+}
+
+// mul192x128to192Checked returns a·b when it fits 192 bits. A product of a
+// genuinely-192-bit a and a ≥ 2^64 b always overflows, so the two narrower
+// routes cover every representable case.
+func mul192x128to192Checked(a u192, b u128) (u192, bool) {
+	if a.fits128() {
+		return mul128to192(a.to128(), b)
+	}
+	if b.hi == 0 {
+		return mul192by64Checked(a, b.lo)
+	}
+	return u192{}, false
+}
+
+// gcd192with128 returns gcd(x, d) for d > 0; the result divides d, so it
+// fits 128 bits. One reduction step (x mod d) then binary GCD in 128 bits.
+func gcd192with128(x u192, d u128) u128 {
+	if x.isZero() {
+		return d
+	}
+	var r u128
+	if d.hi == 0 {
+		_, r64 := div192by64(x, d.lo)
+		r = u128From64(r64)
+	} else {
+		r = mod192by128(x, d)
+	}
+	return gcd128(r, d)
+}

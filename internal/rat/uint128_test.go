@@ -1,0 +1,157 @@
+package rat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigOf128 and bigOf192 materialise fixed-width values for the oracle.
+func bigOf128(x u128) *big.Int {
+	b := new(big.Int).SetUint64(x.hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(x.lo))
+}
+
+func bigOf192(x u192) *big.Int {
+	b := new(big.Int).SetUint64(x.w2)
+	b.Lsh(b, 64)
+	b.Or(b, new(big.Int).SetUint64(x.w1))
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(x.w0))
+}
+
+// randU128 draws values clustered at interesting widths: single-word,
+// power-of-two-adjacent, and full-width.
+func randU128(rng *rand.Rand) u128 {
+	switch rng.Intn(4) {
+	case 0:
+		return u128From64(rng.Uint64() >> uint(rng.Intn(64)))
+	case 1:
+		return u128{rng.Uint64() >> uint(rng.Intn(64)), rng.Uint64()}
+	case 2:
+		x := shl128(one128, uint(rng.Intn(128)))
+		if rng.Intn(2) == 0 && !x.isZero() {
+			x = sub128(x, one128)
+		}
+		return x
+	default:
+		return u128{rng.Uint64(), rng.Uint64()}
+	}
+}
+
+// TestU128ArithmeticOracle drives the 128-bit helpers against big.Int.
+func TestU128ArithmeticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mod128 := new(big.Int).Lsh(big.NewInt(1), 128)
+	for i := 0; i < 50000; i++ {
+		a, b := randU128(rng), randU128(rng)
+		ab, bb := bigOf128(a), bigOf128(b)
+
+		if got, want := cmp128(a, b), ab.Cmp(bb); got != want {
+			t.Fatalf("cmp128(%v, %v) = %d, want %d", ab, bb, got, want)
+		}
+		sum, carry := add128(a, b)
+		wantSum := new(big.Int).Add(ab, bb)
+		wantCarry := uint64(0)
+		if wantSum.BitLen() > 128 {
+			wantCarry = 1
+			wantSum.Sub(wantSum, mod128)
+		}
+		if bigOf128(sum).Cmp(wantSum) != 0 || carry != wantCarry {
+			t.Fatalf("add128(%v, %v) = %v carry %d", ab, bb, bigOf128(sum), carry)
+		}
+		if cmp128(a, b) >= 0 {
+			if got := sub128(a, b); bigOf128(got).Cmp(new(big.Int).Sub(ab, bb)) != 0 {
+				t.Fatalf("sub128(%v, %v) = %v", ab, bb, bigOf128(got))
+			}
+		}
+		hi, lo := mul128(a, b)
+		wantMul := new(big.Int).Mul(ab, bb)
+		gotMul := new(big.Int).Lsh(bigOf128(hi), 128)
+		gotMul.Or(gotMul, bigOf128(lo))
+		if gotMul.Cmp(wantMul) != 0 {
+			t.Fatalf("mul128(%v, %v) = %v, want %v", ab, bb, gotMul, wantMul)
+		}
+		if p, ok := mul128Checked(a, b); ok != (wantMul.BitLen() <= 128) {
+			t.Fatalf("mul128Checked(%v, %v) ok=%v, product %d bits", ab, bb, ok, wantMul.BitLen())
+		} else if ok && bigOf128(p).Cmp(wantMul) != 0 {
+			t.Fatalf("mul128Checked(%v, %v) = %v, want %v", ab, bb, bigOf128(p), wantMul)
+		}
+		if !b.isZero() {
+			q, r := div128(a, b)
+			wq, wr := new(big.Int).QuoRem(ab, bb, new(big.Int))
+			if bigOf128(q).Cmp(wq) != 0 || bigOf128(r).Cmp(wr) != 0 {
+				t.Fatalf("div128(%v, %v) = %v rem %v, want %v rem %v",
+					ab, bb, bigOf128(q), bigOf128(r), wq, wr)
+			}
+		}
+		if got, want := gcd128(a, b), new(big.Int).GCD(nil, nil, ab, bb); bigOf128(got).Cmp(want) != 0 {
+			t.Fatalf("gcd128(%v, %v) = %v, want %v", ab, bb, bigOf128(got), want)
+		}
+		if s := uint(rng.Intn(128)); true {
+			if got := shl128(shr128(a, s), 0); bigOf128(got).Cmp(new(big.Int).Rsh(ab, s)) != 0 {
+				t.Fatalf("shr128(%v, %d) = %v", ab, s, bigOf128(got))
+			}
+		}
+	}
+}
+
+// TestU192ArithmeticOracle drives the 192-bit intermediates — the product
+// and exact-division helpers of the medium tier's fused window — against
+// big.Int.
+func TestU192ArithmeticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		a, b := randU128(rng), randU128(rng)
+		ab, bb := bigOf128(a), bigOf128(b)
+		w := rng.Uint64() >> uint(rng.Intn(64))
+
+		p, ok := mul128to192(a, b)
+		want := new(big.Int).Mul(ab, bb)
+		if ok != (want.BitLen() <= 192) {
+			t.Fatalf("mul128to192(%v, %v) ok=%v, product %d bits", ab, bb, ok, want.BitLen())
+		}
+		if !ok {
+			continue
+		}
+		if bigOf192(p).Cmp(want) != 0 {
+			t.Fatalf("mul128to192(%v, %v) = %v, want %v", ab, bb, bigOf192(p), want)
+		}
+
+		if q, ok := mul192by64Checked(p, w); ok == (new(big.Int).Mul(want, new(big.Int).SetUint64(w)).BitLen() <= 192) {
+			if ok {
+				ww := new(big.Int).Mul(want, new(big.Int).SetUint64(w))
+				if bigOf192(q).Cmp(ww) != 0 {
+					t.Fatalf("mul192by64(%v, %d) = %v, want %v", want, w, bigOf192(q), ww)
+				}
+			}
+		} else {
+			t.Fatalf("mul192by64Checked(%v, %d): wrong overflow verdict", want, w)
+		}
+
+		if !b.isZero() {
+			// gcd of a 192-bit value with a 128-bit one, then the exact
+			// division by that gcd — the reduction pair of addMed/muladdMed.
+			g := gcd192with128(p, b)
+			wg := new(big.Int).GCD(nil, nil, want, bb)
+			if bigOf128(g).Cmp(wg) != 0 {
+				t.Fatalf("gcd192with128(%v, %v) = %v, want %v", want, bb, bigOf128(g), wg)
+			}
+			q := div192by128Exact(p, g)
+			if bigOf192(q).Cmp(new(big.Int).Quo(want, wg)) != 0 {
+				t.Fatalf("div192by128Exact(%v, %v) = %v", want, bigOf128(g), bigOf192(q))
+			}
+			// And the general exact division by any 128-bit divisor of p.
+			if cmp128(b, one128) > 0 {
+				prod, ok2 := mul192x128to192Checked(p, b)
+				if ok2 {
+					back := div192by128Exact(prod, b)
+					if bigOf192(back).Cmp(want) != 0 {
+						t.Fatalf("div192by128Exact(%v·%v, %v) != %v", want, bb, bb, want)
+					}
+				}
+			}
+		}
+	}
+}
