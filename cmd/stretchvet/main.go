@@ -1,0 +1,84 @@
+// Command stretchvet runs the project-invariant analyzer suite
+// (internal/lint: noswallow, bigescape, noalloc, determinism) over the
+// given package patterns and reports file:line:col diagnostics. It exits
+// nonzero when any invariant is violated, so CI can gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/stretchvet [-json] [-only name[,name...]] [patterns...]
+//
+// Patterns default to ./... . With -json the diagnostics are emitted as a
+// JSON array instead of vet-style text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stretchsched/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name()] {
+				sel = append(sel, a)
+				delete(keep, a.Name())
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "stretchvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stretchvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(analyzers, pkgs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "stretchvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "stretchvet: %d invariant violation(s) in %d package(s)\n",
+				len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

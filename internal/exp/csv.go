@@ -40,6 +40,21 @@ func writeResultRows(cw *csv.Writer, r *InstanceResult, schedulers []string) err
 	return nil
 }
 
+// encodeShard encodes one completed shard's rows (header-less) into w,
+// surfacing both row-encode and flush errors. It is the per-shard encode
+// step of RunGridCSV, split out so the error path is testable with a
+// failing writer.
+func encodeShard(w io.Writer, shard []InstanceResult, schedulers []string) error {
+	cw := csv.NewWriter(w)
+	for i := range shard {
+		if err := writeResultRows(cw, &shard[i], schedulers); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteResultsCSV dumps raw per-instance metrics (one row per scheduler per
 // instance) for external analysis — the harness's tables are aggregates;
 // this is the underlying data.
@@ -67,8 +82,9 @@ func WriteResultsCSV(w io.Writer, results []InstanceResult, schedulers []string)
 // MB at paper scale) until the in-order flush reaches them, so a run
 // killed midway keeps only the contiguous task-order prefix that happened
 // to complete, not everything computed so far. The grid results are
-// returned as from RunGrid, together with the first write error (the grid
-// always runs to completion; encoding is skipped once writing fails).
+// returned as from RunGrid, together with the first encode or write error
+// (the grid always runs to completion; encoding is skipped once a write
+// has failed).
 func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult, error) {
 	opts = opts.withDefaults()
 	hc := csv.NewWriter(w)
@@ -94,14 +110,18 @@ func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult
 			return
 		}
 		var buf bytes.Buffer
-		cw := csv.NewWriter(&buf)
-		for i := range shard {
-			// csv.Writer on a bytes.Buffer cannot fail.
-			_ = writeResultRows(cw, &shard[i], opts.Schedulers)
-		}
-		cw.Flush()
+		encErr := encodeShard(&buf, shard, opts.Schedulers)
 		mu.Lock()
 		defer mu.Unlock()
+		if encErr != nil {
+			// A shard that fails to encode poisons the whole dump: record
+			// the error (RunGridCSV returns it) and stop writing, so the
+			// failure cannot surface as a silently truncated CSV.
+			if werr == nil {
+				werr = fmt.Errorf("exp: encoding shard %d: %w", si, encErr)
+			}
+			return
+		}
 		pending[si] = buf.Bytes()
 		for b, ok := pending[next]; ok; b, ok = pending[next] {
 			delete(pending, next)

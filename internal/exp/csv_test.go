@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -33,6 +34,65 @@ func TestWriteResultsCSV(t *testing.T) {
 	}
 	if rows[2][7] != "NA" {
 		t.Fatalf("NaN should serialise as NA: %v", rows[2])
+	}
+}
+
+// failingWriter accepts `allow` Write calls, then fails every subsequent
+// one. errWrites counts the writes attempted after the failure point.
+type failingWriter struct {
+	allow     int
+	writes    int
+	errWrites int
+}
+
+var errWriterBroken = errors.New("writer broken")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.allow {
+		w.errWrites++
+		return 0, errWriterBroken
+	}
+	return len(p), nil
+}
+
+// TestEncodeShardPropagatesWriterError pins the noswallow fix for the old
+// `_ = writeResultRows(...)` at csv.go:100: the per-shard encode step must
+// surface its writer's error instead of discarding it.
+func TestEncodeShardPropagatesWriterError(t *testing.T) {
+	shard := []InstanceResult{
+		{
+			Point: GridPoint{Sites: 3, Databanks: 3, Availability: 0.6, Density: 1},
+			Run:   0, Jobs: 12,
+			MaxStretch: map[string]float64{"SWRPT": 1.5},
+			SumStretch: map[string]float64{"SWRPT": 14.2},
+		},
+	}
+	w := &failingWriter{allow: 0}
+	err := encodeShard(w, shard, []string{"SWRPT"})
+	if !errors.Is(err, errWriterBroken) {
+		t.Fatalf("encodeShard on failing writer: err = %v, want %v", err, errWriterBroken)
+	}
+}
+
+// TestRunGridCSVPropagatesWriteError runs a real (dry) grid into a writer
+// that dies after the header: RunGridCSV must return the write error —
+// never a silently truncated CSV — while the grid itself still runs to
+// completion.
+func TestRunGridCSVPropagatesWriteError(t *testing.T) {
+	points := []GridPoint{{Sites: 3, Databanks: 3, Availability: 0.6, Density: 1}}
+	opts := Options{Runs: 3, Seed: 1, Workers: 2, DryRun: true}
+	w := &failingWriter{allow: 1} // header write succeeds, first shard write fails
+	results, err := RunGridCSV(w, points, opts)
+	if !errors.Is(err, errWriterBroken) {
+		t.Fatalf("RunGridCSV on failing writer: err = %v, want %v", err, errWriterBroken)
+	}
+	if len(results) != len(points)*opts.Runs {
+		t.Fatalf("grid must run to completion despite the write error: %d results, want %d",
+			len(results), len(points)*opts.Runs)
+	}
+	if w.errWrites != 1 {
+		t.Fatalf("writes after the failure point = %d, want 1 (writing must stop at the first error)", w.errWrites)
 	}
 }
 

@@ -64,7 +64,7 @@ func PointDigests(results []InstanceResult, schedulers []string) ([]string, erro
 		h.Write(buf.Bytes())
 	}
 	lines := make([]string, 0, len(hs))
-	for key, h := range hs {
+	for key, h := range hs { //stretch:order-ok — collect-then-sort, two lines down
 		lines = append(lines, fmt.Sprintf("%s %016x", key, h.Sum64()))
 	}
 	sort.Strings(lines)

@@ -57,11 +57,13 @@ func NewGraph[T any](ops lp.Ops[T], n int) *Graph[T] {
 // Reset clears the network to n isolated nodes while retaining every backing
 // buffer, so rebuilding a similarly-shaped network allocates nothing. ops is
 // taken afresh because float backends carry a per-network tolerance.
+//
+//stretch:noalloc
 func (g *Graph[T]) Reset(ops lp.Ops[T], n int) {
 	g.ops = ops
 	g.n = n
 	if cap(g.head) < n {
-		g.head = make([][]int, n)
+		g.head = make([][]int, n) //stretch:alloc-ok — buffer growth
 	}
 	g.head = g.head[:n]
 	for i := range g.head {
@@ -77,6 +79,8 @@ func (g *Graph[T]) NumNodes() int { return g.n }
 
 // AddNode appends a fresh node and returns its index, reviving a parked
 // adjacency buffer when a shrinking Reset left one in the backing array.
+//
+//stretch:noalloc
 func (g *Graph[T]) AddNode() int {
 	if len(g.head) < cap(g.head) {
 		g.head = g.head[:len(g.head)+1]
@@ -90,6 +94,8 @@ func (g *Graph[T]) AddNode() int {
 
 // AddEdge adds a directed edge u→v with the given capacity and returns its
 // identifier, which can later be passed to EdgeFlow.
+//
+//stretch:noalloc
 func (g *Graph[T]) AddEdge(u, v int, capacity T) int {
 	if g.ops.Sign(capacity) < 0 {
 		panic("flow: negative capacity")
@@ -116,13 +122,15 @@ func (g *Graph[T]) EdgeFlow(id int) T {
 // The graph retains the final residual state, so EdgeFlow is meaningful
 // afterwards. Calling MaxFlow twice continues from the current residual
 // state (returning 0 the second time).
+//
+//stretch:noalloc
 func (g *Graph[T]) MaxFlow(s, t int) T {
 	ops := g.ops
 	total := ops.Zero()
 	g.level = grow(g.level, g.n)
 	g.iter = grow(g.iter, g.n)
 	if cap(g.queue) < g.n {
-		g.queue = make([]int, 0, g.n)
+		g.queue = make([]int, 0, g.n) //stretch:alloc-ok — buffer growth
 	}
 	g.sink = t
 
@@ -148,6 +156,8 @@ func (g *Graph[T]) MaxFlow(s, t int) T {
 }
 
 // bfs builds the level graph of the residual network.
+//
+//stretch:noalloc
 func (g *Graph[T]) bfs(s, t int) bool {
 	ops := g.ops
 	for i := range g.level[:g.n] {
@@ -173,6 +183,8 @@ func (g *Graph[T]) bfs(s, t int) bool {
 // dfs pushes a blocking-flow augmentation toward g.sink along level-graph
 // arcs. It is a method rather than a recursive closure so that repeated
 // MaxFlow calls stay allocation-free.
+//
+//stretch:noalloc
 func (g *Graph[T]) dfs(u int, limit T) T {
 	ops := g.ops
 	if u == g.sink {

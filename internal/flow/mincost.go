@@ -45,6 +45,8 @@ func NewMinCost(n int, eps float64) *MinCost {
 
 // Reset clears the network to n isolated nodes while retaining every backing
 // buffer, so rebuilding a similarly-shaped network allocates nothing.
+//
+//stretch:noalloc
 func (g *MinCost) Reset(n int, eps float64) {
 	if eps <= 0 {
 		eps = 1e-12
@@ -52,7 +54,7 @@ func (g *MinCost) Reset(n int, eps float64) {
 	g.n = n
 	g.eps = eps
 	if cap(g.head) < n {
-		g.head = make([][]int32, n)
+		g.head = make([][]int32, n) //stretch:alloc-ok — buffer growth
 	}
 	g.head = g.head[:n]
 	for i := range g.head {
@@ -66,6 +68,8 @@ func (g *MinCost) Reset(n int, eps float64) {
 
 // AddNode appends a node and returns its index, reviving a parked adjacency
 // buffer when a shrinking Reset left one in the backing array.
+//
+//stretch:noalloc
 func (g *MinCost) AddNode() int {
 	if len(g.head) < cap(g.head) {
 		g.head = g.head[:len(g.head)+1]
@@ -79,6 +83,8 @@ func (g *MinCost) AddNode() int {
 
 // AddEdge adds a directed edge u→v with the given capacity and per-unit
 // cost (cost must be ≥ 0) and returns its identifier for EdgeFlow.
+//
+//stretch:noalloc
 func (g *MinCost) AddEdge(u, v int, capacity, cost float64) int {
 	if capacity < 0 {
 		panic("flow: negative capacity")
@@ -113,6 +119,7 @@ type pqItem struct {
 	dist float64
 }
 
+//stretch:noalloc
 func (g *MinCost) pqPush(it pqItem) {
 	q := append(g.pq, it)
 	i := len(q) - 1
@@ -127,6 +134,7 @@ func (g *MinCost) pqPush(it pqItem) {
 	g.pq = q
 }
 
+//stretch:noalloc
 func (g *MinCost) pqPop() pqItem {
 	q := g.pq
 	top := q[0]
@@ -155,6 +163,8 @@ func (g *MinCost) pqPop() pqItem {
 
 // Run computes a min-cost max-flow from s to t. It returns the total flow
 // shipped and its total cost. The network retains flow state for EdgeFlow.
+//
+//stretch:noalloc
 func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 	g.pot = grow(g.pot, g.n) // costs ≥ 0 ⇒ zero initial potentials are valid
 	g.dist = grow(g.dist, g.n)
@@ -162,7 +172,7 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 	g.level = grow(g.level, g.n)
 	g.iter = grow(g.iter, g.n)
 	if cap(g.queue) < g.n {
-		g.queue = make([]int32, 0, g.n)
+		g.queue = make([]int32, 0, g.n) //stretch:alloc-ok — buffer growth
 	}
 	pot := g.pot
 	for i := range pot {
@@ -173,7 +183,7 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 	// admissible arcs lie on a shortest path after the potential update
 	// (reduced cost ≈ 0). The tolerance is relative to the potential
 	// magnitude to tolerate float cancellation.
-	costTol := func() float64 {
+	costTol := func() float64 { //stretch:alloc-ok — non-escaping closure
 		m := 1.0
 		if p := math.Abs(pot[t]); p > m {
 			m = p
@@ -279,6 +289,8 @@ func (g *MinCost) Run(s, t int) (flowTotal, costTotal float64) {
 // level-graph arcs, returning the pushed amount and its cost. It is a
 // method rather than a recursive closure so repeated Run calls stay
 // allocation-free.
+//
+//stretch:noalloc
 func (g *MinCost) blockingDFS(u int, limit float64) (pushed, cost float64) {
 	if u == g.sink {
 		return limit, 0

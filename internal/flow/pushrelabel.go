@@ -35,6 +35,8 @@ func NewPushRelabel(n int, eps float64) *PushRelabel {
 
 // Reset clears the network to n isolated nodes while retaining every backing
 // buffer, so rebuilding a similarly-shaped network allocates nothing.
+//
+//stretch:noalloc
 func (g *PushRelabel) Reset(n int, eps float64) {
 	if eps <= 0 {
 		eps = 1e-12
@@ -42,7 +44,7 @@ func (g *PushRelabel) Reset(n int, eps float64) {
 	g.n = n
 	g.eps = eps
 	if cap(g.head) < n {
-		g.head = make([][]int32, n)
+		g.head = make([][]int32, n) //stretch:alloc-ok — buffer growth
 	}
 	g.head = g.head[:n]
 	for i := range g.head {
@@ -55,6 +57,8 @@ func (g *PushRelabel) Reset(n int, eps float64) {
 
 // AddNode appends a node and returns its index, reviving a parked adjacency
 // buffer when a shrinking Reset left one in the backing array.
+//
+//stretch:noalloc
 func (g *PushRelabel) AddNode() int {
 	if len(g.head) < cap(g.head) {
 		g.head = g.head[:len(g.head)+1]
@@ -68,6 +72,8 @@ func (g *PushRelabel) AddNode() int {
 
 // AddEdge adds a directed edge u→v with the given capacity and returns its
 // identifier for EdgeFlow.
+//
+//stretch:noalloc
 func (g *PushRelabel) AddEdge(u, v int, capacity float64) int {
 	if capacity < 0 {
 		panic("flow: negative capacity")
@@ -89,6 +95,8 @@ func (g *PushRelabel) AddEdge(u, v int, capacity float64) int {
 func (g *PushRelabel) EdgeFlow(id int) float64 { return g.orig[id] - g.cap[id] }
 
 // MaxFlow computes the maximum s→t flow.
+//
+//stretch:noalloc
 func (g *PushRelabel) MaxFlow(s, t int) float64 {
 	if s == t {
 		return 0
@@ -113,14 +121,14 @@ func (g *PushRelabel) MaxFlow(s, t int) float64 {
 
 	// Buckets of active nodes by height (highest-label selection).
 	if cap(g.buckets) < 2*n+1 {
-		g.buckets = make([][]int32, 2*n+1)
+		g.buckets = make([][]int32, 2*n+1) //stretch:alloc-ok — buffer growth
 	}
 	buckets := g.buckets[:2*n+1]
 	for i := range buckets {
 		buckets[i] = buckets[i][:0]
 	}
 	highest := 0
-	activate := func(v int) {
+	activate := func(v int) { //stretch:alloc-ok — non-escaping closure
 		if v == s || v == t || g.excess[v] <= g.eps {
 			return
 		}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// bigAllowedPrefix is the one package subtree allowed to touch math/big:
+// the rational ladder itself, whose whole contract is that big.Rat is the
+// private top tier behind rat.Rat.
+const bigAllowedPrefix = "stretchsched/internal/rat"
+
+type bigescape struct{}
+
+// NewBigescape returns the math/big containment analyzer. It flags both
+// math/big imports and any use of an identifier defined in math/big —
+// the latter catches laundering a *big.Rat obtained without the import
+// (e.g. calling methods on rat.Rat.Big()'s result).
+func NewBigescape() Analyzer { return bigescape{} }
+
+func (bigescape) Name() string { return "bigescape" }
+
+func (bigescape) Run(pkg *Package) []Diagnostic {
+	if pkg.Path == bigAllowedPrefix || strings.HasPrefix(pkg.Path, bigAllowedPrefix+"/") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "math/big" {
+				diags = append(diags, pkg.diag("bigescape", imp.Pos(),
+					"math/big imported outside %s: exact arithmetic must go through rat.Rat's tier ladder", bigAllowedPrefix))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			// A PkgName's Pkg() is the importing package, so the `big` in
+			// `big.Rat` resolves here only through the member identifiers;
+			// the import line itself is flagged above.
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math/big" {
+				return true
+			}
+			diags = append(diags, pkg.diag("bigescape", id.Pos(),
+				"use of math/big identifier %s outside %s", id.Name, bigAllowedPrefix))
+			return true
+		})
+	}
+	return diags
+}

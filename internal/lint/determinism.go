@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OrderOkDirective suppresses a determinism diagnostic on its line; it
+// belongs on map-range loops that feed a sort (collect-then-order).
+const OrderOkDirective = "//stretch:order-ok"
+
+// determinismDefaultPaths are the packages whose outputs must be a pure
+// function of (point, run) coordinates: the grid harness (CSV bytes and
+// FNV digests are compared across shard counts and reruns) and the
+// workload generator (instance seeds ARE the reproducibility contract).
+var determinismDefaultPaths = []string{
+	"stretchsched/internal/exp",
+	"stretchsched/internal/workload",
+}
+
+// randConstructors are the math/rand top-level functions that merely build
+// explicitly-seeded generators; everything else at package level draws
+// from the ambient global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+type determinism struct {
+	paths []string
+}
+
+// NewDeterminism returns the grid-determinism analyzer over the default
+// target packages; NewDeterminismFor narrows or widens the target set
+// (used by the test harness).
+func NewDeterminism() Analyzer { return determinism{paths: determinismDefaultPaths} }
+
+// NewDeterminismFor returns a determinism analyzer targeting exactly the
+// given import paths.
+func NewDeterminismFor(paths ...string) Analyzer { return determinism{paths: paths} }
+
+func (d determinism) Name() string { return "determinism" }
+
+func (d determinism) applies(path string) bool {
+	for _, p := range d.paths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (d determinism) Run(pkg *Package) []Diagnostic {
+	if !d.applies(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pkg.Info.Uses[node.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				isMethod := sig != nil && sig.Recv() != nil
+				switch {
+				case fn.Pkg().Path() == "math/rand" && !isMethod && !randConstructors[fn.Name()]:
+					if !pkg.Hatched(node.Pos(), OrderOkDirective) {
+						diags = append(diags, pkg.diag("determinism", node.Pos(),
+							"math/rand.%s draws from the ambient global source; use an explicitly seeded *rand.Rand", fn.Name()))
+					}
+				case fn.Pkg().Path() == "time" && fn.Name() == "Now" && !isMethod:
+					if !pkg.Hatched(node.Pos(), OrderOkDirective) {
+						diags = append(diags, pkg.diag("determinism", node.Pos(),
+							"time.Now in a deterministic grid path: results must derive from (point, run) coordinates alone"))
+					}
+				}
+			case *ast.RangeStmt:
+				if diag, bad := d.checkMapRange(pkg, node); bad {
+					diags = append(diags, diag)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMapRange flags a range over a map whose body emits ordered output:
+// formatted/stream writes (Write*/Print*/Fprint*), or appends of derived
+// values to a slice declared outside the loop. Appending just the range
+// key is the collect-then-sort idiom and stays legal; anything fancier
+// must either iterate sorted keys or carry //stretch:order-ok.
+func (d determinism) checkMapRange(pkg *Package, rng *ast.RangeStmt) (Diagnostic, bool) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return Diagnostic{}, false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return Diagnostic{}, false
+	}
+	if pkg.Hatched(rng.Pos(), OrderOkDirective) {
+		return Diagnostic{}, false
+	}
+	keyObj := rangeVarObj(pkg, rng.Key)
+	var found Diagnostic
+	bad := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if bad {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Ordered-output writes by name: csv.Writer.Write, io.Writer.Write,
+		// fmt.Fprintf, buf.WriteString, … — every one of them appends to a
+		// byte stream whose order IS the result.
+		var name string
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		switch {
+		case strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") ||
+			strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint"):
+			found = pkg.diag("determinism", rng.Pos(),
+				"map iteration order reaches ordered output (%s inside map range); iterate sorted keys or mark //stretch:order-ok if sorted later", name)
+			bad = true
+		case name == "append" && isBuiltinAppend(pkg, call):
+			// append(dst, key) collects keys for a later sort — fine.
+			// Appending anything derived from the value makes the slice
+			// order depend on map iteration order.
+			if len(call.Args) == 2 && keyObj != nil {
+				if id, ok := unparen(call.Args[1]).(*ast.Ident); ok && pkg.Info.Uses[id] == keyObj {
+					return true
+				}
+			}
+			found = pkg.diag("determinism", rng.Pos(),
+				"append of a derived value inside map range: slice order depends on map iteration; iterate sorted keys or mark //stretch:order-ok if sorted later")
+			bad = true
+		}
+		return !bad
+	})
+	return found, bad
+}
+
+func rangeVarObj(pkg *Package, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}
+
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}

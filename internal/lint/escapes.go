@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escape-gate plumbing for cmd/escapecheck: parse `go build -gcflags=-m`
+// diagnostics, reduce them to line-number-independent (file, message)
+// entries with multiplicities, and diff a fresh run against a checked-in
+// golden allowlist. Keying on (file, message, count) instead of exact
+// positions keeps the allowlists stable under unrelated edits to the same
+// file, while still failing the build the moment a *new* escape (or one
+// more instance of a known shape) appears — the fresh run's exact
+// file:line:col is reported alongside.
+
+// EscapeEntry is one distinct heap-escape shape in one file.
+type EscapeEntry struct {
+	File    string // as printed by the compiler, e.g. internal/sim/engine.go
+	Message string // e.g. "make([]int, n) escapes to heap"
+	Count   int    // how many source positions produce this exact message
+}
+
+// Key identifies the entry independent of line numbers.
+func (e EscapeEntry) Key() string { return e.File + ": " + e.Message }
+
+// escapeLine matches one compiler diagnostic: file:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeDiag is one raw positioned diagnostic from the fresh run, kept so
+// a failed gate can point at the exact source line.
+type EscapeDiag struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+func (d EscapeDiag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.File, d.Line, d.Col, d.Message)
+}
+
+// ParseEscapes extracts the heap-escape diagnostics ("escapes to heap",
+// "moved to heap") from -gcflags=-m output, dropping the inlining and
+// parameter-leak chatter.
+func ParseEscapes(r io.Reader) ([]EscapeDiag, error) {
+	var out []EscapeDiag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, EscapeDiag{File: m[1], Line: line, Col: col, Message: msg})
+	}
+	return out, sc.Err()
+}
+
+// Summarize folds positioned diagnostics into sorted allowlist entries.
+func Summarize(diags []EscapeDiag) []EscapeEntry {
+	counts := map[string]*EscapeEntry{}
+	for _, d := range diags {
+		key := d.File + ": " + d.Message
+		if e, ok := counts[key]; ok {
+			e.Count++
+		} else {
+			counts[key] = &EscapeEntry{File: d.File, Message: d.Message, Count: 1}
+		}
+	}
+	out := make([]EscapeEntry, 0, len(counts))
+	for _, e := range counts {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// WriteAllowlist writes entries in the golden file format: one
+// "count<TAB>file<TAB>message" line per entry, sorted.
+func WriteAllowlist(w io.Writer, entries []EscapeEntry) error {
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%s\n", e.Count, e.File, e.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAllowlist parses a golden file written by WriteAllowlist. Blank
+// lines and #-comments are skipped.
+func ReadAllowlist(r io.Reader) ([]EscapeEntry, error) {
+	var out []EscapeEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("allowlist line %d: want count<TAB>file<TAB>message, got %q", lineNo, line)
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("allowlist line %d: bad count %q", lineNo, parts[0])
+		}
+		out = append(out, EscapeEntry{Count: n, File: parts[1], Message: parts[2]})
+	}
+	return out, sc.Err()
+}
+
+// DiffEscapes compares a fresh run against the golden allowlist.
+// New escapes (unknown shape, or more instances of a known shape) fail the
+// gate; they are returned with the fresh run's exact positions. Stale
+// golden entries — shapes the code no longer produces — are returned
+// separately: they don't fail the gate, they just mean the allowlist can
+// be tightened with -update.
+func DiffEscapes(fresh []EscapeDiag, golden []EscapeEntry) (newDiags []EscapeDiag, stale []EscapeEntry) {
+	allowed := map[string]int{}
+	for _, e := range golden {
+		allowed[e.Key()] += e.Count
+	}
+	// Walk fresh diagnostics in position order; the first `allowed` hits
+	// of each shape are covered by the golden budget, the rest are new.
+	sort.Slice(fresh, func(i, j int) bool {
+		a, b := fresh[i], fresh[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	seen := map[string]int{}
+	for _, d := range fresh {
+		key := d.File + ": " + d.Message
+		seen[key]++
+		if seen[key] > allowed[key] {
+			newDiags = append(newDiags, d)
+		}
+	}
+	for _, e := range golden {
+		if seen[e.Key()] < allowed[e.Key()] {
+			short := e
+			short.Count = allowed[e.Key()] - seen[e.Key()]
+			stale = append(stale, short)
+		}
+	}
+	return newDiags, stale
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBuildOutput = `# stretchsched/internal/sim
+internal/sim/engine.go:10:6: can inline grow[go.shape.int]
+internal/sim/engine.go:20:12: make([]int, n) escapes to heap
+internal/sim/engine.go:33:2: moved to heap: x
+internal/sim/engine.go:41:12: make([]int, n) escapes to heap
+internal/sim/engine.go:50:9: leaking param: inst
+internal/sim/eventheap.go:7:15: make([]float64, n) escapes to heap
+not a diagnostic line at all
+`
+
+func TestParseEscapes(t *testing.T) {
+	diags, err := ParseEscapes(strings.NewReader(sampleBuildOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EscapeDiag{
+		{File: "internal/sim/engine.go", Line: 20, Col: 12, Message: "make([]int, n) escapes to heap"},
+		{File: "internal/sim/engine.go", Line: 33, Col: 2, Message: "moved to heap: x"},
+		{File: "internal/sim/engine.go", Line: 41, Col: 12, Message: "make([]int, n) escapes to heap"},
+		{File: "internal/sim/eventheap.go", Line: 7, Col: 15, Message: "make([]float64, n) escapes to heap"},
+	}
+	if !reflect.DeepEqual(diags, want) {
+		t.Fatalf("ParseEscapes = %v, want %v", diags, want)
+	}
+}
+
+func TestSummarizeAndAllowlistRoundTrip(t *testing.T) {
+	diags, err := ParseEscapes(strings.NewReader(sampleBuildOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Summarize(diags)
+	want := []EscapeEntry{
+		{File: "internal/sim/engine.go", Message: "make([]int, n) escapes to heap", Count: 2},
+		{File: "internal/sim/engine.go", Message: "moved to heap: x", Count: 1},
+		{File: "internal/sim/eventheap.go", Message: "make([]float64, n) escapes to heap", Count: 1},
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Fatalf("Summarize = %v, want %v", entries, want)
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString("# header comment\n\n")
+	if err := WriteAllowlist(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAllowlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Fatalf("round trip = %v, want %v", back, entries)
+	}
+}
+
+func TestReadAllowlistRejectsMalformed(t *testing.T) {
+	if _, err := ReadAllowlist(strings.NewReader("zero\tfoo.go\tmsg\n")); err == nil {
+		t.Fatal("non-numeric count must be rejected")
+	}
+	if _, err := ReadAllowlist(strings.NewReader("no tabs here\n")); err == nil {
+		t.Fatal("tab-less line must be rejected")
+	}
+	if _, err := ReadAllowlist(strings.NewReader("0\tfoo.go\tmsg\n")); err == nil {
+		t.Fatal("zero count must be rejected")
+	}
+}
+
+func TestDiffEscapesNewShape(t *testing.T) {
+	fresh := []EscapeDiag{
+		{File: "a.go", Line: 5, Col: 2, Message: "moved to heap: x"},
+	}
+	newDiags, stale := DiffEscapes(fresh, nil)
+	if len(newDiags) != 1 || newDiags[0].Line != 5 {
+		t.Fatalf("unknown shape must be new with its position: %v", newDiags)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+}
+
+func TestDiffEscapesCountIncrease(t *testing.T) {
+	golden := []EscapeEntry{{File: "a.go", Message: "make([]int, n) escapes to heap", Count: 1}}
+	fresh := []EscapeDiag{
+		{File: "a.go", Line: 9, Col: 1, Message: "make([]int, n) escapes to heap"},
+		{File: "a.go", Line: 3, Col: 1, Message: "make([]int, n) escapes to heap"},
+	}
+	newDiags, stale := DiffEscapes(fresh, golden)
+	if len(newDiags) != 1 {
+		t.Fatalf("one extra instance of a known shape must be new: %v", newDiags)
+	}
+	// The position-sorted walk charges the golden budget to the earliest
+	// instances, so the later one is reported.
+	if newDiags[0].Line != 9 {
+		t.Fatalf("the instance past the budget is line 9, got %v", newDiags[0])
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+}
+
+func TestDiffEscapesWithinBudgetAndStale(t *testing.T) {
+	golden := []EscapeEntry{
+		{File: "a.go", Message: "make([]int, n) escapes to heap", Count: 2},
+		{File: "b.go", Message: "moved to heap: y", Count: 1},
+	}
+	fresh := []EscapeDiag{
+		{File: "a.go", Line: 3, Col: 1, Message: "make([]int, n) escapes to heap"},
+	}
+	newDiags, stale := DiffEscapes(fresh, golden)
+	if len(newDiags) != 0 {
+		t.Fatalf("within-budget run must not fail: %v", newDiags)
+	}
+	// One unused a.go count and the whole b.go entry are stale.
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want 2 entries", stale)
+	}
+	for _, e := range stale {
+		if e.File == "a.go" && e.Count != 1 {
+			t.Fatalf("a.go stale budget = %d, want 1", e.Count)
+		}
+		if e.File == "b.go" && e.Count != 1 {
+			t.Fatalf("b.go stale budget = %d, want 1", e.Count)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Loader parses and type-checks packages with one shared FileSet and one
+// shared source importer, so a dependency (internal/rat, internal/lp, …)
+// is type-checked once no matter how many analyzed packages import it.
+// The source importer resolves both standard-library and module-local
+// imports from source — no export data, no external tooling beyond the go
+// command itself (which go/build shells out to for module resolution).
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// LoadFiles parses filenames (absolute or dir-relative) as one package and
+// type-checks it under the given import path. The import path decides
+// package-scoped analyzer behavior (bigescape's internal/rat exemption,
+// determinism's target set), which is also what lets the testdata harness
+// check seeded violations "as if" they lived in a real package.
+func (l *Loader) LoadFiles(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		Fset:  l.Fset,
+		Path:  importPath,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// GoList enumerates the packages matching patterns (e.g. "./...") from
+// dir, via the go command. Only GoFiles are returned: the analyzers run on
+// production code; test files get their invariants from the test runner.
+func GoList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		if len(p.GoFiles) > 0 {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// Load enumerates packages matching patterns from dir (via go list) and
+// parses + type-checks each one.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		pkg, err := l.LoadFiles(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Directives recognized by the noalloc analyzer.
+const (
+	// NoallocDirective marks a function whose body must contain no
+	// allocating constructs. It goes in the function's doc comment.
+	NoallocDirective = "//stretch:noalloc"
+	// AllocOkDirective suppresses noalloc diagnostics on its line (or the
+	// line below): the per-line escape hatch for deliberate cold-path
+	// allocations inside an annotated function — error exits, the rational
+	// ladder's escape-to-big promotions, one-time growth.
+	AllocOkDirective = "//stretch:alloc-ok"
+)
+
+type noalloc struct{}
+
+// NewNoalloc returns the annotated-hot-path allocation analyzer. It is
+// intraprocedural by design: it checks the constructs *written in* an
+// annotated function, while cmd/escapecheck covers what the compiler's
+// escape analysis decides about the whole package. Flagged constructs:
+//
+//   - make and new
+//   - slice and map composite literals, and &T{...} (heap candidates);
+//     plain value struct/array literals are escapecheck's business
+//   - append to a slice declared fresh (nil) in the same function
+//   - string concatenation, and string<->[]byte/[]rune conversions
+//   - any call into package fmt
+//   - func literals (closure + context allocation)
+//   - interface boxing of non-pointer-shaped values (assignments, call
+//     arguments, returns); pointers, chans, maps and funcs are
+//     pointer-shaped and box for free, constants box to static data
+func NewNoalloc() Analyzer { return noalloc{} }
+
+func (noalloc) Name() string { return "noalloc" }
+
+func (noalloc) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, NoallocDirective) {
+				continue
+			}
+			nc := &noallocCheck{pkg: pkg, fname: fd.Name.Name}
+			if sig, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				nc.sig, _ = sig.Type().(*types.Signature)
+			}
+			nc.collectFreshSlices(fd.Body)
+			nc.walk(fd.Body)
+			diags = append(diags, nc.diags...)
+		}
+	}
+	return diags
+}
+
+// funcHasDirective reports whether the directive appears in the function's
+// doc comment (the annotation position gofmt preserves).
+func funcHasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || len(c.Text) > len(directive) && c.Text[:len(directive)] == directive {
+			return true
+		}
+	}
+	return false
+}
+
+type noallocCheck struct {
+	pkg   *Package
+	fname string
+	sig   *types.Signature // enclosing signature, for return boxing
+	fresh map[types.Object]bool
+	diags []Diagnostic
+}
+
+func (nc *noallocCheck) flag(pos token.Pos, format string, args ...any) {
+	if nc.pkg.Hatched(pos, AllocOkDirective) {
+		return
+	}
+	d := nc.pkg.diag("noalloc", pos, "%s: "+format,
+		append([]any{nc.fname}, args...)...)
+	nc.diags = append(nc.diags, d)
+}
+
+// collectFreshSlices records locals declared as nil slices (`var s []T`)
+// — appending to those allocates from scratch on every call, unlike
+// appending into a reused field or parameter backing array.
+func (nc *noallocCheck) collectFreshSlices(body *ast.BlockStmt) {
+	nc.fresh = map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok || len(spec.Values) != 0 {
+			return true
+		}
+		for _, name := range spec.Names {
+			obj := nc.pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				nc.fresh[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (nc *noallocCheck) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			nc.flag(node.Pos(), "func literal (closure) allocates")
+			return false // the literal is its own allocation context
+		case *ast.CallExpr:
+			nc.checkCall(node)
+		case *ast.CompositeLit:
+			nc.checkCompositeLit(node)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if lit, ok := unparen(node.X).(*ast.CompositeLit); ok {
+					nc.flag(node.Pos(), "&%s{...} allocates", typeLabel(nc.pkg, lit))
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && nc.isString(node) {
+				nc.flag(node.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			nc.checkAssign(node)
+		case *ast.ValueSpec:
+			nc.checkValueSpec(node)
+		case *ast.ReturnStmt:
+			nc.checkReturn(node)
+		}
+		return true
+	})
+}
+
+func (nc *noallocCheck) checkCall(call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := nc.pkg.Info.Types[fun]; ok && tv.IsType() {
+		nc.checkConversion(call, tv.Type)
+		return
+	}
+
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	}
+	if id != nil {
+		switch obj := nc.pkg.Info.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "make":
+				nc.flag(call.Pos(), "make allocates")
+				return
+			case "new":
+				nc.flag(call.Pos(), "new allocates")
+				return
+			case "append":
+				nc.checkAppend(call)
+				return
+			}
+		case *types.Func:
+			if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				nc.flag(call.Pos(), "fmt.%s allocates (formatting boxes its operands)", obj.Name())
+				// fall through: args may box too, but one diagnostic per
+				// line is enough — the fmt call dominates.
+				return
+			}
+		}
+	}
+	nc.checkCallArgBoxing(call)
+}
+
+func (nc *noallocCheck) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fromTV, ok := nc.pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := fromTV.Type
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	toSl := isByteOrRuneSlice(to)
+	fromSl := isByteOrRuneSlice(from)
+	switch {
+	case toStr && fromSl:
+		nc.flag(call.Pos(), "conversion %s -> string allocates", from)
+	case toSl && fromStr:
+		nc.flag(call.Pos(), "conversion string -> %s allocates", to)
+	}
+}
+
+func (nc *noallocCheck) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := nc.pkg.Info.Uses[id]; obj != nil && nc.fresh[obj] {
+		nc.flag(call.Pos(), "append to %s, a slice declared fresh in this function, allocates", id.Name)
+	}
+}
+
+func (nc *noallocCheck) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := nc.pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		nc.flag(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		nc.flag(lit.Pos(), "map literal allocates")
+	}
+}
+
+func (nc *noallocCheck) checkAssign(assign *ast.AssignStmt) {
+	if assign.Tok == token.ADD_ASSIGN && len(assign.Lhs) == 1 && nc.isString(assign.Lhs[0]) {
+		nc.flag(assign.Pos(), "string += allocates")
+		return
+	}
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		lhsTV, ok := nc.pkg.Info.Types[assign.Lhs[i]]
+		if !ok {
+			continue
+		}
+		nc.checkBoxing(assign.Rhs[i], lhsTV.Type, "assignment")
+	}
+}
+
+func (nc *noallocCheck) checkValueSpec(spec *ast.ValueSpec) {
+	if spec.Type == nil {
+		return
+	}
+	tv, ok := nc.pkg.Info.Types[spec.Type]
+	if !ok {
+		return
+	}
+	for _, v := range spec.Values {
+		nc.checkBoxing(v, tv.Type, "declaration")
+	}
+}
+
+func (nc *noallocCheck) checkReturn(ret *ast.ReturnStmt) {
+	if nc.sig == nil || nc.sig.Results() == nil {
+		return
+	}
+	res := nc.sig.Results()
+	if len(ret.Results) != res.Len() {
+		return // bare return or tuple-forwarding call
+	}
+	for i, r := range ret.Results {
+		nc.checkBoxing(r, res.At(i).Type(), "return")
+	}
+}
+
+func (nc *noallocCheck) checkCallArgBoxing(call *ast.CallExpr) {
+	tv, ok := nc.pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			break
+		}
+		nc.checkBoxing(arg, pt, "argument")
+	}
+}
+
+// checkBoxing flags expr when assigning it to target implicitly converts a
+// concrete non-pointer-shaped value to an interface — the conversion heap-
+// allocates the value's box.
+func (nc *noallocCheck) checkBoxing(expr ast.Expr, target types.Type, context string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	if _, isTP := target.(*types.TypeParam); isTP {
+		return
+	}
+	tv, ok := nc.pkg.Info.Types[expr]
+	if !ok {
+		return
+	}
+	if tv.Value != nil {
+		return // constants box to static data, no runtime allocation
+	}
+	from := tv.Type
+	if from == nil || types.IsInterface(from) || isUntypedNil(from) || isPointerShaped(from) {
+		return
+	}
+	if _, isTP := from.(*types.TypeParam); isTP {
+		return
+	}
+	nc.flag(expr.Pos(), "%s boxes %s into %s (interface allocation)", context, from, target)
+}
+
+func (nc *noallocCheck) isString(e ast.Expr) bool {
+	tv, ok := nc.pkg.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPointerShaped reports types whose interface box is the word itself:
+// pointers, unsafe.Pointer, chans, maps and funcs. Everything else copies
+// into a fresh heap cell when boxed.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func typeLabel(pkg *Package, lit *ast.CompositeLit) string {
+	if tv, ok := pkg.Info.Types[lit]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "T"
+}

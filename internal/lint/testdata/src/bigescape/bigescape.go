@@ -1,0 +1,10 @@
+// Package bigescapedata exercises the math/big containment analyzer: both
+// the import line and every identifier defined in math/big are flagged,
+// because this package's synthetic import path is outside internal/rat.
+package bigescapedata
+
+import "math/big" // want "math/big imported outside"
+
+func half() *big.Rat { // want "use of math/big identifier Rat"
+	return big.NewRat(1, 2) // want "use of math/big identifier NewRat"
+}

@@ -1,0 +1,60 @@
+// Package determinismdata exercises the grid-determinism analyzer: ambient
+// math/rand draws, wall-clock reads, and map-range loops that leak
+// iteration order into ordered output — next to the legal forms (explicit
+// *rand.Rand, rand constructors, collect-then-sort, the order-ok hatch).
+// The harness runs NewDeterminismFor with this package's path so the
+// package-scope gate matches.
+package determinismdata
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func ambient() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from the ambient global source"
+}
+
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(10) // methods on an explicitly seeded *rand.Rand: legal
+}
+
+func constructors() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors take an explicit seed: legal
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in a deterministic grid path"
+}
+
+func orderedWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches ordered output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func derivedAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "append of a derived value inside map range"
+		out = append(out, v)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // appending just the range key: the legal idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func hatchedRange(w io.Writer, m map[string]int) {
+	for k := range m { //stretch:order-ok — demo: pretend a sort follows
+		fmt.Fprint(w, k)
+	}
+}

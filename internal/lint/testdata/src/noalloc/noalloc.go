@@ -1,0 +1,125 @@
+// Package noallocdata seeds one violation per construct class the noalloc
+// analyzer flags, plus the constructs it must NOT flag (hatched lines,
+// unannotated functions, value struct literals). The harness in
+// analyzers_test.go matches each // want comment against the diagnostics
+// produced on its line, in both directions.
+package noallocdata
+
+import "fmt"
+
+type box struct{ v int }
+
+//stretch:noalloc
+func makeAlloc(n int) []int {
+	s := make([]int, n) // want "make allocates"
+	return s
+}
+
+//stretch:noalloc
+func newAlloc() *box {
+	return new(box) // want "new allocates"
+}
+
+//stretch:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want "slice literal allocates"
+}
+
+//stretch:noalloc
+func mapLit() map[string]int {
+	return map[string]int{} // want "map literal allocates"
+}
+
+//stretch:noalloc
+func addrLit() *box {
+	return &box{v: 1} // want "allocates"
+}
+
+//stretch:noalloc
+func appendFresh() int {
+	var s []int
+	s = append(s, 1) // want "append to s, a slice declared fresh"
+	return len(s)
+}
+
+//stretch:noalloc
+func appendReused(dst []int) []int {
+	return append(dst, 1) // appending into a caller-owned backing array: legal
+}
+
+//stretch:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//stretch:noalloc
+func plusAssign(a, b string) string {
+	a += b // want "string += allocates"
+	return a
+}
+
+//stretch:noalloc
+func bytesToString(b []byte) string {
+	return string(b) // want "conversion"
+}
+
+//stretch:noalloc
+func stringToBytes(s string) []byte {
+	return []byte(s) // want "conversion string"
+}
+
+//stretch:noalloc
+func format(x int) {
+	fmt.Println(x) // want "fmt.Println allocates"
+}
+
+//stretch:noalloc
+func closure() func() int {
+	f := func() int { return 1 } // want "func literal"
+	return f
+}
+
+//stretch:noalloc
+func boxesReturn(x int) any {
+	return x // want "boxes int into"
+}
+
+//stretch:noalloc
+func boxesAssign(x box) {
+	var sink any
+	sink = x // want "boxes"
+	_ = sink
+}
+
+//stretch:noalloc
+func boxesConstant() any {
+	return 42 // constants box to static data: legal
+}
+
+//stretch:noalloc
+func boxesPointer(p *box) any {
+	return p // pointer-shaped values box for free: legal
+}
+
+//stretch:noalloc
+func valueLiteral() box {
+	return box{v: 1} // value struct literal: escapecheck's business, legal here
+}
+
+//stretch:noalloc
+func hatchedSameLine(n int) []int {
+	s := make([]int, n) //stretch:alloc-ok — cold path, demo of the hatch
+	return s
+}
+
+//stretch:noalloc
+func hatchedLineAbove(n int) []int {
+	//stretch:alloc-ok — cold path, demo of the hatch on the line above
+	s := make([]int, n)
+	return s
+}
+
+// unannotated allocates freely: no directive, no diagnostics.
+func unannotated() []int {
+	return make([]int, 4)
+}

@@ -114,12 +114,14 @@ func (p *Problem[T]) SolveRevised() (*Solution[T], error) {
 // exact System (1) instances — where the dense tableau's per-iteration
 // O(m·n) row work dominates; for small or dense programs the tableau is
 // simpler and just as fast.
+//
+//stretch:noalloc
 func (p *Problem[T]) SolveRevisedWith(ws *Workspace[T]) (*Solution[T], error) {
 	var rv *revised[T]
 	if ws != nil {
 		rv = &ws.rev
 	} else {
-		rv = &revised[T]{}
+		rv = &revised[T]{} //stretch:alloc-ok — nil-workspace path
 	}
 	rv.init(p, ws)
 	sol := rv.solve()
@@ -130,6 +132,8 @@ func (p *Problem[T]) SolveRevisedWith(ws *Workspace[T]) (*Solution[T], error) {
 }
 
 // init binds the solver state to p and builds the sparse column matrix.
+//
+//stretch:noalloc
 func (rv *revised[T]) init(p *Problem[T], ws *Workspace[T]) {
 	ops := p.ops
 	rv.ops, rv.prob, rv.ws = ops, p, ws
@@ -235,6 +239,8 @@ func (rv *revised[T]) init(p *Problem[T], ws *Workspace[T]) {
 
 // scatterCol writes column j (structural, slack or artificial) into the
 // dense vector dst, accumulating duplicates.
+//
+//stretch:noalloc
 func (rv *revised[T]) scatterCol(j int, dst []T) {
 	ops := rv.ops
 	for i := range dst {
@@ -251,6 +257,8 @@ func (rv *revised[T]) scatterCol(j int, dst []T) {
 }
 
 // ftran applies the eta file to x in place: x ← B⁻¹·x.
+//
+//stretch:noalloc
 func (rv *revised[T]) ftran(x []T) {
 	ops := rv.ops
 	e := &rv.eta
@@ -272,6 +280,8 @@ func (rv *revised[T]) ftran(x []T) {
 }
 
 // btran applies the transposed eta file to z in place: z ← z·B⁻¹.
+//
+//stretch:noalloc
 func (rv *revised[T]) btran(z []T) {
 	ops := rv.ops
 	e := &rv.eta
@@ -286,6 +296,8 @@ func (rv *revised[T]) btran(z []T) {
 
 // appendEta records the eta of a pivot on alpha at row r. A unit column
 // (alpha == e_r) is the identity transformation and is skipped.
+//
+//stretch:noalloc
 func (rv *revised[T]) appendEta(alpha []T, r int) {
 	ops := rv.ops
 	inv := ops.Div(ops.One(), alpha[r])
@@ -316,6 +328,8 @@ func (rv *revised[T]) appendEta(alpha []T, r int) {
 }
 
 // reducedCost returns cost[j] − y·A_j for a structural or slack column.
+//
+//stretch:noalloc
 func (rv *revised[T]) reducedCost(j int, y []T) T {
 	ops := rv.ops
 	d := rv.cost[j]
@@ -329,6 +343,8 @@ func (rv *revised[T]) reducedCost(j int, y []T) T {
 // scan blocks of columns from a moving cursor, stop at the first block that
 // yields a candidate, pick its most negative reduced cost. Under Bland's
 // rule the least-index negative column wins instead.
+//
+//stretch:noalloc
 func (rv *revised[T]) price(y []T) int {
 	ops := rv.ops
 	n := rv.n
@@ -375,6 +391,8 @@ func (rv *revised[T]) price(y []T) int {
 // ratioTest returns the leaving row for the entering column alpha, or -1
 // when the column is unbounded. Ties break on the smallest basis index,
 // which together with Bland's entering rule guarantees termination.
+//
+//stretch:noalloc
 func (rv *revised[T]) ratioTest(alpha []T) int {
 	ops := rv.ops
 	leave := -1
@@ -394,6 +412,8 @@ func (rv *revised[T]) ratioTest(alpha []T) int {
 
 // pivot applies the basis change: column enter becomes basic in row leave,
 // with alpha = B⁻¹·A_enter already computed.
+//
+//stretch:noalloc
 func (rv *revised[T]) pivot(leave, enter int, alpha []T) {
 	ops := rv.ops
 	degenerate := ops.Sign(rv.xB[leave]) == 0
@@ -440,6 +460,8 @@ func (rv *revised[T]) pivot(leave, enter int, alpha []T) {
 // overhead is proportionally larger, from thrashing. The eta-count cap
 // bounds the file (and the exact backend's rational growth) when pivots
 // are so sparse the nnz trigger would let it run indefinitely.
+//
+//stretch:noalloc
 func (rv *revised[T]) shouldRefactor() bool {
 	if rv.sinceRefac == 0 {
 		return false
@@ -456,6 +478,8 @@ func (rv *revised[T]) shouldRefactor() bool {
 // the elimination pivots dictate, and recomputes xB. On the exact backend
 // this also resets the rational magnitude of the file: eta entries are
 // derived from the current basis alone, not from the pivot history.
+//
+//stretch:noalloc
 func (rv *revised[T]) refactorize() {
 	ops := rv.ops
 	m := rv.m
@@ -522,6 +546,8 @@ func (rv *revised[T]) refactorize() {
 }
 
 // recomputeXB solves B·xB = b through the current eta file.
+//
+//stretch:noalloc
 func (rv *revised[T]) recomputeXB() {
 	ops := rv.ops
 	copy(rv.work, rv.b)
@@ -540,6 +566,8 @@ func (rv *revised[T]) recomputeXB() {
 // happens here, between iterations, never inside pivot: a refactorisation
 // may permute basis rows, which callers that iterate over rows themselves
 // (driveOutArtificials) must not observe mid-scan.
+//
+//stretch:noalloc
 func (rv *revised[T]) optimize() Status {
 	limit := maxIterFactor * (rv.m + rv.n + 1)
 	for iter := 0; ; iter++ {
@@ -573,6 +601,8 @@ func (rv *revised[T]) optimize() Status {
 }
 
 // objective returns the current phase's objective value c_B·xB.
+//
+//stretch:noalloc
 func (rv *revised[T]) objective() T {
 	ops := rv.ops
 	val := ops.Zero()
@@ -593,6 +623,7 @@ func (rv *revised[T]) solution(s Solution[T]) *Solution[T] {
 	return &out
 }
 
+//stretch:noalloc
 func (rv *revised[T]) solve() *Solution[T] {
 	ops := rv.ops
 
@@ -641,7 +672,7 @@ func (rv *revised[T]) solve() *Solution[T] {
 		rv.ws.x = growSlice(rv.ws.x, rv.prob.nvars)
 		x = rv.ws.x
 	} else {
-		x = make([]T, rv.prob.nvars)
+		x = make([]T, rv.prob.nvars) //stretch:alloc-ok — nil-workspace path
 	}
 	for j := range x {
 		x[j] = ops.Zero()
@@ -659,6 +690,8 @@ func (rv *revised[T]) solve() *Solution[T] {
 // column can replace it; rows admitting no replacement are linearly
 // dependent, and their FTRAN entry stays zero for every remaining column,
 // so the parked artificial never re-enters play.
+//
+//stretch:noalloc
 func (rv *revised[T]) driveOutArtificials() {
 	ops := rv.ops
 	for r := 0; r < rv.m; r++ {

@@ -193,6 +193,8 @@ func (p *Problem[T]) Solve() (*Solution[T], error) {
 // reallocating it. A nil ws behaves exactly like Solve. The returned
 // Solution (including X) is owned by ws and overwritten by the next
 // SolveWith on it.
+//
+//stretch:noalloc
 func (p *Problem[T]) SolveWith(ws *Workspace[T]) (*Solution[T], error) {
 	t := newTableau(p, ws)
 	sol := t.solve()
@@ -219,6 +221,7 @@ type tableau[T any] struct {
 
 const maxIterFactor = 200 // iteration cap = maxIterFactor * (m + n)
 
+//stretch:noalloc
 func newTableau[T any](p *Problem[T], ws *Workspace[T]) *tableau[T] {
 	ops := p.ops
 	m := len(p.cons)
@@ -233,13 +236,13 @@ func newTableau[T any](p *Problem[T], ws *Workspace[T]) *tableau[T] {
 	if ws != nil {
 		t = &ws.tab
 	} else {
-		t = &tableau[T]{}
+		t = &tableau[T]{} //stretch:alloc-ok — nil-workspace path
 	}
 	t.ops, t.prob, t.ws = ops, p, ws
 	t.m, t.n = m, n
 	t.nart, t.iters = 0, 0
 	if cap(t.a) < m {
-		t.a = make([][]T, m)
+		t.a = make([][]T, m) //stretch:alloc-ok — buffer growth
 	}
 	t.a = t.a[:m]
 	t.b = growSlice(t.b, m)
@@ -292,6 +295,7 @@ func (t *tableau[T]) solution(s Solution[T]) *Solution[T] {
 	return &out
 }
 
+//stretch:noalloc
 func (t *tableau[T]) solve() *Solution[T] {
 	ops := t.ops
 
@@ -307,7 +311,7 @@ func (t *tableau[T]) solve() *Solution[T] {
 		t.ws.phase1 = growSlice(t.ws.phase1, t.n+t.nart)
 		phase1Obj = t.ws.phase1
 	} else {
-		phase1Obj = make([]T, t.n+t.nart)
+		phase1Obj = make([]T, t.n+t.nart) //stretch:alloc-ok — nil-workspace path
 	}
 	for j := 0; j < t.n; j++ {
 		phase1Obj[j] = ops.Zero()
@@ -351,7 +355,7 @@ func (t *tableau[T]) solve() *Solution[T] {
 		t.ws.phase2 = growSlice(t.ws.phase2, t.n)
 		obj = t.ws.phase2
 	} else {
-		obj = make([]T, t.n)
+		obj = make([]T, t.n) //stretch:alloc-ok — nil-workspace path
 	}
 	for j := range obj {
 		obj[j] = ops.Zero()
@@ -373,7 +377,7 @@ func (t *tableau[T]) solve() *Solution[T] {
 		t.ws.x = growSlice(t.ws.x, t.prob.nvars)
 		x = t.ws.x
 	} else {
-		x = make([]T, t.prob.nvars)
+		x = make([]T, t.prob.nvars) //stretch:alloc-ok — nil-workspace path
 	}
 	for j := range x {
 		x[j] = ops.Zero()
@@ -391,6 +395,8 @@ func (t *tableau[T]) solve() *Solution[T] {
 
 // driveOutArtificials pivots any artificial variable that is still basic at
 // value zero out of the basis (or verifies its row is redundant).
+//
+//stretch:noalloc
 func (t *tableau[T]) driveOutArtificials() {
 	ops := t.ops
 	for r := 0; r < t.m; r++ {
@@ -417,6 +423,8 @@ func (t *tableau[T]) driveOutArtificials() {
 
 // optimize runs primal simplex iterations for the reduced costs of obj.
 // It returns Optimal with the objective value, or Unbounded / IterLimit.
+//
+//stretch:noalloc
 func (t *tableau[T]) optimize(obj []T) (Status, T) {
 	ops := t.ops
 	width := t.n + t.nart
@@ -425,7 +433,7 @@ func (t *tableau[T]) optimize(obj []T) (Status, T) {
 	z := t.z
 	limit := maxIterFactor * (t.m + width + 1)
 
-	recompute := func() T {
+	recompute := func() T { //stretch:alloc-ok — non-escaping closure
 		// reduced cost c_j - c_B · B^{-1} A_j, computed from the tableau:
 		// since rows are already B^{-1}A, it is c_j - Σ_r c_basis[r]·a[r][j].
 		val := ops.Zero()
@@ -519,6 +527,7 @@ func (t *tableau[T]) optimize(obj []T) (Status, T) {
 	}
 }
 
+//stretch:noalloc
 func (t *tableau[T]) isBasic(col int) bool {
 	for _, b := range t.basis {
 		if b == col {
@@ -529,6 +538,8 @@ func (t *tableau[T]) isBasic(col int) bool {
 }
 
 // pivot makes column col basic in row row using Gauss-Jordan elimination.
+//
+//stretch:noalloc
 func (t *tableau[T]) pivot(row, col int) {
 	ops := t.ops
 	width := len(t.a[row])

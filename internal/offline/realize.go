@@ -76,11 +76,11 @@ func (a *Alloc) Realize(order Ordering) (*sim.Plan, error) {
 	var lastGlobal []int
 	if ws != nil {
 		if cap(ws.lastGlobal) < n {
-			ws.lastGlobal = make([]int, n)
+			ws.lastGlobal = make([]int, n) //stretch:alloc-ok — buffer growth
 		}
 		lastGlobal = ws.lastGlobal[:n]
 	} else {
-		lastGlobal = make([]int, n)
+		lastGlobal = make([]int, n) //stretch:alloc-ok — nil-workspace path
 	}
 	for k := 0; k < n; k++ {
 		lastGlobal[k] = a.LastInterval(k)
@@ -185,6 +185,8 @@ func (a *Alloc) GlobalOrder() []model.JobID {
 // completion-interval table are pooled scratch, so a caller that also
 // reuses dst (Online-EGDF holds its list across arrival events) performs
 // no steady-state allocation.
+//
+//stretch:noalloc
 func (a *Alloc) AppendGlobalOrder(dst []model.JobID) []model.JobID {
 	ws := a.Problem.ws
 	n := len(a.Problem.Tasks)
@@ -193,11 +195,11 @@ func (a *Alloc) AppendGlobalOrder(dst []model.JobID) []model.JobID {
 	var lastGlobal []int
 	if ws != nil {
 		if cap(ws.lastGlobal) < n {
-			ws.lastGlobal = make([]int, n)
+			ws.lastGlobal = make([]int, n) //stretch:alloc-ok — buffer growth
 		}
 		lastGlobal = ws.lastGlobal[:n]
 	} else {
-		lastGlobal = make([]int, n)
+		lastGlobal = make([]int, n) //stretch:alloc-ok — nil-workspace path
 	}
 	for k := 0; k < n; k++ {
 		lastGlobal[k] = a.LastInterval(k)
@@ -207,12 +209,12 @@ func (a *Alloc) AppendGlobalOrder(dst []model.JobID) []model.JobID {
 	if ws != nil {
 		ks = ws.ks[:0]
 	} else {
-		ks = make([]int, 0, n)
+		ks = make([]int, 0, n) //stretch:alloc-ok — nil-workspace path
 	}
 	for k := 0; k < n; k++ {
-		ks = append(ks, k)
+		ks = append(ks, k) //stretch:alloc-ok — pre-sized or pooled backing
 	}
-	slices.SortFunc(ks, func(kx, ky int) int {
+	slices.SortFunc(ks, func(kx, ky int) int { //stretch:alloc-ok — non-escaping comparison closure
 		if lastGlobal[kx] != lastGlobal[ky] {
 			return lastGlobal[kx] - lastGlobal[ky]
 		}

@@ -237,6 +237,8 @@ func (e *EGDF) Init(*model.Instance) {
 }
 
 // OnEvent recomputes the global priority list whenever new jobs arrived.
+//
+//stretch:noalloc
 func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 	released := 0
 	for _, r := range ctx.Released {
@@ -287,7 +289,7 @@ func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 	}
 	e.order = alloc.AppendGlobalOrder(e.order[:0])
 	if e.rank == nil {
-		e.rank = map[model.JobID]int{}
+		e.rank = map[model.JobID]int{} //stretch:alloc-ok — lazy init, reused afterwards
 	} else {
 		clear(e.rank)
 	}
@@ -298,6 +300,8 @@ func (e *EGDF) OnEvent(ctx *sim.Ctx) {
 }
 
 // Less implements sim.Policy.
+//
+//stretch:noalloc
 func (e *EGDF) Less(ctx *sim.Ctx, a, b model.JobID) bool {
 	ra, oka := e.rank[a]
 	rb, okb := e.rank[b]

@@ -21,10 +21,14 @@ type med struct {
 }
 
 // isOne128 reports x == 1, the "skip the division" test of the reducers.
+//
+//stretch:noalloc
 func isOne128(x u128) bool { return x.hi == 0 && x.lo == 1 }
 
 // med128 widens a small or medium Rat to medium precision. Callers must not
 // pass big-form values.
+//
+//stretch:noalloc
 func (a Rat) med128() med {
 	if a.med {
 		return med{a.neg, u128{a.nhi, uint64(a.num)}, u128{a.dhi, uint64(a.den)}}
@@ -37,6 +41,8 @@ func (a Rat) med128() med {
 // d > 0. The low magnitude words live in the small form's num/den fields
 // (reinterpreted as uint64), so the struct stays at one pointer plus six
 // words regardless of tier.
+//
+//stretch:noalloc
 func mkMed(neg bool, n, d u128) Rat {
 	if n.isZero() {
 		return Rat{}
@@ -51,9 +57,13 @@ func mkMed(neg bool, n, d u128) Rat {
 // rat converts a med result to a Rat in medium form (canonical zero aside).
 // Arithmetic never demotes: a med value that happens to fit the small form
 // stays medium until Reduce.
+//
+//stretch:noalloc
 func (m med) rat() Rat { return mkMed(m.neg, m.n, m.d) }
 
 // sign returns -1, 0 or +1.
+//
+//stretch:noalloc
 func (m med) sign() int {
 	if m.n.isZero() {
 		return 0
@@ -68,6 +78,8 @@ func (m med) sign() int {
 // result exceeds 128 bits. Cross-reduction first (gcd(a.n, b.d) and
 // gcd(b.n, a.d)) so the products are as small as possible and the result is
 // already in lowest terms.
+//
+//stretch:noalloc
 func mulMed(a, b med) (med, bool) {
 	if a.n.isZero() || b.n.isZero() {
 		return med{d: one128}, true
@@ -91,9 +103,13 @@ func mulMed(a, b med) (med, bool) {
 }
 
 // invMed returns 1/b for nonzero b.
+//
+//stretch:noalloc
 func invMed(b med) med { return med{b.neg, b.d, b.n} }
 
 // mul128to192 returns a·b when it fits 192 bits; ok is false otherwise.
+//
+//stretch:noalloc
 func mul128to192(a, b u128) (u192, bool) {
 	if b.hi == 0 {
 		return mul128by64(a, b.lo), true
@@ -113,6 +129,8 @@ func mul128to192(a, b u128) (u192, bool) {
 // The shape is the small form's Knuth trick one tier up:
 // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d), and the
 // final common factor of numerator and denominator necessarily divides g.
+//
+//stretch:noalloc
 func addMed(a, b med) (med, bool) {
 	if a.n.isZero() {
 		return b, true
@@ -173,6 +191,8 @@ func addMed(a, b med) (med, bool) {
 // unfused ops would have paid a math/big round trip. Operands must be
 // nonzero; ok is false when an intermediate exceeds 192 bits or the reduced
 // result exceeds 128.
+//
+//stretch:noalloc
 func muladdMed(a, b, c med) (med, bool) {
 	// Cross-reduce the product's factors so pn/pd is in lowest terms.
 	bn, cd := b.n, c.d
@@ -241,6 +261,8 @@ func muladdMed(a, b, c med) (med, bool) {
 }
 
 // negMed returns -a.
+//
+//stretch:noalloc
 func negMed(a med) med {
 	if a.n.isZero() {
 		return a
@@ -249,6 +271,8 @@ func negMed(a med) med {
 }
 
 // cmpMed compares a and b exactly: sign test, then 256-bit cross products.
+//
+//stretch:noalloc
 func cmpMed(a, b med) int {
 	sa, sb := a.sign(), b.sign()
 	switch {

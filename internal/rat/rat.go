@@ -392,6 +392,8 @@ func (a Rat) Big() *big.Rat { return new(big.Rat).Set(a.bigRef()) }
 
 // addSmall computes a + sign·b on small operands; ok is false on overflow
 // (sign is ±1, so sign·b cannot itself overflow).
+//
+//stretch:noalloc
 func addSmall(a, b Rat, sign int64) (Rat, bool) {
 	an, ad := a.nd()
 	bn, bd := b.nd()
@@ -417,6 +419,8 @@ func addSmall(a, b Rat, sign int64) (Rat, bool) {
 }
 
 // mulSmall computes a·b on small operands; ok is false on overflow.
+//
+//stretch:noalloc
 func mulSmall(a, b Rat) (Rat, bool) {
 	an, ad := a.nd()
 	bn, bd := b.nd()
@@ -436,6 +440,8 @@ func mulSmall(a, b Rat) (Rat, bool) {
 }
 
 // invSmall returns 1/b for a small nonzero b.
+//
+//stretch:noalloc
 func invSmall(b Rat) Rat {
 	bn, bd := b.nd()
 	if bn < 0 {
@@ -445,6 +451,8 @@ func invSmall(b Rat) Rat {
 }
 
 // Add returns a + b.
+//
+//stretch:noalloc
 func (a Rat) Add(b Rat) Rat {
 	if a.isSmall() && b.isSmall() {
 		if r, ok := addSmall(a, b, 1); ok {
@@ -463,10 +471,12 @@ func (a Rat) Add(b Rat) Rat {
 	if b.isSmall() && b.den == 0 {
 		return a
 	}
-	return Rat{r: new(big.Rat).Add(a.bigRef(), b.bigRef())}
+	return Rat{r: new(big.Rat).Add(a.bigRef(), b.bigRef())} //stretch:alloc-ok — escape to big
 }
 
 // Sub returns a - b.
+//
+//stretch:noalloc
 func (a Rat) Sub(b Rat) Rat {
 	if a.isSmall() && b.isSmall() {
 		if r, ok := addSmall(a, b, -1); ok {
@@ -484,10 +494,12 @@ func (a Rat) Sub(b Rat) Rat {
 	if a.isSmall() && a.den == 0 {
 		return b.Neg()
 	}
-	return Rat{r: new(big.Rat).Sub(a.bigRef(), b.bigRef())}
+	return Rat{r: new(big.Rat).Sub(a.bigRef(), b.bigRef())} //stretch:alloc-ok — escape to big
 }
 
 // Mul returns a * b.
+//
+//stretch:noalloc
 func (a Rat) Mul(b Rat) Rat {
 	if a.isSmall() && b.isSmall() {
 		if r, ok := mulSmall(a, b); ok {
@@ -521,10 +533,12 @@ func (a Rat) Mul(b Rat) Rat {
 			return a.Neg()
 		}
 	}
-	return Rat{r: new(big.Rat).Mul(a.bigRef(), b.bigRef())}
+	return Rat{r: new(big.Rat).Mul(a.bigRef(), b.bigRef())} //stretch:alloc-ok — escape to big
 }
 
 // Div returns a / b. It panics if b is zero.
+//
+//stretch:noalloc
 func (a Rat) Div(b Rat) Rat {
 	if b.Sign() == 0 {
 		panic("rat: division by zero")
@@ -550,7 +564,7 @@ func (a Rat) Div(b Rat) Rat {
 	if a.isSmall() && a.den == 0 {
 		return Rat{}
 	}
-	return Rat{r: new(big.Rat).Quo(a.bigRef(), b.bigRef())}
+	return Rat{r: new(big.Rat).Quo(a.bigRef(), b.bigRef())} //stretch:alloc-ok — escape to big
 }
 
 // MulAdd returns a + b·c as one fused operation. The point over
@@ -562,6 +576,8 @@ func (a Rat) Div(b Rat) Rat {
 // and whenever the final value fits int64 it comes back small. It is the
 // accumulate primitive of the revised-simplex eta updates (see
 // lp.Ops.MulAdd), which are long chains of exactly this shape.
+//
+//stretch:noalloc
 func MulAdd(a, b, c Rat) Rat {
 	// The all-small lane runs first, before any Sign dispatch: it is the
 	// statistically dominant case in the solver loops, and mulSmall/addSmall
@@ -590,7 +606,7 @@ func MulAdd(a, b, c Rat) Rat {
 			return s.rat().Reduce()
 		}
 	}
-	prod := new(big.Rat).Mul(b.bigRef(), c.bigRef())
+	prod := new(big.Rat).Mul(b.bigRef(), c.bigRef()) //stretch:alloc-ok — escape to big
 	return Rat{r: prod.Add(prod, a.bigRef())}.Reduce()
 }
 
@@ -600,6 +616,8 @@ func MulAdd(a, b, c Rat) Rat {
 func MulSub(a, b, c Rat) Rat { return MulAdd(a, b.Neg(), c) }
 
 // Neg returns -a.
+//
+//stretch:noalloc
 func (a Rat) Neg() Rat {
 	if a.med {
 		return mkMed(!a.neg, u128{a.nhi, uint64(a.num)}, u128{a.dhi, uint64(a.den)})
@@ -607,10 +625,12 @@ func (a Rat) Neg() Rat {
 	if a.r == nil {
 		return small(-a.num, a.den)
 	}
-	return Rat{r: new(big.Rat).Neg(a.r)}
+	return Rat{r: new(big.Rat).Neg(a.r)} //stretch:alloc-ok — escape to big
 }
 
 // Inv returns 1/a. It panics if a is zero.
+//
+//stretch:noalloc
 func (a Rat) Inv() Rat {
 	if a.Sign() == 0 {
 		panic("rat: inverse of zero")
@@ -621,10 +641,12 @@ func (a Rat) Inv() Rat {
 	if a.r == nil {
 		return invSmall(a)
 	}
-	return Rat{r: new(big.Rat).Inv(a.r)}
+	return Rat{r: new(big.Rat).Inv(a.r)} //stretch:alloc-ok — escape to big
 }
 
 // Abs returns |a|.
+//
+//stretch:noalloc
 func (a Rat) Abs() Rat {
 	if a.Sign() < 0 {
 		return a.Neg()
@@ -633,6 +655,8 @@ func (a Rat) Abs() Rat {
 }
 
 // Sign returns -1, 0 or +1 according to the sign of a.
+//
+//stretch:noalloc
 func (a Rat) Sign() int {
 	if a.r != nil {
 		return a.r.Sign()
@@ -654,6 +678,8 @@ func (a Rat) Sign() int {
 }
 
 // Cmp compares a and b and returns -1, 0 or +1.
+//
+//stretch:noalloc
 func (a Rat) Cmp(b Rat) int {
 	if a.med || b.med {
 		if !a.isBig() && !b.isBig() {
@@ -711,6 +737,8 @@ func (a Rat) Less(b Rat) bool { return a.Cmp(b) < 0 }
 func (a Rat) LessEq(b Rat) bool { return a.Cmp(b) <= 0 }
 
 // Min returns the smaller of a and b.
+//
+//stretch:noalloc
 func Min(a, b Rat) Rat {
 	if a.Cmp(b) <= 0 {
 		return a
@@ -719,6 +747,8 @@ func Min(a, b Rat) Rat {
 }
 
 // Max returns the larger of a and b.
+//
+//stretch:noalloc
 func Max(a, b Rat) Rat {
 	if a.Cmp(b) >= 0 {
 		return a

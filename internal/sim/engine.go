@@ -107,6 +107,8 @@ func NewEngine() *Engine { return &Engine{} }
 
 // RunList simulates inst under the given priority policy and returns the
 // complete schedule trace. The result is valid until the next call on e.
+//
+//stretch:noalloc
 func (e *Engine) RunList(inst *model.Instance, pol Policy) (*model.Schedule, error) {
 	pol.Init(inst)
 	st := &e.st
@@ -114,14 +116,14 @@ func (e *Engine) RunList(inst *model.Instance, pol Policy) (*model.Schedule, err
 
 	for ev := 0; ; ev++ {
 		if ev > maxEvents {
-			return nil, fmt.Errorf("sim: %s exceeded event budget", pol.Name())
+			return nil, fmt.Errorf("sim: %s exceeded event budget", pol.Name()) //stretch:alloc-ok — error exit
 		}
 		if st.allDone() {
 			return &st.sched, nil
 		}
 		if len(st.ctx.active) == 0 {
 			if !st.advanceToNextArrival() {
-				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pol.Name())
+				return nil, fmt.Errorf("sim: %s deadlocked with unfinished jobs", pol.Name()) //stretch:alloc-ok — error exit
 			}
 			continue
 		}
@@ -139,7 +141,7 @@ func (e *Engine) RunList(inst *model.Instance, pol Policy) (*model.Schedule, err
 			dt = math.Min(dt, st.events.minKey()-st.ctx.Now)
 		}
 		if math.IsInf(dt, 1) {
-			return nil, fmt.Errorf("sim: %s has active jobs with no eligible machine and no future arrivals", pol.Name())
+			return nil, fmt.Errorf("sim: %s has active jobs with no eligible machine and no future arrivals", pol.Name()) //stretch:alloc-ok — error exit
 		}
 		if dt < 0 {
 			dt = 0
@@ -191,6 +193,8 @@ func grow[T any](s []T, n int) []T {
 }
 
 // reset prepares the state for a new instance, reusing all buffers.
+//
+//stretch:noalloc
 func (st *state) reset(inst *model.Instance) {
 	n := inst.NumJobs()
 	m := inst.Platform.NumMachines()
@@ -240,6 +244,8 @@ func (st *state) startTime() float64 {
 // releaseUpTo marks every job released by time t and appends it to the
 // active set. Jobs are numbered by increasing release, so appending keeps
 // the set in ID order.
+//
+//stretch:noalloc
 func (st *state) releaseUpTo(t float64) {
 	for st.nextArr < st.inst.NumJobs() && st.inst.Jobs[st.nextArr].Release <= t+relTol*(1+t) {
 		st.ctx.Released[st.nextArr] = true
@@ -249,6 +255,8 @@ func (st *state) releaseUpTo(t float64) {
 }
 
 // removeActive deletes j from the active set, preserving ID order.
+//
+//stretch:noalloc
 func (st *state) removeActive(j model.JobID) {
 	a := st.ctx.active
 	for i, id := range a {
@@ -261,6 +269,7 @@ func (st *state) removeActive(j model.JobID) {
 
 func (st *state) allDone() bool { return st.doneCnt == st.inst.NumJobs() }
 
+//stretch:noalloc
 func (st *state) timeToNextArrival() float64 {
 	if st.nextArr >= st.inst.NumJobs() {
 		return math.Inf(1)
@@ -272,6 +281,7 @@ func (st *state) timeToNextArrival() float64 {
 	return dt
 }
 
+//stretch:noalloc
 func (st *state) advanceToNextArrival() bool {
 	if st.nextArr >= st.inst.NumJobs() {
 		return false
@@ -299,8 +309,10 @@ func priorityLess(pol Policy, ctx *Ctx, a, b model.JobID) bool {
 // TestRunListSteadyStateAllocs). priorityLess is a total order (ties
 // break by job ID), so the unstable sort still produces a unique,
 // deterministic sequence.
+//
+//stretch:noalloc
 func (st *state) sortOrder(pol Policy) {
-	slices.SortFunc(st.order, func(a, b model.JobID) int {
+	slices.SortFunc(st.order, func(a, b model.JobID) int { //stretch:alloc-ok — non-escaping comparison closure
 		if pol.Less(&st.ctx, a, b) {
 			return -1
 		}
@@ -323,6 +335,8 @@ func (st *state) sortOrder(pol Policy) {
 // each all still-free eligible machines. It fills st.assign (machine→job,
 // -1 for idle), st.rate (per-job aggregate rate) and st.running (jobs with
 // a positive rate, in priority order).
+//
+//stretch:noalloc
 func (st *state) allocate(order []model.JobID) {
 	m := st.inst.Platform.NumMachines()
 	for i := 0; i < m; i++ {
@@ -357,6 +371,8 @@ func (st *state) allocate(order []model.JobID) {
 // invariant while its rate holds, so only jobs whose rate actually changed
 // pay the O(log n) heap update; in steady state that is a handful per
 // event, not the whole active set.
+//
+//stretch:noalloc
 func (st *state) refreshEvents() {
 	for _, j := range st.order {
 		r := st.rate[j]
@@ -374,6 +390,8 @@ func (st *state) refreshEvents() {
 
 // advance moves time forward by dt under st.assign/st.rate, emitting slices
 // and completing jobs whose remaining work reaches zero.
+//
+//stretch:noalloc
 func (st *state) advance(dt float64) {
 	t0 := st.ctx.Now
 	t1 := t0 + dt
