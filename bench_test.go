@@ -298,6 +298,53 @@ func BenchmarkOfflineExactFloatHeavy(b *testing.B) {
 	}
 }
 
+// benchOnlineEvents replays Online-EGDF in Exact mode — one System (1)
+// re-optimisation per arrival event — through one engine + workspace, with
+// the incremental session warm (default) or forced cold (the ablation).
+// Alongside ns/op for the whole replay it reports the per-event solve cost
+// (ns/solve), the mean simplex iterations per event, and the fallback rate,
+// all derived from the session's own counters.
+func benchOnlineEvents(b *testing.B, cold bool) {
+	b.Helper()
+	inst := benchInstance(b, 25)
+	eng := sim.NewEngine()
+	e := online.NewEGDF()
+	e.Solver.Exact = true
+	ws := offline.NewWorkspace()
+	e.SetWorkspace(ws)
+	ws.Session().SetColdOnly(cold)
+	if _, err := eng.RunList(inst, e); err != nil {
+		b.Fatal(err)
+	}
+	st := ws.SessionStats()
+	*st = lp.IncrementalStats{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunList(inst, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if solves := st.Cold + st.Warm + st.Fallback; solves > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(solves), "ns/solve")
+		b.ReportMetric(float64(st.ColdIters+st.WarmIters)/float64(solves), "iters/solve")
+		b.ReportMetric(float64(st.Fallback)/float64(b.N), "fallbacks/run")
+	}
+}
+
+// BenchmarkOnlineEventSolve is the acceptance benchmark of the incremental
+// re-optimisation layer (ROADMAP item 1): per-event warm-started System (1)
+// solves on the online path. Its cold companion below re-solves every event
+// from scratch through the identical session plumbing, so the pair isolates
+// exactly what warm-starting buys; both are recorded per commit in
+// BENCH_<sha>.json by the bench-smoke job.
+func BenchmarkOnlineEventSolve(b *testing.B) { benchOnlineEvents(b, false) }
+
+// BenchmarkOnlineEventSolveCold is the cold-ablation companion of
+// BenchmarkOnlineEventSolve.
+func BenchmarkOnlineEventSolveCold(b *testing.B) { benchOnlineEvents(b, true) }
+
 // BenchmarkGridWorkers measures the sharded runner's scaling on a fixed
 // grid slice: the same work at 1 worker and at GOMAXPROCS workers, with
 // bitwise-identical results (see exp.TestGridWorkerInvariance).

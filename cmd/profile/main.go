@@ -15,6 +15,7 @@ import (
 	"stretchsched/internal/exp"
 	"stretchsched/internal/model"
 	"stretchsched/internal/offline"
+	"stretchsched/internal/online"
 	"stretchsched/internal/sim"
 	"stretchsched/internal/workload"
 )
@@ -28,6 +29,7 @@ func main() {
 	exact := flag.Bool("exact", false, "include the exact rational backend (Offline-Exact) in single-instance mode; combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
 	denseLP := flag.Bool("denselp", false, "with -exact: solve System (1) on the dense tableau instead of the revised simplex (the ablation baseline; expect orders of magnitude slower at scale)")
 	tiers := flag.Bool("tiers", false, "with -exact: print the rational backend's per-run small/medium/big op and promotion/demotion counters")
+	onlineEx := flag.Bool("online", false, "also run Online-EGDF on the exact backend through the incremental solve session and print its warm/cold/fallback and per-event simplex-iteration profile; combine with a modest -sites/-jobs")
 	jobs := flag.Int("jobs", 40, "target jobs of the single heavy instance")
 	sites := flag.Int("sites", 20, "sites (and databanks) of the single heavy instance")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
@@ -125,4 +127,55 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+
+	if *onlineEx {
+		profileOnlineExact(inst, *tiers)
+	}
+}
+
+// profileOnlineExact replays Online-EGDF with the exact backend twice over
+// the same instance — once through the warm-started incremental session,
+// once forced cold through the identical session plumbing — and prints the
+// session's own counters: solve mix, mean simplex iterations per event,
+// dual-repair and warm-Phase-I activity, and eta-file growth.
+func profileOnlineExact(inst *model.Instance, tiers bool) {
+	run := func(cold bool) (*model.Schedule, *offline.Workspace, time.Duration) {
+		e := online.NewEGDF()
+		e.Solver.Exact = true
+		ws := offline.NewWorkspace()
+		e.SetWorkspace(ws)
+		ws.Session().SetColdOnly(cold)
+		t0 := time.Now()
+		sched, err := sim.NewEngine().RunList(inst, e)
+		if err != nil {
+			fmt.Println("Online-EGDF(exact) ERR", err)
+			os.Exit(1)
+		}
+		return sched, ws, time.Since(t0).Round(time.Millisecond)
+	}
+	meanIters := func(iters, solves int) float64 {
+		if solves == 0 {
+			return 0
+		}
+		return float64(iters) / float64(solves)
+	}
+
+	sched, ws, elapsed := run(false)
+	st := ws.SessionStats()
+	fmt.Printf("%-16s %8v  max=%.3f sum=%.1f\n",
+		"Online-EGDF(ex)", elapsed, sched.MaxStretch(inst), sched.SumStretch(inst))
+	fmt.Printf("                 session: warm=%d cold=%d fallback=%d resolves=%d\n",
+		st.Warm, st.Cold, st.Fallback, st.Resolves)
+	fmt.Printf("                 warm iters/event=%.1f (dual-steps=%d, warm-phase1=%d)\n",
+		meanIters(st.WarmIters, st.Warm), st.DualSteps, st.WarmPhase1)
+	fmt.Printf("                 eta file: len=%d nnz=%d (max len=%d nnz=%d)\n",
+		st.EtaLen, st.EtaNNZ, st.MaxEtaLen, st.MaxEtaNNZ)
+	if ts := ws.TierStats(); tiers && ts != nil && ts.Total() > 0 {
+		fmt.Println("                 tiers:", ts.String())
+	}
+
+	_, cws, coldElapsed := run(true)
+	cst := cws.SessionStats()
+	fmt.Printf("                 cold ablation: %v, iters/event=%.1f\n",
+		coldElapsed, meanIters(cst.ColdIters, cst.Cold))
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"stretchsched/internal/greedy"
+	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
 	"stretchsched/internal/offline"
 	"stretchsched/internal/online"
@@ -130,6 +131,16 @@ func (r *Runner) SolveFailures(name string) (stretchErrs, refineErrs int, ok boo
 // numbers (cmd/profile -tiers) call Reset between runs.
 func (r *Runner) ExactTierStats() *rat.TierStats {
 	return r.ws.TierStats()
+}
+
+// IncrementalStats returns the warm/cold/fallback counters of the
+// workspace's incremental solve session (the per-event warm-started
+// System (1) solves of the online exact path — see offline.Session and
+// lp.IncrementalStats), or nil when no session has been created on this
+// runner. Cumulative, like ExactTierStats; cmd/profile -online resets
+// between runs for per-run numbers.
+func (r *Runner) IncrementalStats() *lp.IncrementalStats {
+	return r.ws.SessionStats()
 }
 
 type policyScheduler struct {

@@ -79,7 +79,22 @@ type revised[T any] struct {
 
 	basis []int // row -> basic column
 	pos   []int // column -> basic row, or -1; len n+m
-	xB    []T   // values of the basic variables, kept ≥ 0
+	xB    []T   // values of the basic variables, kept ≥ 0 while clampXB
+
+	// clampXB controls the float-dust clamp of negative basic values in
+	// pivot and recomputeXB. The primal simplex keeps xB ≥ 0 invariantly, so
+	// a negative entry there is cancellation dust and is clamped; the dual
+	// repair steps of the incremental session (incremental.go) walk through
+	// legitimately negative basic values and turn the clamp off.
+	clampXB bool
+	// flip records which rows were sign-flipped at build time to make b ≥ 0;
+	// the incremental session's SetRHS must apply the same convention.
+	flip []bool
+	// dead marks columns dropped by the incremental session: excluded from
+	// pricing, dual repair and artificial drive-out, so they can never
+	// re-enter the basis. nil or short means alive (the cold-solve paths
+	// never set it; init clears it).
+	dead []bool
 
 	eta        etaFile[T]
 	sinceRefac int  // etas appended since the last refactorisation
@@ -148,6 +163,9 @@ func (rv *revised[T]) init(p *Problem[T], ws *Workspace[T]) {
 	rv.m, rv.n = m, n
 	rv.sinceRefac, rv.baseNNZ, rv.refacs, rv.failed = 0, 0, 0, false
 	rv.cursor, rv.bland, rv.streak, rv.iters = 0, false, 0, 0
+	rv.clampXB = true
+	rv.dead = rv.dead[:0]
+	rv.flip = growBoolSlice(rv.flip, m)
 
 	// Count entries per column (structural from the sparse rows, one slack
 	// entry per inequality row), then fill via prefix sums. Duplicate row
@@ -189,6 +207,7 @@ func (rv *revised[T]) init(p *Problem[T], ws *Workspace[T]) {
 	for r := range p.cons {
 		c := &p.cons[r]
 		neg := ops.Sign(c.rhs) < 0
+		rv.flip[r] = neg
 		rhs := c.rhs
 		if neg {
 			rhs = ops.Neg(rhs)
@@ -353,7 +372,7 @@ func (rv *revised[T]) price(y []T) int {
 	}
 	if rv.bland {
 		for j := 0; j < n; j++ {
-			if rv.pos[j] >= 0 {
+			if rv.pos[j] >= 0 || rv.isDead(j) {
 				continue
 			}
 			if ops.Sign(rv.reducedCost(j, y)) < 0 {
@@ -370,7 +389,7 @@ func (rv *revised[T]) price(y []T) int {
 	var best T
 	j := rv.cursor % n
 	for scanned := 0; scanned < n; {
-		if rv.pos[j] < 0 {
+		if rv.pos[j] < 0 && !rv.isDead(j) {
 			if d := rv.reducedCost(j, y); ops.Sign(d) < 0 &&
 				(enter == -1 || ops.Cmp(d, best) < 0) {
 				enter, best = j, d
@@ -424,9 +443,10 @@ func (rv *revised[T]) pivot(leave, enter int, alpha []T) {
 			continue
 		}
 		v := ops.MulAdd(rv.xB[i], nTheta, alpha[i])
-		if ops.Sign(v) < 0 {
+		if rv.clampXB && ops.Sign(v) < 0 {
 			// Degenerate negative dust from float cancellation, exactly as
-			// the dense tableau clamps its rhs column.
+			// the dense tableau clamps its rhs column. During dual repair
+			// (clampXB off) negative basic values are the working state.
 			v = ops.Zero()
 		}
 		rv.xB[i] = v
@@ -481,7 +501,6 @@ func (rv *revised[T]) shouldRefactor() bool {
 //
 //stretch:noalloc
 func (rv *revised[T]) refactorize() {
-	ops := rv.ops
 	m := rv.m
 	rv.refacs++
 	rv.eta.reset()
@@ -493,26 +512,7 @@ func (rv *revised[T]) refactorize() {
 		v := rv.basis[r]
 		rv.scatterCol(v, rv.alpha)
 		rv.ftran(rv.alpha)
-		pr := -1
-		if !rv.pivoted[r] && ops.Sign(rv.alpha[r]) != 0 {
-			pr = r
-		} else {
-			// Largest-magnitude unpivoted entry, for float stability; on
-			// the exact backend any nonzero works.
-			var best T
-			for i := 0; i < m; i++ {
-				if rv.pivoted[i] || ops.Sign(rv.alpha[i]) == 0 {
-					continue
-				}
-				av := rv.alpha[i]
-				if ops.Sign(av) < 0 {
-					av = ops.Neg(av)
-				}
-				if pr == -1 || ops.Cmp(av, best) > 0 {
-					pr, best = i, av
-				}
-			}
-		}
+		pr := rv.pickPivotRow(rv.alpha, r)
 		if pr == -1 {
 			// Numerically singular under the float tolerance — impossible
 			// in exact arithmetic, where the basis is invertible by the
@@ -554,7 +554,7 @@ func (rv *revised[T]) recomputeXB() {
 	rv.ftran(rv.work)
 	for i := range rv.xB {
 		v := rv.work[i]
-		if ops.Sign(v) < 0 {
+		if rv.clampXB && ops.Sign(v) < 0 {
 			v = ops.Zero()
 		}
 		rv.xB[i] = v
@@ -647,16 +647,7 @@ func (rv *revised[T]) solve() *Solution[T] {
 	// columns never price in (price scans structural+slack only), and the
 	// ones still basic sit at zero in rows proven dependent, where every
 	// FTRAN entry stays zero.
-	for j := 0; j < rv.n+rv.m; j++ {
-		rv.cost[j] = ops.Zero()
-	}
-	for j := 0; j < rv.prob.nvars; j++ {
-		c := rv.prob.obj[j]
-		if rv.prob.maximize {
-			c = ops.Neg(c)
-		}
-		rv.cost[j] = c
-	}
+	rv.setPhase2Costs()
 	rv.cursor, rv.bland, rv.streak = 0, false, 0
 	status = rv.optimize()
 	if status != Optimal {
@@ -706,7 +697,7 @@ func (rv *revised[T]) driveOutArtificials() {
 		rv.work[r] = ops.One()
 		rv.btran(rv.work)
 		for j := 0; j < rv.n; j++ {
-			if rv.pos[j] >= 0 {
+			if rv.pos[j] >= 0 || rv.isDead(j) {
 				continue
 			}
 			d := ops.Zero()
@@ -724,6 +715,60 @@ func (rv *revised[T]) driveOutArtificials() {
 			rv.pivot(r, j, rv.alpha)
 			break
 		}
+	}
+}
+
+// isDead reports whether column j was dropped by the incremental session.
+//
+//stretch:noalloc
+func (rv *revised[T]) isDead(j int) bool {
+	return j < len(rv.dead) && rv.dead[j]
+}
+
+// pickPivotRow returns the elimination pivot row for the FTRAN'd column
+// alpha: the preferred row when it is still unpivoted with a nonzero entry,
+// otherwise the unpivoted row of largest magnitude (for float stability; on
+// the exact backend any nonzero works), or -1 when no unpivoted row has a
+// nonzero entry.
+//
+//stretch:noalloc
+func (rv *revised[T]) pickPivotRow(alpha []T, prefer int) int {
+	ops := rv.ops
+	if prefer >= 0 && !rv.pivoted[prefer] && ops.Sign(alpha[prefer]) != 0 {
+		return prefer
+	}
+	pr := -1
+	var best T
+	for i := 0; i < rv.m; i++ {
+		if rv.pivoted[i] || ops.Sign(alpha[i]) == 0 {
+			continue
+		}
+		av := alpha[i]
+		if ops.Sign(av) < 0 {
+			av = ops.Neg(av)
+		}
+		if pr == -1 || ops.Cmp(av, best) > 0 {
+			pr, best = i, av
+		}
+	}
+	return pr
+}
+
+// setPhase2Costs loads the problem's objective (negated when maximising)
+// into the cost vector, zeroing slack and artificial costs.
+//
+//stretch:noalloc
+func (rv *revised[T]) setPhase2Costs() {
+	ops := rv.ops
+	for j := 0; j < rv.n+rv.m; j++ {
+		rv.cost[j] = ops.Zero()
+	}
+	for j := 0; j < rv.prob.nvars; j++ {
+		c := rv.prob.obj[j]
+		if rv.prob.maximize {
+			c = ops.Neg(c)
+		}
+		rv.cost[j] = c
 	}
 }
 

@@ -46,33 +46,66 @@ type Solution struct {
 // inside one milestone interval, where the epochal-time ordering is fixed
 // and the optimum can be pinned down by bisection (or exactly by LP).
 func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	sol, flo, fhi, err := s.bracket(p)
+	if sol != nil || err != nil {
+		return sol, err
 	}
+
+	if s.Exact {
+		return s.refineExact(p, flo, fhi)
+	}
+
+	// Float bisection inside the bracketing interval.
 	relTol := s.RelTol
 	if relTol <= 0 {
 		relTol = 1e-10
+	}
+	for fhi-flo > relTol*math.Max(1, fhi) {
+		mid := flo + (fhi-flo)/2
+		if p.Feasible(mid) {
+			fhi = mid
+		} else {
+			flo = mid
+		}
+	}
+	alloc, ok := p.solveFlow(fhi, true)
+	if !ok {
+		return nil, fmt.Errorf("offline: allocation extraction failed at F=%v", fhi)
+	}
+	sol = p.solution()
+	*sol = Solution{Stretch: fhi, Alloc: alloc}
+	return sol, nil
+}
+
+// bracket runs the milestone binary search of §4.3.1 up to (but not
+// including) the final refinement: it either finishes the solve outright
+// (no tasks, or the lower bound is already feasible — non-nil Solution) or
+// returns the bracketing interval [flo, fhi] for a refinement step to pin
+// down. Shared by OptimalStretch and the incremental Session.
+func (s *Solver) bracket(p *Problem) (*Solution, float64, float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, 0, 0, err
 	}
 	if len(p.Tasks) == 0 {
 		alloc := p.allocSlot(allocSolveSlot(p))
 		alloc.prepare(p, 1, nil, 0, 0, 0)
 		sol := p.solution()
 		*sol = Solution{Stretch: 1, ExactStretch: rat.One, Alloc: alloc}
-		return sol, nil
+		return sol, 0, 0, nil
 	}
 
 	lb := p.LowerBound()
 	if p.Feasible(lb) {
 		alloc, ok := p.solveFlow(lb, true)
 		if !ok {
-			return nil, fmt.Errorf("offline: allocation extraction failed at lower bound")
+			return nil, 0, 0, fmt.Errorf("offline: allocation extraction failed at lower bound")
 		}
 		sol := p.solution()
 		*sol = Solution{Stretch: lb, Alloc: alloc}
 		if s.Exact {
 			sol.ExactStretch = rat.FromFloat(lb)
 		}
-		return sol, nil
+		return sol, 0, 0, nil
 	}
 
 	ub := p.UpperBound()
@@ -81,7 +114,7 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 		// against float round-off at the boundary.
 		ub *= 2
 		if ub > 1e18 {
-			return nil, fmt.Errorf("offline: no feasible stretch found")
+			return nil, 0, 0, fmt.Errorf("offline: no feasible stretch found")
 		}
 	}
 
@@ -102,34 +135,14 @@ func (s *Solver) OptimalStretch(p *Problem) (*Solution, error) {
 		return p.Feasible(candidates[i])
 	})
 	if feasIdx == len(candidates) {
-		return nil, fmt.Errorf("offline: feasibility not monotone (upper bound infeasible)")
+		return nil, 0, 0, fmt.Errorf("offline: feasibility not monotone (upper bound infeasible)")
 	}
 	fhi := candidates[feasIdx]
 	flo := lb
 	if feasIdx > 0 {
 		flo = candidates[feasIdx-1]
 	}
-
-	if s.Exact {
-		return s.refineExact(p, flo, fhi)
-	}
-
-	// Float bisection inside the bracketing interval.
-	for fhi-flo > relTol*math.Max(1, fhi) {
-		mid := flo + (fhi-flo)/2
-		if p.Feasible(mid) {
-			fhi = mid
-		} else {
-			flo = mid
-		}
-	}
-	alloc, ok := p.solveFlow(fhi, true)
-	if !ok {
-		return nil, fmt.Errorf("offline: allocation extraction failed at F=%v", fhi)
-	}
-	sol := p.solution()
-	*sol = Solution{Stretch: fhi, Alloc: alloc}
-	return sol, nil
+	return nil, flo, fhi, nil
 }
 
 // allocSolveSlot returns the solver-witness slot of p's workspace, or nil.

@@ -78,6 +78,13 @@ type Workspace struct {
 	exCS     []rat.Rat
 	exItems  []affItem
 	exBounds []rat.Affine
+
+	// sess is the persistent incremental System (1) solve session of the
+	// online path (lazily created by Session). It owns its own lp.Problem
+	// and lp.Workspace, separate from lpProb/lpws above, so one-shot exact
+	// planners interleaved on the same runner workspace cannot clobber the
+	// retained warm-start state.
+	sess *Session
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily on
@@ -92,6 +99,25 @@ func (ws *Workspace) TierStats() *rat.TierStats {
 		return nil
 	}
 	return ws.lpws.Tiers()
+}
+
+// Session returns the workspace's persistent incremental solve session,
+// creating it on first use. The online exact path solves through it to
+// warm-start consecutive per-event System (1) programs.
+func (ws *Workspace) Session() *Session {
+	if ws.sess == nil {
+		ws.sess = NewSession()
+	}
+	return ws.sess
+}
+
+// SessionStats returns the warm/cold/fallback counters of the incremental
+// session, or nil when no session exists yet.
+func (ws *Workspace) SessionStats() *lp.IncrementalStats {
+	if ws.sess == nil {
+		return nil
+	}
+	return ws.sess.Stats()
 }
 
 // Problem returns the workspace's pooled Problem, emptied and bound to

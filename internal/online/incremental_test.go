@@ -1,0 +1,86 @@
+package online
+
+import (
+	"testing"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/sim"
+)
+
+// TestEGDFIncrementalMatchesCold runs Online-EGDF in Exact mode with the
+// warm-started incremental session and with the DisableIncremental
+// ablation over the same instance: the schedules must be identical event
+// for event (warm solves are bit-identical in status/objective to cold
+// ones), the incremental run must actually warm-start, and no fallback may
+// fire on a plain stream.
+func TestEGDFIncrementalMatchesCold(t *testing.T) {
+	inst := randomInstance(t, 41, 2, 2, 9)
+
+	run := func(disable bool) (*model.Schedule, *EGDF) {
+		e := NewEGDF()
+		e.Solver.Exact = true
+		e.DisableIncremental = disable
+		ws := offline.NewWorkspace()
+		e.SetWorkspace(ws)
+		sched, err := sim.NewEngine().RunList(inst, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched, e
+	}
+
+	warmSched, warm := run(false)
+	coldSched, _ := run(true)
+
+	for j := range warmSched.Completion {
+		if warmSched.Completion[j] != coldSched.Completion[j] {
+			t.Fatalf("job %d: warm completion %v, cold %v",
+				j, warmSched.Completion[j], coldSched.Completion[j])
+		}
+	}
+	if se, _ := warm.SolveFailures(); se != 0 {
+		t.Fatalf("%d step-2 failures on the incremental path", se)
+	}
+	st := warm.ws.SessionStats()
+	if st == nil || st.Warm == 0 {
+		t.Fatalf("incremental run never warm-started: %+v", st)
+	}
+	if st.Fallback != 0 {
+		t.Fatalf("unexplained fallbacks on a plain stream: %+v", *st)
+	}
+}
+
+// TestEGDFIncrementalForcedFallback proves the counted fallback is
+// reachable end to end: forcing one warm failure mid-run must leave the
+// schedule untouched and Fallback == 1.
+func TestEGDFIncrementalForcedFallback(t *testing.T) {
+	inst := randomInstance(t, 41, 2, 2, 9)
+
+	e := NewEGDF()
+	e.Solver.Exact = true
+	ws := offline.NewWorkspace()
+	e.SetWorkspace(ws)
+	ws.Session().Incremental().ForceWarmFailure(1)
+	sched, err := sim.NewEngine().RunList(inst, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewEGDF()
+	ref.Solver.Exact = true
+	ref.SetWorkspace(offline.NewWorkspace())
+	want, err := sim.NewEngine().RunList(inst, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range sched.Completion {
+		if sched.Completion[j] != want.Completion[j] {
+			t.Fatalf("job %d: completion %v with forced fallback, want %v",
+				j, sched.Completion[j], want.Completion[j])
+		}
+	}
+	if st := ws.SessionStats(); st.Fallback != 1 {
+		t.Fatalf("forced warm failure not counted: %+v", *st)
+	}
+}

@@ -1,0 +1,55 @@
+package rat
+
+import "math"
+
+// divFloat128 returns the correctly-rounded (round-to-nearest-even)
+// float64 of n/d for nonzero unsigned 128-bit magnitudes — the inline
+// replacement for materialising a big.Rat just to call Float64 on it.
+//
+// Both operands are normalised to the top bit, the quotient's leading bit
+// is fixed by one compare-and-shift, and 52 further mantissa bits come out
+// of a restoring division in 192-bit registers (the remainder is shifted
+// left before each compare, so it needs one word of headroom over the
+// 128-bit divisor). One more restoring step yields the round bit; the
+// remainder's non-zeroness is the sticky bit. The quotient magnitude lies
+// in (2⁻¹²⁸, 2¹²⁸), far inside the normal float64 range, so no subnormal
+// or overflow handling is needed and Ldexp is exact.
+//
+//stretch:noalloc
+func divFloat128(n, d u128) float64 {
+	ln, ld := len128(n), len128(d)
+	N := shl128(n, uint(128-ln))
+	D := shl128(d, uint(128-ld))
+	e := ln - ld // n/d = (N/D)·2^e with N/D ∈ (1/2, 2)
+	R := u192{0, N.hi, N.lo}
+	D192 := u192{0, D.hi, D.lo}
+	if cmp192(R, D192) < 0 {
+		e--
+		R = shl192(R, 1)
+	}
+	// Leading quotient bit is now 1: R/D ∈ [1, 2).
+	mant := uint64(1)
+	R = sub192(R, D192)
+	for i := 0; i < 52; i++ {
+		R = shl192(R, 1)
+		mant <<= 1
+		if cmp192(R, D192) >= 0 {
+			R = sub192(R, D192)
+			mant |= 1
+		}
+	}
+	R = shl192(R, 1)
+	round := false
+	if cmp192(R, D192) >= 0 {
+		R = sub192(R, D192)
+		round = true
+	}
+	if round && (!R.isZero() || mant&1 == 1) {
+		mant++
+		if mant == 1<<53 {
+			mant >>= 1
+			e++
+		}
+	}
+	return math.Ldexp(float64(mant), e-52)
+}

@@ -1,0 +1,162 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refFloat is the big.Rat reference for n/d.
+func refFloat(n, d u128) float64 {
+	var bn, bd big.Int
+	setBig128(&bn, n)
+	setBig128(&bd, d)
+	f, _ := new(big.Rat).SetFrac(&bn, &bd).Float64()
+	return f
+}
+
+func checkDiv(t *testing.T, n, d u128) {
+	t.Helper()
+	got := divFloat128(n, d)
+	want := refFloat(n, d)
+	if got != want {
+		t.Fatalf("divFloat128(%v/%v·2⁶⁴ + %v/%v) = %v (% x), big.Rat %v (% x)",
+			n.hi, d.hi, n.lo, d.lo, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestDivFloat128Boundaries sweeps crafted rounding-boundary
+// neighbourhoods: exact powers of two, quotients straddling the 2⁵³
+// mantissa edge, halfway cases (odd multiple of an ulp's half), and the
+// extreme 1/(2¹²⁸−1)-style magnitude ratios — each with a ±4 lattice
+// around both operands so every off-by-one in the round/sticky logic
+// trips.
+func TestDivFloat128Boundaries(t *testing.T) {
+	bases := []u128{
+		{0, 1}, {0, 2}, {0, 3}, {0, 5},
+		{0, 1 << 52}, {0, 1<<52 + 1}, {0, 1<<53 - 1}, {0, 1 << 53}, {0, 1<<53 + 2},
+		{0, 1<<63 - 1}, {0, 1 << 63}, {0, math.MaxUint64},
+		{1, 0}, {1, 1}, {1 << 31, 0}, {1<<52 - 1, math.MaxUint64},
+		{1 << 52, 0}, {1<<52 + 1, 1}, {1 << 62, 0}, {1<<63 - 1, math.MaxUint64},
+		{1 << 63, 0}, {math.MaxUint64, math.MaxUint64},
+	}
+	deltas := []int64{-4, -3, -2, -1, 0, 1, 2, 3, 4}
+	add := func(x u128, d int64) (u128, bool) {
+		if d >= 0 {
+			s, carry := add128(x, u128From64(uint64(d)))
+			return s, carry == 0
+		}
+		neg := u128From64(uint64(-d))
+		if cmp128(x, neg) <= 0 {
+			return u128{}, false
+		}
+		return sub128(x, neg), true
+	}
+	for _, bn := range bases {
+		for _, bd := range bases {
+			for _, dn := range deltas {
+				n, ok := add(bn, dn)
+				if !ok || n.isZero() {
+					continue
+				}
+				for _, dd := range deltas {
+					d, ok := add(bd, dd)
+					if !ok || d.isZero() {
+						continue
+					}
+					checkDiv(t, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDivFloat128ExactHalfway pins round-to-nearest-even on constructed
+// exact ties: n/d = (2m+1)/2 ulps for both even and odd m, where the
+// sticky bit is zero and only the even-mantissa rule decides.
+func TestDivFloat128ExactHalfway(t *testing.T) {
+	// (2^53 + 1) / 2 is exactly halfway between 2^52 and 2^52 + 1:
+	// must round to the even 2^52.
+	checkDiv(t, u128{0, 1<<53 + 1}, u128{0, 2})
+	// (2^53 + 3) / 2 is halfway between 2^52+1 and 2^52+2: rounds up to even.
+	checkDiv(t, u128{0, 1<<53 + 3}, u128{0, 2})
+	// Same ties pushed into the high word.
+	checkDiv(t, u128{1 << (53 - 64 + 63), 1}, u128{0, 2}) // degenerate, still exact path
+	checkDiv(t, shl128(u128{0, 1<<53 + 1}, 64), shl128(u128{0, 2}, 64))
+	checkDiv(t, shl128(u128{0, 1<<53 + 1}, 74), u128{0, 2})
+	checkDiv(t, shl128(u128{0, 1<<53 + 3}, 74), u128{0, 2})
+}
+
+// TestDivFloat128Random is the differential sweep against big.Rat.Float64
+// over uniformly random word patterns, mixing full-width, one-word, and
+// near-boundary operands.
+func TestDivFloat128Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(20_06))
+	words := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Uint64()
+		case 1:
+			return rng.Uint64() & 0xFFFF
+		case 2:
+			return math.MaxUint64 - uint64(rng.Intn(16))
+		default:
+			return 1<<uint(rng.Intn(64)) + uint64(rng.Intn(8)) - 4
+		}
+	}
+	iters := 200_000
+	if testing.Short() {
+		iters = 20_000
+	}
+	for i := 0; i < iters; i++ {
+		n := u128{words(), words()}
+		d := u128{words(), words()}
+		if rng.Intn(2) == 0 {
+			n.hi = 0
+		}
+		if rng.Intn(2) == 0 {
+			d.hi = 0
+		}
+		if n.isZero() || d.isZero() {
+			continue
+		}
+		checkDiv(t, n, d)
+	}
+}
+
+// TestFloatMediumTierMatchesBig checks the Float() wiring end to end on
+// medium-tier Rats (built by overflowing the small tier) and on small-tier
+// values past the 2⁵³ exact-conversion window, against Big().Float64().
+func TestFloatMediumTierMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5_000; i++ {
+		a := FromInt(int64(rng.Uint64() >> 1 & (1<<62 - 1)))
+		b := FromInt(int64(rng.Uint64()>>1&(1<<62-1)) + 1)
+		c := FromInt(int64(rng.Uint64()>>1&(1<<62-1)) + 1)
+		x := a.Mul(b).Div(c) // overflow into the medium tier for most draws
+		if rng.Intn(2) == 0 {
+			x = x.Neg()
+		}
+		got := x.Float()
+		want, _ := x.Big().Float64()
+		if got != want {
+			t.Fatalf("iter %d: %v.Float() = %v, big.Rat %v", i, x, got, want)
+		}
+	}
+}
+
+// TestFloatSteadyStateAllocs: Float on small and medium values no longer
+// materialises a big.Rat.
+func TestFloatSteadyStateAllocs(t *testing.T) {
+	med := FromInt(1 << 62).Mul(FromInt(1 << 62)).Div(FromInt(3))
+	small := FromInt(1<<60 + 1).Div(FromInt(3))
+	var sink float64
+	if avg := testing.AllocsPerRun(100, func() { sink = med.Float() }); avg != 0 {
+		t.Errorf("medium-tier Float allocates %v/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { sink = small.Float() }); avg != 0 {
+		t.Errorf("small-tier Float allocates %v/op, want 0", avg)
+	}
+	_ = sink
+}

@@ -364,11 +364,14 @@ func (a Rat) Float() float64 {
 		return f
 	}
 	if a.med {
-		// Correct rounding of a 128-bit quotient needs the full big.Rat
-		// machinery; Float on medium values sits outside the solver hot
-		// loops (solution extraction, reporting), so the allocation is
-		// acceptable.
-		f, _ := a.bigRef().Float64()
+		m := a.med128()
+		if m.n.isZero() {
+			return 0
+		}
+		f := divFloat128(m.n, m.d)
+		if m.neg {
+			f = -f
+		}
 		return f
 	}
 	n, d := a.nd()
@@ -383,7 +386,10 @@ func (a Rat) Float() float64 {
 	if n > -exact && n < exact && d < exact {
 		return float64(n) / float64(d)
 	}
-	f, _ := big.NewRat(n, d).Float64()
+	f := divFloat128(u128From64(absU(n)), u128From64(uint64(d)))
+	if n < 0 {
+		f = -f
+	}
 	return f
 }
 
