@@ -22,6 +22,7 @@ import (
 	"stretchsched/internal/online"
 	"stretchsched/internal/policy"
 	"stretchsched/internal/rat"
+	"stretchsched/internal/serve"
 	"stretchsched/internal/sim"
 	"stretchsched/internal/uniproc"
 	"stretchsched/internal/workload"
@@ -344,6 +345,71 @@ func BenchmarkOnlineEventSolve(b *testing.B) { benchOnlineEvents(b, false) }
 // BenchmarkOnlineEventSolveCold is the cold-ablation companion of
 // BenchmarkOnlineEventSolve.
 func BenchmarkOnlineEventSolveCold(b *testing.B) { benchOnlineEvents(b, true) }
+
+// benchServeLoop replays a generated workload through a serve.Loop — one
+// arrival event per job, one completion event per job, a replan at every
+// event — and reports the sustained event rate.
+func benchServeLoop(b *testing.B, policy string, exact bool, cfg workload.Config) {
+	b.Helper()
+	inst, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]serve.SubmitRequest, inst.NumJobs())
+	for i, j := range inst.Jobs {
+		reqs[i] = serve.SubmitRequest{Name: j.Name, Size: j.Size, Databank: j.Databank, Release: j.Release}
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := offline.NewWorkspace()
+		sched, err := core.New(policy, core.WithWorkspace(ws))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exact {
+			sched.(core.PolicyBacked).Policy().(*online.EGDF).Solver.Exact = true
+		}
+		loop, err := serve.New(serve.Config{Platform: inst.Platform, Scheduler: sched, Workspace: ws})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reqs {
+			if _, err := loop.Submit(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := loop.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := loop.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += snap.Counters.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkServeEventLoop is the serving daemon's acceptance benchmark
+// (ROADMAP item 1): sustained events/sec through the full admission path —
+// stream slot management, event-clock advance, per-event replan, decision
+// accounting. The sustained sub-bench replays ≥10⁴ events under a cheap
+// list policy, measuring the loop machinery itself; the egdf sub-benches
+// replay a paper-scale GriPPS day under the LP-based online policy (float
+// and exact-incremental), where the per-event re-optimisation dominates.
+func BenchmarkServeEventLoop(b *testing.B) {
+	gripps := workload.Config{Sites: 6, Databanks: 12, Availability: 0.5, Density: 0.8}
+	sustained := gripps
+	sustained.Seed, sustained.TargetJobs = 1, 5000
+	egdf := gripps
+	egdf.Seed, egdf.TargetJobs = 7, 40
+	b.Run("policy=SWRPT/sustained", func(b *testing.B) { benchServeLoop(b, "SWRPT", false, sustained) })
+	b.Run("policy=Online-EGDF/float", func(b *testing.B) { benchServeLoop(b, "Online-EGDF", false, egdf) })
+	b.Run("policy=Online-EGDF/exact", func(b *testing.B) { benchServeLoop(b, "Online-EGDF", true, egdf) })
+}
 
 // BenchmarkGridWorkers measures the sharded runner's scaling on a fixed
 // grid slice: the same work at 1 worker and at GOMAXPROCS workers, with

@@ -1,6 +1,15 @@
 // Command profile is a development harness for timing the schedulers on a
 // single heavy instance and for estimating full-grid cost. It is not part
 // of the library's public surface.
+//
+//	profile exact  [flags]   single heavy instance incl. the exact backend
+//	profile online [flags]   Online-EGDF incremental-session profile
+//	profile grid   [flags]   full 162-point grid timing pass
+//
+// Invoking profile without a subcommand is the legacy interface: the old
+// boolean flags are documented aliases for the subcommands above
+// (-grid ≡ "profile grid", -exact ≡ "profile exact", -online appends the
+// "profile online" session pass) and keep working unchanged.
 package main
 
 import (
@@ -21,55 +30,179 @@ import (
 )
 
 func main() {
-	grid := flag.Bool("grid", false, "time a full 162-point grid pass instead of one instance")
-	runs := flag.Int("runs", 1, "instances per grid point")
-	target := flag.Int("target", 30, "target jobs per instance")
-	workers := flag.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
-	allocs := flag.Bool("allocs", false, "report per-run heap allocations (single-instance mode)")
-	exact := flag.Bool("exact", false, "include the exact rational backend (Offline-Exact) in single-instance mode; combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
-	denseLP := flag.Bool("denselp", false, "with -exact: solve System (1) on the dense tableau instead of the revised simplex (the ablation baseline; expect orders of magnitude slower at scale)")
-	tiers := flag.Bool("tiers", false, "with -exact: print the rational backend's per-run small/medium/big op and promotion/demotion counters")
-	onlineEx := flag.Bool("online", false, "also run Online-EGDF on the exact backend through the incremental solve session and print its warm/cold/fallback and per-event simplex-iteration profile; combine with a modest -sites/-jobs")
-	jobs := flag.Int("jobs", 40, "target jobs of the single heavy instance")
-	sites := flag.Int("sites", 20, "sites (and databanks) of the single heavy instance")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile")
-	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			panic(err)
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "exact":
+			exactCmd(args[1:])
+			return
+		case "online":
+			onlineCmd(args[1:])
+			return
+		case "grid":
+			gridCmd(args[1:])
+			return
+		case "help", "-help", "--help", "-h":
+			usage()
+			return
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			panic(err)
-		}
-		defer pprof.StopCPUProfile()
 	}
+	legacyCmd(args)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: profile <subcommand> [flags] | profile [legacy flags]
+
+Subcommands:
+  exact    time every scheduler (incl. Offline-Exact) on one heavy instance
+  online   profile Online-EGDF through the exact incremental solve session
+  grid     time a full 162-point experiment-grid pass
+
+Legacy flags (no subcommand) are aliases:
+  -grid            ≡ profile grid
+  -exact           ≡ profile exact
+  -online          ≡ append the "profile online" session pass
+  (no boolean)     single-instance timing without the exact backend
+
+Run "profile <subcommand> -h" for that subcommand's flags.
+`)
+}
+
+// singleOpts parameterises the single-heavy-instance pass shared by the
+// exact subcommand and the legacy interface.
+type singleOpts struct {
+	jobs, sites           int
+	exact, denseLP, tiers bool
+	allocs                bool
+}
+
+func singleFlags(fs *flag.FlagSet, o *singleOpts) {
+	fs.IntVar(&o.jobs, "jobs", 40, "target jobs of the single heavy instance")
+	fs.IntVar(&o.sites, "sites", 20, "sites (and databanks) of the single heavy instance")
+	fs.BoolVar(&o.allocs, "allocs", false, "report per-run heap allocations")
+	fs.BoolVar(&o.tiers, "tiers", false, "print the rational backend's per-run small/medium/big op and promotion/demotion counters")
+}
+
+func cpuProfileFlag(fs *flag.FlagSet) *string {
+	return fs.String("cpuprofile", "", "write CPU profile")
+}
+
+// startCPUProfile begins profiling if path is set; the returned stop func
+// is safe to call unconditionally.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		panic(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+func exactCmd(args []string) {
+	fs := flag.NewFlagSet("profile exact", flag.ExitOnError)
+	o := singleOpts{exact: true}
+	singleFlags(fs, &o)
+	fs.BoolVar(&o.denseLP, "denselp", false, "solve System (1) on the dense tableau instead of the revised simplex (the ablation baseline; expect orders of magnitude slower at scale)")
+	cpu := cpuProfileFlag(fs)
+	fs.Parse(args)
+	stop := startCPUProfile(*cpu)
+	defer stop()
+	runSingle(o)
+}
+
+func onlineCmd(args []string) {
+	fs := flag.NewFlagSet("profile online", flag.ExitOnError)
+	o := singleOpts{}
+	singleFlags(fs, &o)
+	cpu := cpuProfileFlag(fs)
+	fs.Parse(args)
+	stop := startCPUProfile(*cpu)
+	defer stop()
+	profileOnlineExact(heavyInstance(o), o.tiers)
+}
+
+func gridCmd(args []string) {
+	fs := flag.NewFlagSet("profile grid", flag.ExitOnError)
+	runs := fs.Int("runs", 1, "instances per grid point")
+	target := fs.Int("target", 30, "target jobs per instance")
+	workers := fs.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
+	cpu := cpuProfileFlag(fs)
+	fs.Parse(args)
+	stop := startCPUProfile(*cpu)
+	defer stop()
+	runGridPass(*runs, *target, *workers)
+}
+
+// legacyCmd is the original flat-flag interface, kept as documented
+// aliases for the subcommands.
+func legacyCmd(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	fs.Usage = func() {
+		usage()
+		fmt.Fprintln(os.Stderr, "\nLegacy flags:")
+		fs.PrintDefaults()
+	}
+	grid := fs.Bool("grid", false, "alias for 'profile grid': time a full 162-point grid pass instead of one instance")
+	runs := fs.Int("runs", 1, "instances per grid point")
+	target := fs.Int("target", 30, "target jobs per instance")
+	workers := fs.Int("workers", 0, "grid workers (0: GOMAXPROCS)")
+	o := singleOpts{}
+	singleFlags(fs, &o)
+	fs.BoolVar(&o.exact, "exact", false, "alias for 'profile exact': include the exact rational backend (Offline-Exact); combine with a modest -sites/-jobs (exact LP cost grows with sites·jobs²)")
+	fs.BoolVar(&o.denseLP, "denselp", false, "with -exact: solve System (1) on the dense tableau instead of the revised simplex")
+	onlineEx := fs.Bool("online", false, "alias for 'profile online': also run Online-EGDF through the incremental solve session and print its warm/cold/fallback and per-event simplex-iteration profile")
+	cpu := cpuProfileFlag(fs)
+	fs.Parse(args)
+
+	stop := startCPUProfile(*cpu)
+	defer stop()
 
 	if *grid {
-		start := time.Now()
-		results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
-			Runs: *runs, Seed: 1, TargetJobs: *target, Workers: *workers,
-		})
-		errs := 0
-		for _, r := range results {
-			errs += len(r.Errs)
-		}
-		fmt.Printf("grid: %d instances in %v (%d errors)\n",
-			len(results), time.Since(start).Round(time.Second), errs)
-		rows := exp.Aggregate(results, nil, core.Table1Names())
-		fmt.Println(exp.Render("Table 1 (timing pass)", rows))
+		runGridPass(*runs, *target, *workers)
 		return
 	}
+	runSingle(o)
+	if *onlineEx {
+		profileOnlineExact(heavyInstance(o), o.tiers)
+	}
+}
 
+func runGridPass(runs, target, workers int) {
+	start := time.Now()
+	results := exp.RunGrid(exp.DefaultGrid(), exp.Options{
+		Runs: runs, Seed: 1, TargetJobs: target, Workers: workers,
+	})
+	errs := 0
+	for _, r := range results {
+		errs += len(r.Errs)
+	}
+	fmt.Printf("grid: %d instances in %v (%d errors)\n",
+		len(results), time.Since(start).Round(time.Second), errs)
+	rows := exp.Aggregate(results, nil, core.Table1Names())
+	fmt.Println(exp.Render("Table 1 (timing pass)", rows))
+}
+
+func heavyInstance(o singleOpts) *model.Instance {
 	inst, err := workload.Config{
-		Sites: *sites, Databanks: *sites, Availability: 0.9, Density: 3.0,
-		TargetJobs: *jobs, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
+		Sites: o.sites, Databanks: o.sites, Availability: 0.9, Density: 3.0,
+		TargetJobs: o.jobs, SizeRange: [2]float64{10, 200}, Seed: 9_000_009,
 	}.Generate()
 	if err != nil {
 		panic(err)
 	}
+	return inst
+}
+
+func runSingle(o singleOpts) {
+	inst := heavyInstance(o)
 	fmt.Println("jobs:", inst.NumJobs())
 	// One engine and one planner workspace reused across schedulers; with
 	// -allocs, the second (warmed-up) run shows the steady-state allocation
@@ -78,12 +211,12 @@ func main() {
 	// backend (near 0 on small-value instances).
 	runner := core.NewRunner()
 	names := []string{"Offline", "Offline-Refined", "Online", "Online-EGDF", "SWRPT", "MCT-Div"}
-	if *exact {
+	if o.exact {
 		names = append(names, "Offline-Exact")
 	}
 	denseWS := offline.NewWorkspace()
 	run := func(name string) (*model.Schedule, error) {
-		if name == "Offline-Exact" && *denseLP {
+		if name == "Offline-Exact" && o.denseLP {
 			pl := &offline.Planner{Solver: offline.Solver{Exact: true, DenseLP: true}}
 			pl.SetWorkspace(denseWS)
 			return sim.RunPlanned(inst, pl)
@@ -94,8 +227,8 @@ func main() {
 		// Per-run tier counters: the workspace accumulates across runs, so
 		// reset before the timed run and snapshot right after it (the
 		// -allocs rerun below would otherwise double-count).
-		if ts := runner.ExactTierStats(); *tiers && ts != nil {
-			ts.Reset()
+		if o.tiers {
+			runner.ResetStats()
 		}
 		t0 := time.Now()
 		sched, err := run(name)
@@ -104,17 +237,18 @@ func main() {
 			continue
 		}
 		elapsed := time.Since(t0).Round(time.Millisecond)
+		st := runner.Stats()
 		tierLine := ""
-		if ts := runner.ExactTierStats(); *tiers && ts != nil && ts.Total() > 0 {
+		if ts := st.Tiers; o.tiers && st.HasTiers && ts.Total() > 0 {
 			tierLine = "\n                 tiers: " + ts.String()
 		}
 		line := fmt.Sprintf("%-16s %8v  max=%.3f sum=%.1f",
 			name, elapsed, sched.MaxStretch(inst), sched.SumStretch(inst))
-		if se, re, ok := runner.SolveFailures(name); ok && se+re > 0 {
-			line += fmt.Sprintf("  solve-failures=%d/%d", se, re)
+		if ss, ok := st.Solve[name]; ok && ss.StretchErrs+ss.RefineErrs > 0 {
+			line += fmt.Sprintf("  solve-failures=%d/%d", ss.StretchErrs, ss.RefineErrs)
 		}
 		line += tierLine
-		if *allocs {
+		if o.allocs {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			if _, err := run(name); err != nil {
@@ -126,10 +260,6 @@ func main() {
 				after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc)
 		}
 		fmt.Println(line)
-	}
-
-	if *onlineEx {
-		profileOnlineExact(inst, *tiers)
 	}
 }
 

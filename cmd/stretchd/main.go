@@ -1,0 +1,347 @@
+// Command stretchd is the long-running scheduler daemon: it admits job
+// submissions over HTTP/JSON, drives the online max-stretch scheduling
+// stack (§4.3.2) at every arrival and completion event, and serves
+// placement decisions, Prometheus metrics and deterministic checkpoints.
+//
+//	stretchd [flags]                    serve HTTP (drain on SIGTERM/SIGINT)
+//	stretchd -replay trace.csv [flags]  in-process replay; prints events/sec
+//	stretchd loadgen [flags]            generate a workload; POST it to a
+//	                                    daemon (-addr) and/or write -out CSV
+//
+// The platform is generated deterministically from the workload flags
+// (-sites, -banks, -avail, -density, -seed), so a loadgen run with the
+// same flags drives jobs the daemon's platform can serve.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/online"
+	"stretchsched/internal/serve"
+	"stretchsched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "stretchd loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runDaemon(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stretchd:", err)
+		os.Exit(1)
+	}
+}
+
+// wlFlags registers the shared workload-shape flags.
+func wlFlags(fs *flag.FlagSet) *workload.Config {
+	cfg := &workload.Config{}
+	fs.IntVar(&cfg.Sites, "sites", 6, "number of sites")
+	fs.IntVar(&cfg.Databanks, "banks", 12, "number of databanks")
+	fs.Float64Var(&cfg.Availability, "avail", 0.5, "databank availability in (0,1]")
+	fs.Float64Var(&cfg.Density, "density", 0.8, "workload density")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "workload seed (platform and jobs)")
+	fs.IntVar(&cfg.TargetJobs, "jobs", 1000, "expected number of generated jobs")
+	return cfg
+}
+
+func runDaemon(args []string) error {
+	fs := flag.NewFlagSet("stretchd", flag.ExitOnError)
+	addr := fs.String("addr", ":9130", "HTTP listen address")
+	policy := fs.String("policy", "Online-EGDF", "serving policy (must be a list policy)")
+	exact := fs.Bool("exact", false, "exact rational step-2 solves (incremental warm-start session)")
+	deadline := fs.Duration("deadline", 2*time.Second, "per-request admission deadline")
+	recents := fs.Int("recents", 1024, "completed-job ring capacity")
+	declog := fs.String("declog", "", "decision log path (empty = discard)")
+	ckPath := fs.String("checkpoint", "", "write a checkpoint here on drain")
+	restore := fs.String("restore", "", "resume from this checkpoint file")
+	replay := fs.String("replay", "", "replay this trace CSV in-process and exit")
+	wl := wlFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+
+	ws := offline.NewWorkspace()
+	sched, err := core.New(*policy, core.WithWorkspace(ws))
+	if err != nil {
+		return err
+	}
+	if *exact {
+		pb, ok := sched.(core.PolicyBacked)
+		if !ok {
+			return fmt.Errorf("policy %s cannot serve (not a list policy)", *policy)
+		}
+		e, ok := pb.Policy().(*online.EGDF)
+		if !ok {
+			return fmt.Errorf("-exact applies to Online-EGDF, not %s", *policy)
+		}
+		e.Solver.Exact = true
+	}
+
+	var logw io.Writer
+	var logFlush func() error
+	if *declog != "" {
+		f, err := os.Create(*declog)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		logw = bw
+		logFlush = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	cfg := serve.Config{
+		Platform:    inst.Platform,
+		Scheduler:   sched,
+		Workspace:   ws,
+		Deadline:    *deadline,
+		RecentCap:   *recents,
+		DecisionLog: logw,
+	}
+	var loop *serve.Loop
+	if *restore != "" {
+		b, err := os.ReadFile(*restore)
+		if err != nil {
+			return err
+		}
+		ck, err := serve.DecodeCheckpoint(b)
+		if err != nil {
+			return err
+		}
+		loop, err = serve.Restore(cfg, ck)
+		if err != nil {
+			return err
+		}
+	} else {
+		loop, err = serve.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *replay != "" {
+		return runReplay(loop, *replay, logFlush)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: loop.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("stretchd: serving %s on %s (policy %s)\n", describe(inst), *addr, sched.Name())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("stretchd: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := loop.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if *ckPath != "" {
+		ck, err := loop.Checkpoint()
+		if err != nil {
+			return err
+		}
+		b, err := ck.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*ckPath, b, 0o644); err != nil {
+			return err
+		}
+	}
+	if logFlush != nil {
+		if err := logFlush(); err != nil {
+			return fmt.Errorf("flushing decision log: %w", err)
+		}
+	}
+	fmt.Println("stretchd: drained clean")
+	return nil
+}
+
+// runReplay feeds a trace CSV (release,size,databank[,name]) through the
+// loop in-process and prints the sustained event rate.
+func runReplay(loop *serve.Loop, path string, logFlush func() error) error {
+	rows, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, r := range rows {
+		if _, err := loop.Submit(r); err != nil {
+			return fmt.Errorf("replaying %s: %w", path, err)
+		}
+	}
+	if err := loop.Drain(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	snap, err := loop.Snapshot()
+	if err != nil {
+		return err
+	}
+	if logFlush != nil {
+		if err := logFlush(); err != nil {
+			return fmt.Errorf("flushing decision log: %w", err)
+		}
+	}
+	rate := float64(snap.Counters.Events) / elapsed.Seconds()
+	fmt.Printf("replayed %d jobs, %d events in %v: %.0f events/sec (max stretch %.3g, p99 %.3g)\n",
+		snap.Counters.Submitted, snap.Counters.Events, elapsed.Round(time.Millisecond),
+		rate, snap.StretchMax, snap.StretchP99)
+	return nil
+}
+
+func readTrace(path string) ([]serve.SubmitRequest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []serve.SubmitRequest
+	for i, rec := range recs {
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("%s:%d: want release,size,databank[,name]", path, i+1)
+		}
+		rel, err1 := strconv.ParseFloat(rec[0], 64)
+		size, err2 := strconv.ParseFloat(rec[1], 64)
+		bank, err3 := strconv.Atoi(rec[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("%s:%d: malformed row %v", path, i+1, rec)
+		}
+		req := serve.SubmitRequest{Release: rel, Size: size, Databank: model.DatabankID(bank)}
+		if len(rec) > 3 {
+			req.Name = rec[3]
+		}
+		out = append(out, req)
+	}
+	return out, nil
+}
+
+// runLoadgen generates the seeded workload and drives a daemon with it
+// over HTTP (-addr), writes it as a trace CSV (-out), or both.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("stretchd loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (e.g. http://localhost:9130); empty = no HTTP")
+	out := fs.String("out", "", "write the trace CSV here; empty = no file")
+	wl := wlFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" && *out == "" {
+		return fmt.Errorf("nothing to do: set -addr and/or -out")
+	}
+	inst, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := writeTrace(*out, inst); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d jobs to %s\n", inst.NumJobs(), *out)
+	}
+	if *addr != "" {
+		if err := postJobs(*addr, inst); err != nil {
+			return err
+		}
+		fmt.Printf("posted %d jobs to %s\n", inst.NumJobs(), *addr)
+	}
+	return nil
+}
+
+func writeTrace(path string, inst *model.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	for _, j := range inst.Jobs {
+		rec := []string{
+			strconv.FormatFloat(j.Release, 'g', -1, 64),
+			strconv.FormatFloat(j.Size, 'g', -1, 64),
+			strconv.Itoa(int(j.Databank)),
+			j.Name,
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func postJobs(base string, inst *model.Instance) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, j := range inst.Jobs {
+		body, err := json.Marshal(map[string]any{
+			"name": j.Name, "size": j.Size, "databank": int(j.Databank), "release": j.Release,
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /jobs: %s: %s", resp.Status, rb)
+		}
+	}
+	return nil
+}
+
+func describe(inst *model.Instance) string {
+	return fmt.Sprintf("%d sites / %d banks", inst.Platform.NumMachines(), inst.Platform.NumDatabanks())
+}

@@ -3,6 +3,14 @@
 // offline variant, each usable through one call, and a convenience
 // evaluator returning the stretch metrics of any subset of them on an
 // instance.
+//
+// Schedulers are constructed through New, which applies functional options
+// (WithWorkspace) at build time so instances are born fully wired — there
+// is no post-hoc SetWorkspace step and no duck-typed capability probing.
+// Get returns a lightweight registry handle whose Run constructs a fresh
+// unwired instance per call; harnesses that replay many instances hold a
+// Runner, which caches one wired instance per scheduler name on top of one
+// engine and one workspace.
 package core
 
 import (
@@ -10,12 +18,10 @@ import (
 	"sort"
 
 	"stretchsched/internal/greedy"
-	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
 	"stretchsched/internal/offline"
 	"stretchsched/internal/online"
 	"stretchsched/internal/policy"
-	"stretchsched/internal/rat"
 	"stretchsched/internal/sim"
 )
 
@@ -33,11 +39,22 @@ type EngineBound interface {
 	RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error)
 }
 
-// workspaceUser is implemented by planners and policies that can draw their
-// solver state from a pooled offline.Workspace (the offline planner, the
-// online heuristics, Bender98).
-type workspaceUser interface {
-	SetWorkspace(ws *offline.Workspace)
+// PlannerBacked is implemented by constructed schedulers that drive a
+// sim.Planner (re-invoked by the engine at every job arrival). Planner
+// exposes the underlying instance for harnesses that drive it directly.
+type PlannerBacked interface {
+	Scheduler
+	Planner() sim.Planner
+}
+
+// PolicyBacked is implemented by constructed schedulers that drive a
+// sim.Policy priority list through the greedy spatial rule of §3. Policy
+// exposes the underlying instance so external event loops (the serving
+// daemon in internal/serve) can drive the exact same policy outside a
+// batch simulation.
+type PolicyBacked interface {
+	Scheduler
+	Policy() sim.Policy
 }
 
 // solveDiagnostics is implemented by schedulers that record per-event
@@ -47,55 +64,182 @@ type solveDiagnostics interface {
 	SolveFailures() (stretchErrs, refineErrs int)
 }
 
+// Option configures scheduler construction in New.
+type Option func(*buildCfg)
+
+type buildCfg struct {
+	ws *offline.Workspace
+}
+
+// WithWorkspace attaches a pooled solver workspace at construction time:
+// planners and policies that can draw their problem/flow/LP buffers from an
+// offline.Workspace are returned already wired to ws. A nil workspace is
+// valid and selects the fresh-buffers-per-solve paths, exactly like
+// omitting the option.
+func WithWorkspace(ws *offline.Workspace) Option {
+	return func(c *buildCfg) { c.ws = ws }
+}
+
+// New constructs the named scheduler with the given options applied. The
+// returned instance is stateful and not safe for concurrent use; its
+// planner or policy resets itself through the Init contract on every run,
+// so one instance may be reused across many instances (a Runner does this
+// caching per worker).
+func New(name string, opts ...Option) (Scheduler, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheduler %q (known: %v)", name, Names())
+	}
+	var cfg buildCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return e.build(cfg), nil
+}
+
+// entry is one registry row: exactly one of the three factories is set,
+// and the factory itself performs any workspace wiring on the concrete
+// type — registration is the single place that knows how each scheduler
+// is assembled, which is what lets Runner.Run stay free of type probing.
+type entry struct {
+	name    string
+	planner func(ws *offline.Workspace) sim.Planner
+	policy  func(ws *offline.Workspace) sim.Policy
+	direct  func(*model.Instance) (*model.Schedule, error)
+}
+
+func (e *entry) build(cfg buildCfg) Scheduler {
+	switch {
+	case e.planner != nil:
+		return &builtPlanner{name: e.name, pl: e.planner(cfg.ws)}
+	case e.policy != nil:
+		return &builtPolicy{name: e.name, pol: e.policy(cfg.ws)}
+	default:
+		return builtDirect{name: e.name, run: e.direct}
+	}
+}
+
+type builtPlanner struct {
+	name string
+	pl   sim.Planner
+}
+
+func (s *builtPlanner) Name() string         { return s.name }
+func (s *builtPlanner) Planner() sim.Planner { return s.pl }
+
+func (s *builtPlanner) Run(inst *model.Instance) (*model.Schedule, error) {
+	return sim.RunPlanned(inst, s.pl)
+}
+
+func (s *builtPlanner) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
+	return eng.RunPlanned(inst, s.pl)
+}
+
+type builtPolicy struct {
+	name string
+	pol  sim.Policy
+}
+
+func (s *builtPolicy) Name() string       { return s.name }
+func (s *builtPolicy) Policy() sim.Policy { return s.pol }
+
+func (s *builtPolicy) Run(inst *model.Instance) (*model.Schedule, error) {
+	return sim.RunList(inst, s.pol)
+}
+
+func (s *builtPolicy) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
+	return eng.RunList(inst, s.pol)
+}
+
+type builtDirect struct {
+	name string
+	run  func(*model.Instance) (*model.Schedule, error)
+}
+
+func (s builtDirect) Name() string { return s.name }
+
+func (s builtDirect) Run(inst *model.Instance) (*model.Schedule, error) { return s.run(inst) }
+
+// regHandle is the stateless value Get returns: Run and RunWith construct
+// a fresh unwired instance per call, preserving the historical Get
+// semantics (no shared state between calls). Runner.Run recognises it and
+// substitutes its own cached wired instance.
+type regHandle struct {
+	e *entry
+}
+
+func (h regHandle) Name() string { return h.e.name }
+
+func (h regHandle) Run(inst *model.Instance) (*model.Schedule, error) {
+	return h.e.build(buildCfg{}).Run(inst)
+}
+
+func (h regHandle) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
+	s := h.e.build(buildCfg{})
+	if eb, ok := s.(EngineBound); ok {
+		return eb.RunWith(eng, inst)
+	}
+	return s.Run(inst)
+}
+
 // Runner executes schedulers on one reusable simulation engine and one
 // pooled planner workspace, so harnesses that replay many instances (the
 // experiment grid, benchmarks) avoid per-run allocation: registry-backed
-// planner and policy instances are constructed once per Runner, attached to
-// the workspace, and reset through their Init contract on every run. A
+// schedulers are constructed once per Runner via New(name,
+// WithWorkspace(ws)) and reset through their Init contract on every run. A
 // Runner is not safe for concurrent use; hold one per worker goroutine. The
 // schedule returned by Run is overwritten by the next Run call on the same
 // Runner.
 type Runner struct {
-	eng      *sim.Engine
-	ws       *offline.Workspace
-	planners map[string]sim.Planner
-	policies map[string]sim.Policy
+	eng   *sim.Engine
+	ws    *offline.Workspace
+	built map[string]Scheduler
 }
 
 // NewRunner returns a Runner with a fresh engine and workspace.
 func NewRunner() *Runner {
 	return &Runner{
-		eng:      sim.NewEngine(),
-		ws:       offline.NewWorkspace(),
-		planners: map[string]sim.Planner{},
-		policies: map[string]sim.Policy{},
+		eng:   sim.NewEngine(),
+		ws:    offline.NewWorkspace(),
+		built: map[string]Scheduler{},
 	}
 }
 
+// cached returns the runner's wired instance for a registry name,
+// constructing it on first use.
+func (r *Runner) cached(name string) (Scheduler, error) {
+	if b, ok := r.built[name]; ok {
+		return b, nil
+	}
+	b, err := New(name, WithWorkspace(r.ws))
+	if err != nil {
+		return nil, err
+	}
+	r.built[name] = b
+	return b, nil
+}
+
 // Run executes s on inst, reusing the runner's engine, workspace and cached
-// scheduler instance when the scheduler supports them.
+// scheduler instance when the scheduler supports them. Any scheduler value
+// originating from this package's registry (Get, MustGet, New) is
+// substituted by the runner's own cached instance of the same name, so the
+// runner's workspace — not whatever the value was constructed with — backs
+// the run; custom Scheduler implementations run as themselves.
 func (r *Runner) Run(s Scheduler, inst *model.Instance) (*model.Schedule, error) {
-	switch sc := s.(type) {
-	case plannerScheduler:
-		pl, ok := r.planners[sc.name]
-		if !ok {
-			pl = sc.mk()
-			if wu, ok := pl.(workspaceUser); ok {
-				wu.SetWorkspace(r.ws)
-			}
-			r.planners[sc.name] = pl
+	switch s.(type) {
+	case regHandle, *builtPlanner, *builtPolicy, builtDirect:
+		b, err := r.cached(s.Name())
+		if err != nil {
+			return nil, err
 		}
-		return r.eng.RunPlanned(inst, pl)
-	case policyScheduler:
-		pol, ok := r.policies[sc.name]
-		if !ok {
-			pol = sc.mk()
-			if wu, ok := pol.(workspaceUser); ok {
-				wu.SetWorkspace(r.ws)
-			}
-			r.policies[sc.name] = pol
+		switch c := b.(type) {
+		case PlannerBacked:
+			return r.eng.RunPlanned(inst, c.Planner())
+		case PolicyBacked:
+			return r.eng.RunList(inst, c.Policy())
+		default:
+			return b.Run(inst)
 		}
-		return r.eng.RunList(inst, pol)
 	}
 	if eb, ok := s.(EngineBound); ok {
 		return eb.RunWith(r.eng, inst)
@@ -103,120 +247,87 @@ func (r *Runner) Run(s Scheduler, inst *model.Instance) (*model.Schedule, error)
 	return s.Run(inst)
 }
 
-// SolveFailures reports the per-event solver-failure counters recorded by
-// the named scheduler's cached instance during its most recent run on this
-// Runner, and whether the scheduler records them at all (only the LP-based
-// online schedulers do). The counters are the diagnostics seam behind
-// cmd/experiments' failure summary: fallbacks are part of the algorithms'
-// contract, but a grid pass that silently absorbed thousands of them would
-// mislead, so they are counted where they happen and surfaced here.
-func (r *Runner) SolveFailures(name string) (stretchErrs, refineErrs int, ok bool) {
-	var inst any
-	if pl, found := r.planners[name]; found {
-		inst = pl
-	} else if pol, found := r.policies[name]; found {
-		inst = pol
-	}
-	if sd, found := inst.(solveDiagnostics); found {
-		stretchErrs, refineErrs = sd.SolveFailures()
-		return stretchErrs, refineErrs, true
-	}
-	return 0, 0, false
+var registry = map[string]*entry{}
+
+func registerPlanner(name string, mk func(ws *offline.Workspace) sim.Planner) {
+	registry[name] = &entry{name: name, planner: mk}
 }
 
-// ExactTierStats returns the exact rational backend's representation-tier
-// counters accumulated on this runner's workspace (small/medium/big ops,
-// promotions, demotions — see rat.TierStats), or nil when no exact solve
-// has run on it. The counters are cumulative; callers wanting per-run
-// numbers (cmd/profile -tiers) call Reset between runs.
-func (r *Runner) ExactTierStats() *rat.TierStats {
-	return r.ws.TierStats()
+func registerPolicy(name string, mk func(ws *offline.Workspace) sim.Policy) {
+	registry[name] = &entry{name: name, policy: mk}
 }
 
-// IncrementalStats returns the warm/cold/fallback counters of the
-// workspace's incremental solve session (the per-event warm-started
-// System (1) solves of the online exact path — see offline.Session and
-// lp.IncrementalStats), or nil when no session has been created on this
-// runner. Cumulative, like ExactTierStats; cmd/profile -online resets
-// between runs for per-run numbers.
-func (r *Runner) IncrementalStats() *lp.IncrementalStats {
-	return r.ws.SessionStats()
+func registerDirect(name string, run func(*model.Instance) (*model.Schedule, error)) {
+	registry[name] = &entry{name: name, direct: run}
 }
-
-type policyScheduler struct {
-	name string
-	mk   func() sim.Policy
-}
-
-func (s policyScheduler) Name() string { return s.name }
-
-func (s policyScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
-	return sim.RunList(inst, s.mk())
-}
-
-func (s policyScheduler) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
-	return eng.RunList(inst, s.mk())
-}
-
-type plannerScheduler struct {
-	name string
-	mk   func() sim.Planner
-}
-
-func (s plannerScheduler) Name() string { return s.name }
-
-func (s plannerScheduler) Run(inst *model.Instance) (*model.Schedule, error) {
-	return sim.RunPlanned(inst, s.mk())
-}
-
-func (s plannerScheduler) RunWith(eng *sim.Engine, inst *model.Instance) (*model.Schedule, error) {
-	return eng.RunPlanned(inst, s.mk())
-}
-
-type funcScheduler struct {
-	name string
-	run  func(*model.Instance) (*model.Schedule, error)
-}
-
-func (s funcScheduler) Name() string { return s.name }
-
-func (s funcScheduler) Run(inst *model.Instance) (*model.Schedule, error) { return s.run(inst) }
-
-var registry = map[string]Scheduler{}
-
-func register(s Scheduler) { registry[s.Name()] = s }
 
 func init() {
-	register(plannerScheduler{"Offline", func() sim.Planner { return offline.NewPlanner() }})
-	register(plannerScheduler{"Offline-Refined", func() sim.Planner { return &offline.Planner{Refined: true} }})
+	// Workspace wiring happens here, in the factories, on the concrete
+	// types: each registration states how its scheduler is assembled, and
+	// SetWorkspace(nil) is the documented no-pooling mode of every planner
+	// and policy that takes one.
+	registerPlanner("Offline", func(ws *offline.Workspace) sim.Planner {
+		pl := offline.NewPlanner()
+		pl.SetWorkspace(ws)
+		return pl
+	})
+	registerPlanner("Offline-Refined", func(ws *offline.Workspace) sim.Planner {
+		pl := &offline.Planner{Refined: true}
+		pl.SetWorkspace(ws)
+		return pl
+	})
 	// Offline-Exact pins the optimum with System (1) on exact rationals —
 	// immune to the §5.3 float anomaly, at a large constant-factor cost;
 	// intended for small instances and verification runs.
-	register(plannerScheduler{"Offline-Exact", func() sim.Planner {
-		return &offline.Planner{Solver: offline.Solver{Exact: true}}
-	}})
-	register(plannerScheduler{"Online", func() sim.Planner { return online.New(online.Plain) }})
-	register(plannerScheduler{"Online-EDF", func() sim.Planner { return online.New(online.EDF) }})
-	register(plannerScheduler{"Online-NonOpt", func() sim.Planner { return online.NewNonOptimized() }})
-	register(policyScheduler{"Online-EGDF", func() sim.Policy { return online.NewEGDF() }})
-	register(policyScheduler{"Bender98", func() sim.Policy { return online.NewBender98() }})
-	register(policyScheduler{"Bender02", func() sim.Policy { return policy.NewBender02() }})
-	register(policyScheduler{"FCFS", func() sim.Policy { return policy.FCFS{} }})
-	register(policyScheduler{"SPT", func() sim.Policy { return policy.SPT{} }})
-	register(policyScheduler{"SWPT", func() sim.Policy { return policy.SWPT{} }})
-	register(policyScheduler{"SRPT", func() sim.Policy { return policy.SRPT{} }})
-	register(policyScheduler{"SWRPT", func() sim.Policy { return policy.SWRPT{} }})
-	register(funcScheduler{"MCT", greedy.MCT})
-	register(funcScheduler{"MCT-Div", greedy.MCTDiv})
+	registerPlanner("Offline-Exact", func(ws *offline.Workspace) sim.Planner {
+		pl := &offline.Planner{Solver: offline.Solver{Exact: true}}
+		pl.SetWorkspace(ws)
+		return pl
+	})
+	registerPlanner("Online", func(ws *offline.Workspace) sim.Planner {
+		h := online.New(online.Plain)
+		h.SetWorkspace(ws)
+		return h
+	})
+	registerPlanner("Online-EDF", func(ws *offline.Workspace) sim.Planner {
+		h := online.New(online.EDF)
+		h.SetWorkspace(ws)
+		return h
+	})
+	registerPlanner("Online-NonOpt", func(ws *offline.Workspace) sim.Planner {
+		h := online.NewNonOptimized()
+		h.SetWorkspace(ws)
+		return h
+	})
+	registerPolicy("Online-EGDF", func(ws *offline.Workspace) sim.Policy {
+		e := online.NewEGDF()
+		e.SetWorkspace(ws)
+		return e
+	})
+	registerPolicy("Bender98", func(ws *offline.Workspace) sim.Policy {
+		b := online.NewBender98()
+		b.SetWorkspace(ws)
+		return b
+	})
+	registerPolicy("Bender02", func(*offline.Workspace) sim.Policy { return policy.NewBender02() })
+	registerPolicy("FCFS", func(*offline.Workspace) sim.Policy { return policy.FCFS{} })
+	registerPolicy("SPT", func(*offline.Workspace) sim.Policy { return policy.SPT{} })
+	registerPolicy("SWPT", func(*offline.Workspace) sim.Policy { return policy.SWPT{} })
+	registerPolicy("SRPT", func(*offline.Workspace) sim.Policy { return policy.SRPT{} })
+	registerPolicy("SWRPT", func(*offline.Workspace) sim.Policy { return policy.SWRPT{} })
+	registerDirect("MCT", greedy.MCT)
+	registerDirect("MCT-Div", greedy.MCTDiv)
 }
 
-// Get returns the named scheduler.
+// Get returns the named scheduler as a lightweight registry handle: a
+// stateless value whose Run constructs a fresh unwired instance per call.
+// Use New to construct a wired, reusable instance.
 func Get(name string) (Scheduler, error) {
-	s, ok := registry[name]
+	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown scheduler %q (known: %v)", name, Names())
 	}
-	return s, nil
+	return regHandle{e}, nil
 }
 
 // MustGet returns the named scheduler and panics if it is unknown. It is

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"stretchsched/internal/offline"
+	"stretchsched/internal/online"
+)
+
+// TestNewOptionConstructor exercises the Option-based constructor: the
+// workspace threads through to the built scheduler, list policies expose
+// themselves via PolicyBacked, and the unified Stats snapshot sees the
+// workspace's session counters after an exact run.
+func TestNewOptionConstructor(t *testing.T) {
+	if _, err := New("no-such-scheduler"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+
+	ws := offline.NewWorkspace()
+	sched, err := New("Online-EGDF", WithWorkspace(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Name() != "Online-EGDF" {
+		t.Fatalf("name = %s", sched.Name())
+	}
+	pb, ok := sched.(PolicyBacked)
+	if !ok {
+		t.Fatal("Online-EGDF scheduler is not PolicyBacked")
+	}
+	egdf, ok := pb.Policy().(*online.EGDF)
+	if !ok {
+		t.Fatalf("policy = %T, want *online.EGDF", pb.Policy())
+	}
+	egdf.Solver.Exact = true
+
+	inst := testInstance(t, 3, 1.0)
+	sched2, err := sched.Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched2.Validate(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact run went through ws's incremental session; Collect over the
+	// same workspace must report it, with the scheduler's solve counters
+	// keyed by name.
+	st := Collect(ws, map[string]Scheduler{sched.Name(): sched})
+	if !st.HasIncremental {
+		t.Fatal("exact run left no incremental-session stats on the workspace")
+	}
+	if st.Incremental.Warm+st.Incremental.Cold == 0 {
+		t.Fatalf("session recorded no solves: %+v", st.Incremental)
+	}
+	if _, ok := st.Solve["Online-EGDF"]; !ok {
+		t.Fatalf("Stats.Solve missing the scheduler: %+v", st.Solve)
+	}
+
+	// Two schedulers built from the same registry entry are independent.
+	other, err := New("Online-EGDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.(PolicyBacked).Policy() == pb.Policy() {
+		t.Fatal("New returned a shared policy instance")
+	}
+}
+
+// TestRunnerStatsUnified: Runner.Stats matches the deprecated accessors it
+// replaces, and ResetStats zeroes the workspace-cumulative counters.
+func TestRunnerStatsUnified(t *testing.T) {
+	inst := testInstance(t, 5, 1.5)
+	r := NewRunner()
+	if _, err := r.Run(MustGet("Offline-Exact"), inst); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if !st.HasTiers || st.Tiers.Total() == 0 {
+		t.Fatalf("no tier stats after exact run: %+v", st)
+	}
+	// Deprecated wrapper agrees with the unified snapshot.
+	if ts := r.ExactTierStats(); ts == nil || ts.Total() != st.Tiers.Total() {
+		t.Fatalf("ExactTierStats diverges from Stats: %v vs %v", ts, st.Tiers)
+	}
+	r.ResetStats()
+	if after := r.Stats(); after.Tiers.Total() != 0 {
+		t.Fatalf("ResetStats left tier ops: %d", after.Tiers.Total())
+	}
+}

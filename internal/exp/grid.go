@@ -350,6 +350,7 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 		}
 		return res
 	}
+	ran := make([]string, 0, len(opts.Schedulers))
 	for _, name := range opts.Schedulers {
 		if name == "Bender98" && p.Sites > opts.Bender98SiteLimit {
 			res.MaxStretch[name] = math.NaN()
@@ -370,9 +371,17 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 		}
 		res.MaxStretch[name] = sched.MaxStretch(inst)
 		res.SumStretch[name] = sched.SumStretch(inst)
-		if se, re, ok := runner.SolveFailures(name); ok {
-			res.StretchErrs += se
-			res.RefineErrs += re
+		ran = append(ran, name)
+	}
+	// One unified snapshot for the whole instance. Solve counters are
+	// per-most-recent-run, so only the schedulers that actually ran on this
+	// instance are folded in — a cached counter left over from a previous
+	// instance (e.g. a skipped Bender98) must not double-count.
+	solve := runner.Stats().Solve
+	for _, name := range ran {
+		if ss, ok := solve[name]; ok {
+			res.StretchErrs += ss.StretchErrs
+			res.RefineErrs += ss.RefineErrs
 		}
 	}
 	return res

@@ -1,0 +1,128 @@
+package model
+
+import "testing"
+
+func streamPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform([]Machine{
+		{Name: "A", Speed: 2, Databanks: []DatabankID{0, 1}},
+		{Name: "B", Speed: 3, Databanks: []DatabankID{1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStreamAddRemoveRecycle(t *testing.T) {
+	s := NewStream(streamPlatform(t))
+	a, err := s.Add(Job{Release: 0, Size: 4, Databank: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Add(Job{Release: 1, Size: 10, Databank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("slot ids = %d,%d, want 0,1", a, b)
+	}
+	inst := s.Instance()
+	if got := inst.AloneTime(a); got != 2 { // 4 / speed(bank0)=2
+		t.Errorf("alone(a) = %v, want 2", got)
+	}
+	if got := inst.AloneTime(b); got != 2 { // 10 / speed(bank1)=5
+		t.Errorf("alone(b) = %v, want 2", got)
+	}
+
+	if err := s.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live(a) || !s.Live(b) {
+		t.Fatalf("liveness after remove: a=%v b=%v", s.Live(a), s.Live(b))
+	}
+	if s.NumLive() != 1 || s.Slots() != 2 {
+		t.Fatalf("NumLive=%d Slots=%d, want 1,2", s.NumLive(), s.Slots())
+	}
+	// Tombstoned slot keeps its data until reuse.
+	if inst.Jobs[a].Size != 4 {
+		t.Errorf("tombstone size = %v, want 4", inst.Jobs[a].Size)
+	}
+	// LIFO recycling: the freed slot is reused first.
+	c, err := s.Add(Job{Release: 2, Size: 6, Databank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("recycled slot = %d, want %d", c, a)
+	}
+	if inst.Jobs[c].Size != 6 || inst.Jobs[c].ID != c {
+		t.Errorf("recycled slot holds %+v", inst.Jobs[c])
+	}
+	if got := inst.AloneTime(c); got != 6.0/5 {
+		t.Errorf("alone(c) = %v, want %v", got, 6.0/5)
+	}
+
+	if err := s.Remove(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(c); err == nil {
+		t.Error("double Remove succeeded")
+	}
+	if _, err := s.Add(Job{Size: -1, Databank: 0}); err == nil {
+		t.Error("Add accepted negative size")
+	}
+	if _, err := s.Add(Job{Size: 1, Databank: 7}); err == nil {
+		t.Error("Add accepted unknown databank")
+	}
+}
+
+func TestStreamSnapshotRestore(t *testing.T) {
+	p := streamPlatform(t)
+	s := NewStream(p)
+	var ids []JobID
+	for i := 0; i < 5; i++ {
+		id, err := s.Add(Job{Release: float64(i), Size: float64(i + 1), Databank: DatabankID(i % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Remove(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+
+	slots, live, free := s.Snapshot(nil, nil, nil)
+	r := NewStream(p)
+	if err := r.Restore(slots, live, free); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLive() != s.NumLive() || r.Slots() != s.Slots() {
+		t.Fatalf("restored NumLive=%d Slots=%d, want %d,%d",
+			r.NumLive(), r.Slots(), s.NumLive(), s.Slots())
+	}
+	// The restored stream must recycle the same slots in the same order.
+	for i := 0; i < 3; i++ {
+		want, err := s.Add(Job{Release: 9, Size: 2, Databank: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Add(Job{Release: 9, Size: 2, Databank: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("add %d after restore: slot %d, want %d", i, got, want)
+		}
+	}
+
+	if err := r.Restore(slots, live[:1], free); err == nil {
+		t.Error("Restore accepted mismatched liveness length")
+	}
+	if err := r.Restore(slots, live, append([]JobID{0}, free...)); err == nil {
+		t.Error("Restore accepted free-list naming a live slot")
+	}
+}

@@ -90,6 +90,73 @@ func (ss *Session) LastDelta() *Delta { return &ss.delta }
 // ablation baseline for the warm-start benchmarks and differential tests.
 func (ss *Session) SetColdOnly(cold bool) { ss.coldOnly = cold }
 
+// SessionState is the deterministic identity state of a session — the slot
+// table that names every LP column and row across events. It deliberately
+// excludes the lp.Incremental basis: warm-started solves are bit-identical
+// in status and objective to cold solves of the same program (the fuzz-
+// pinned invariant), so a restored session re-solving cold reproduces the
+// decision-relevant outputs exactly, and the basis would be both large and
+// representation-dependent to encode.
+type SessionState struct {
+	Slots    []model.JobID // slot → job (stale entries for free slots)
+	Live     []bool        // slot → currently assigned
+	Free     []int         // free-list, recycled LIFO, order significant
+	PrevWork []float64     // slot → last-seen remaining work
+}
+
+// State snapshots the session's slot table for a checkpoint.
+func (ss *Session) State() SessionState {
+	st := SessionState{
+		Slots:    append([]model.JobID(nil), ss.slots...),
+		Live:     make([]bool, len(ss.slots)),
+		Free:     append([]int(nil), ss.free...),
+		PrevWork: append([]float64(nil), ss.prevWork...),
+	}
+	for slot, id := range ss.slots {
+		if cur, ok := ss.slotOf[id]; ok && cur == slot {
+			st.Live[slot] = true
+		}
+	}
+	return st
+}
+
+// Restore rebuilds the slot table from a checkpoint and resets the LP
+// session, so the next solve runs cold on identically-named columns and
+// rows — bit-identical in objective to the warm solve an uninterrupted
+// session would have produced.
+func (ss *Session) Restore(st SessionState) error {
+	n := len(st.Slots)
+	if len(st.Live) != n || len(st.PrevWork) != n {
+		return fmt.Errorf("offline: session restore: slot table lengths %d/%d/%d disagree",
+			n, len(st.Live), len(st.PrevWork))
+	}
+	for _, slot := range st.Free {
+		if slot < 0 || slot >= n || st.Live[slot] {
+			return fmt.Errorf("offline: session restore: bad free slot %d", slot)
+		}
+	}
+	ss.slots = append(ss.slots[:0], st.Slots...)
+	ss.free = append(ss.free[:0], st.Free...)
+	ss.prevWork = append(ss.prevWork[:0], st.PrevWork...)
+	ss.taskOf = append(ss.taskOf[:0], make([]int, n)...)
+	for i := range ss.taskOf {
+		ss.taskOf[i] = -1
+	}
+	ss.slotOf = make(map[model.JobID]int, n)
+	for slot, id := range st.Slots {
+		if st.Live[slot] {
+			if _, dup := ss.slotOf[id]; dup {
+				return fmt.Errorf("offline: session restore: job %d live in two slots", id)
+			}
+			ss.slotOf[id] = slot
+		}
+	}
+	ss.inc = lp.NewIncremental[rat.Rat]()
+	ss.prob = nil
+	ss.delta = Delta{}
+	return nil
+}
+
 // OptimalStretch is Solver.OptimalStretch through the session: identical
 // bracket search, but the exact refinement solves System (1) on the
 // retained incremental LP session instead of a from-scratch program. Only

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/offline"
+	"stretchsched/internal/stats"
+)
+
+// checkpointVersion guards the encoding; bump on incompatible change.
+const checkpointVersion = 1
+
+// SlotCk is one stream slot in a checkpoint: the job it holds (or last
+// held, for tombstones), its liveness, its daemon sequence number and its
+// remaining work at checkpoint time.
+type SlotCk struct {
+	Seq       uint64
+	Name      string
+	Release   float64
+	Size      float64
+	Databank  model.DatabankID
+	Live      bool
+	Remaining float64
+}
+
+// Checkpoint is the daemon's complete deterministic state. Every float is
+// encoded by encoding/json's shortest-round-trip formatting, so decode
+// reproduces the exact bit patterns; the LP basis is deliberately absent
+// (see offline.SessionState). Restoring and replaying the remaining event
+// stream yields a byte-identical decision log to the uninterrupted run.
+type Checkpoint struct {
+	Version int
+	Policy  string
+	Now     float64
+	NextSeq uint64
+
+	Slots []SlotCk
+	Free  []model.JobID
+
+	Session *offline.SessionState `json:",omitempty"`
+
+	Recents                []Completed
+	QStretch               []stats.P2State // p50, p90, p99
+	QFlow                  []stats.P2State
+	SumStretch, MaxStretch float64
+	SumFlow, MaxFlow       float64
+	NStretch, NFlow        uint64
+
+	Submitted, CompletedN, Events, Checkpoints uint64
+	Rejected                                   map[string]uint64
+}
+
+// Checkpoint snapshots the loop. The snapshot is taken at the loop's
+// current quiescent instant — after the last committed event — so a
+// restored daemon resumes exactly where this one stood.
+func (l *Loop) Checkpoint() (*Checkpoint, error) {
+	if err := l.acquire(0); err != nil {
+		return nil, err
+	}
+	defer l.release()
+	l.counters.Checkpoints++
+	ck := &Checkpoint{
+		Version:    checkpointVersion,
+		Policy:     l.name,
+		Now:        l.drv.Now(),
+		NextSeq:    l.seq,
+		QStretch:   []stats.P2State{l.qs.p50.State(), l.qs.p90.State(), l.qs.p99.State()},
+		QFlow:      []stats.P2State{l.qf.p50.State(), l.qf.p90.State(), l.qf.p99.State()},
+		SumStretch: l.qs.sum, MaxStretch: l.qs.max, NStretch: l.qs.n,
+		SumFlow: l.qf.sum, MaxFlow: l.qf.max, NFlow: l.qf.n,
+		Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
+		Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
+		Rejected: map[string]uint64{},
+	}
+	for k, v := range l.counters.Rejected {
+		ck.Rejected[k] = v
+	}
+	slots, live, free := l.stream.Snapshot(nil, nil, nil)
+	for i, j := range slots {
+		sc := SlotCk{
+			Name: j.Name, Release: j.Release, Size: j.Size,
+			Databank: j.Databank, Live: live[i],
+		}
+		if live[i] {
+			sc.Seq = l.slotSeq[i]
+			sc.Remaining = l.drv.Remaining(model.JobID(i))
+		}
+		ck.Slots = append(ck.Slots, sc)
+	}
+	ck.Free = free
+	ck.Recents = l.recents.Snapshot(nil)
+	if l.cfg.Workspace != nil && l.cfg.Workspace.SessionStats() != nil {
+		st := l.cfg.Workspace.Session().State()
+		ck.Session = &st
+	}
+	return ck, nil
+}
+
+// Encode renders the checkpoint as deterministic JSON (fixed field order,
+// sorted map keys, shortest-round-trip floats).
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding checkpoint: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCheckpoint parses an Encode output.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(b, ck); err != nil {
+		return nil, reject(CodeBadState, "decoding checkpoint: %v", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, reject(CodeBadState, "checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	return ck, nil
+}
+
+// Restore builds a loop from cfg resumed at ck: the stream slot table,
+// driver clock and per-slot remaining work, session identities, recents
+// ring, quantile estimators and counters are all rebuilt, then one
+// unlogged replan re-establishes rates and the policy's priority order —
+// recomputed cold, which the warm≡cold objective invariant makes
+// decision-identical to the interrupted daemon's in-memory state.
+func Restore(cfg Config, ck *Checkpoint) (*Loop, error) {
+	l, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Policy != l.name {
+		return nil, reject(CodeBadState, "checkpoint is for policy %s, daemon runs %s", ck.Policy, l.name)
+	}
+	if len(ck.QStretch) != 3 || len(ck.QFlow) != 3 {
+		return nil, reject(CodeBadState, "checkpoint has %d/%d quantile states, want 3/3",
+			len(ck.QStretch), len(ck.QFlow))
+	}
+	slots := make([]model.Job, len(ck.Slots))
+	live := make([]bool, len(ck.Slots))
+	for i, sc := range ck.Slots {
+		slots[i] = model.Job{
+			ID: model.JobID(i), Name: sc.Name, Release: sc.Release,
+			Size: sc.Size, Databank: sc.Databank,
+		}
+		live[i] = sc.Live
+	}
+	if err := l.stream.Restore(slots, live, ck.Free); err != nil {
+		return nil, reject(CodeBadState, "%v", err)
+	}
+	var active []model.JobID
+	var rem []float64
+	for i, sc := range ck.Slots {
+		for i >= len(l.slotSeq) {
+			l.slotSeq = append(l.slotSeq, 0)
+		}
+		if sc.Live {
+			l.slotSeq[i] = sc.Seq
+			l.activeAt[sc.Seq] = model.JobID(i)
+			active = append(active, model.JobID(i))
+			rem = append(rem, sc.Remaining)
+		}
+	}
+	l.drv.RestoreActive(active, rem)
+	l.drv.SetNow(ck.Now)
+	l.seq = ck.NextSeq
+	for _, rec := range ck.Recents {
+		l.recents.Push(rec)
+	}
+	qs := [3]*stats.P2Quantile{}
+	qf := [3]*stats.P2Quantile{}
+	for i := 0; i < 3; i++ {
+		if qs[i], err = stats.RestoreP2(ck.QStretch[i]); err != nil {
+			return nil, reject(CodeBadState, "%v", err)
+		}
+		if qf[i], err = stats.RestoreP2(ck.QFlow[i]); err != nil {
+			return nil, reject(CodeBadState, "%v", err)
+		}
+	}
+	l.qs.p50, l.qs.p90, l.qs.p99 = qs[0], qs[1], qs[2]
+	l.qf.p50, l.qf.p90, l.qf.p99 = qf[0], qf[1], qf[2]
+	l.qs.sum, l.qs.max, l.qs.n = ck.SumStretch, ck.MaxStretch, ck.NStretch
+	l.qf.sum, l.qf.max, l.qf.n = ck.SumFlow, ck.MaxFlow, ck.NFlow
+	l.counters.Submitted = ck.Submitted
+	l.counters.CompletedN = ck.CompletedN
+	l.counters.Events = ck.Events
+	l.counters.Checkpoints = ck.Checkpoints
+	for k, v := range ck.Rejected {
+		l.counters.Rejected[k] = v
+	}
+	if ck.Session != nil {
+		if cfg.Workspace == nil {
+			return nil, reject(CodeBadState, "checkpoint carries session state but the daemon has no workspace")
+		}
+		if err := cfg.Workspace.Session().Restore(*ck.Session); err != nil {
+			return nil, reject(CodeBadState, "%v", err)
+		}
+	}
+	// Re-establish rates and the policy's order without logging: this
+	// recomputation replaces in-memory state the interrupted daemon already
+	// had, it is not a new decision.
+	if l.drv.NumActive() > 0 {
+		l.drv.Replan(l.pol)
+	}
+	return l, nil
+}

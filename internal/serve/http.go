@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"stretchsched/internal/model"
+)
+
+// maxBodyBytes bounds a submission body; a scheduler request is tiny.
+const maxBodyBytes = 1 << 16
+
+// httpError is the JSON error envelope of every typed rejection.
+type httpError struct {
+	Error struct {
+		Code   string `json:"code"`
+		Reason string `json:"reason"`
+	} `json:"error"`
+}
+
+// status maps rejection codes to HTTP statuses.
+func status(code string) int {
+	switch code {
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeDeadline:
+		return http.StatusServiceUnavailable
+	case CodeInvalid, CodeBadState:
+		return http.StatusBadRequest
+	case CodeUnknown:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeErr renders err as the typed JSON envelope. Non-Rejection errors
+// become 500s with code "internal" — still typed, still visible.
+func writeErr(w http.ResponseWriter, err error) {
+	var rej *Rejection
+	if !errors.As(err, &rej) {
+		rej = &Rejection{Code: "internal", Reason: err.Error()}
+	}
+	var body httpError
+	body.Error.Code = rej.Code
+	body.Error.Reason = rej.Reason
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status(rej.Code))
+	_ = json.NewEncoder(w).Encode(body) // client gone; nothing left to report to
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Header already sent; the broken connection is the client's signal.
+		_ = err
+	}
+}
+
+// submitBody is the POST /jobs request document.
+type submitBody struct {
+	Name     string  `json:"name"`
+	Size     float64 `json:"size"`
+	Databank int     `json:"databank"`
+	Release  float64 `json:"release"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs        submit a job            → {seq, slot, release}
+//	GET  /jobs/{seq}  one job's state         → JobState
+//	GET  /schedule    current placement       → Schedule
+//	GET  /metrics     Prometheus text
+//	POST /checkpoint  deterministic state     → Checkpoint JSON
+//
+// Every refusal is a typed JSON error envelope; nothing is dropped
+// silently.
+func (l *Loop) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, reject(CodeInvalid, "method %s on /jobs; POST submits", r.Method))
+			return
+		}
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeErr(w, reject(CodeInvalid, "reading body: %v", err))
+			return
+		}
+		var sb submitBody
+		if err := json.Unmarshal(b, &sb); err != nil {
+			writeErr(w, reject(CodeInvalid, "parsing body: %v", err))
+			return
+		}
+		res, err := l.Submit(SubmitRequest{
+			Name: sb.Name, Size: sb.Size,
+			Databank: model.DatabankID(sb.Databank), Release: sb.Release,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"seq": res.Seq, "slot": res.Slot, "release": res.Release})
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		seqStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			writeErr(w, reject(CodeInvalid, "job id %q: %v", seqStr, err))
+			return
+		}
+		st, err := l.Job(seq)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		sched, err := l.Schedule()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, sched)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := l.Snapshot()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if _, err := io.WriteString(w, snap.Prometheus()); err != nil {
+			_ = err // broken scrape connection; the scraper retries
+		}
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, reject(CodeInvalid, "method %s on /checkpoint; POST snapshots", r.Method))
+			return
+		}
+		ck, err := l.Checkpoint()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		b, err := ck.Encode()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(b); err != nil {
+			_ = err // client gone mid-download; state is unchanged
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, reject(CodeUnknown, "no route %s", r.URL.Path))
+	})
+	return mux
+}

@@ -303,20 +303,22 @@ func priorityLess(pol Policy, ctx *Ctx, a, b model.JobID) bool {
 	return a < b
 }
 
-// sortOrder sorts st.order by priorityLess. slices.SortFunc is generic —
-// no reflect-based swapper, and the comparison closure does not escape —
-// so unlike sort.SliceStable it allocates nothing (enforced by
-// TestRunListSteadyStateAllocs). priorityLess is a total order (ties
-// break by job ID), so the unstable sort still produces a unique,
-// deterministic sequence.
+// SortByPriority sorts order in place by pol's strict order with ties
+// broken by job ID — the exact sequence the engine drivers use, exported
+// so external event loops (the serving daemon) rank jobs identically.
+// slices.SortFunc is generic — no reflect-based swapper, and the
+// comparison closure does not escape — so unlike sort.SliceStable it
+// allocates nothing (enforced by TestRunListSteadyStateAllocs).
+// priorityLess is a total order (ties break by job ID), so the unstable
+// sort still produces a unique, deterministic sequence.
 //
 //stretch:noalloc
-func (st *state) sortOrder(pol Policy) {
-	slices.SortFunc(st.order, func(a, b model.JobID) int { //stretch:alloc-ok — non-escaping comparison closure
-		if pol.Less(&st.ctx, a, b) {
+func SortByPriority(pol Policy, ctx *Ctx, order []model.JobID) {
+	slices.SortFunc(order, func(a, b model.JobID) int { //stretch:alloc-ok — non-escaping comparison closure
+		if pol.Less(ctx, a, b) {
 			return -1
 		}
-		if pol.Less(&st.ctx, b, a) {
+		if pol.Less(ctx, b, a) {
 			return 1
 		}
 		// Equal policy priority: break ties by job ID (total order).
@@ -331,39 +333,53 @@ func (st *state) sortOrder(pol Policy) {
 	})
 }
 
-// allocate applies the §3 spatial rule: walk jobs in priority order, give
-// each all still-free eligible machines. It fills st.assign (machine→job,
-// -1 for idle), st.rate (per-job aggregate rate) and st.running (jobs with
-// a positive rate, in priority order).
+//stretch:noalloc
+func (st *state) sortOrder(pol Policy) {
+	SortByPriority(pol, &st.ctx, st.order)
+}
+
+// AllocateGreedy applies the §3 spatial rule: walk jobs in priority order,
+// give each all still-free eligible machines. It fills assign (machine →
+// job, -1 for idle, length NumMachines) and rate (job → aggregate rate,
+// indexed by job ID), and appends the jobs holding a positive rate to
+// running in priority order, returning the extended slice. Exported so
+// external event loops share the engine's allocation semantics exactly.
 //
 //stretch:noalloc
-func (st *state) allocate(order []model.JobID) {
-	m := st.inst.Platform.NumMachines()
+func AllocateGreedy(inst *model.Instance, order []model.JobID, assign []int, rate []float64, running []model.JobID) []model.JobID {
+	m := inst.Platform.NumMachines()
 	for i := 0; i < m; i++ {
-		st.assign[i] = -1
+		assign[i] = -1
 	}
 	for _, j := range order {
-		st.rate[j] = 0
+		rate[j] = 0
 	}
-	st.running = st.running[:0]
 	free := m
 	for _, j := range order {
 		if free == 0 {
 			break
 		}
-		for _, mid := range st.inst.Eligible(j) {
-			if st.assign[mid] == -1 {
-				st.assign[mid] = int(j)
-				st.rate[j] += st.inst.Platform.Machine(mid).Speed
+		for _, mid := range inst.Eligible(j) {
+			if assign[mid] == -1 {
+				assign[mid] = int(j)
+				rate[j] += inst.Platform.Machine(mid).Speed
 				free--
 			}
 		}
 	}
 	for _, j := range order {
-		if st.rate[j] > 0 {
-			st.running = append(st.running, j)
+		if rate[j] > 0 {
+			running = append(running, j)
 		}
 	}
+	return running
+}
+
+// allocate runs AllocateGreedy over the state's buffers.
+//
+//stretch:noalloc
+func (st *state) allocate(order []model.JobID) {
+	st.running = AllocateGreedy(st.inst, order, st.assign, st.rate, st.running[:0])
 }
 
 // refreshEvents reconciles the completion-event heap with the rates chosen

@@ -1,0 +1,205 @@
+package stats
+
+import "fmt"
+
+// Ring is a fixed-capacity overwrite-oldest buffer — the serving daemon's
+// bounded-memory record of recently completed jobs. Push never allocates
+// after the first wrap; Snapshot returns elements oldest-first.
+type Ring[T any] struct {
+	buf  []T
+	cap  int
+	head int // index of the next write
+	n    int // elements held, ≤ cap
+}
+
+// NewRing returns a ring holding at most capacity elements (min 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity), cap: capacity}
+}
+
+// Push appends v, overwriting the oldest element when full.
+func (r *Ring[T]) Push(v T) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % r.cap
+	if r.n < r.cap {
+		r.n++
+	}
+}
+
+// Len returns the number of elements held.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return r.cap }
+
+// At returns the i-th element, oldest first (0 ≤ i < Len).
+func (r *Ring[T]) At(i int) T {
+	return r.buf[(r.head-r.n+i+r.cap)%r.cap]
+}
+
+// Snapshot appends the held elements oldest-first to dst and returns the
+// extended slice.
+func (r *Ring[T]) Snapshot(dst []T) []T {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.At(i))
+	}
+	return dst
+}
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory with
+// the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// minimum, the target quantile, the two intermediate quantiles and the
+// maximum, adjusted by piecewise-parabolic interpolation as samples
+// arrive. For n ≤ 5 the estimate is exact (the markers are the sorted
+// sample). The update is deterministic — same sample sequence, same
+// estimate — which makes the state checkpointable bit-for-bit.
+type P2Quantile struct {
+	p    float64    // target quantile in (0,1)
+	n    int        // samples seen
+	q    [5]float64 // marker heights
+	pos  [5]int     // marker positions (1-based, as in the paper)
+	want [5]float64 // desired marker positions
+}
+
+// NewP2Quantile returns an estimator for quantile p ∈ (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: P² quantile %v outside (0,1)", p))
+	}
+	return &P2Quantile{p: p}
+}
+
+// Quantile returns the target quantile.
+func (e *P2Quantile) Quantile() float64 { return e.p }
+
+// N returns the number of samples folded in.
+func (e *P2Quantile) N() int { return e.n }
+
+// Add folds one sample into the estimate.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		// Insertion-sort x into the marker heights; exact phase.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			for k := range e.pos {
+				e.pos[k] = k + 1
+			}
+			e.want[0] = 1
+			e.want[1] = 1 + 2*e.p
+			e.want[2] = 1 + 4*e.p
+			e.want[3] = 3 + 2*e.p
+			e.want[4] = 5
+		}
+		return
+	}
+
+	// Locate the cell containing x and update the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	e.want[1] += e.p / 2
+	e.want[2] += e.p
+	e.want[3] += (1 + e.p) / 2
+	e.want[4]++
+	e.n++
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - float64(e.pos[i])
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1
+			if d < 0 {
+				s = -1
+			}
+			q := e.parabolic(i, s)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker adjustment.
+func (e *P2Quantile) parabolic(i, s int) float64 {
+	fs := float64(s)
+	nm := float64(e.pos[i-1])
+	ni := float64(e.pos[i])
+	np := float64(e.pos[i+1])
+	return e.q[i] + fs/(np-nm)*((ni-nm+fs)*(e.q[i+1]-e.q[i])/(np-ni)+
+		(np-ni-fs)*(e.q[i]-e.q[i-1])/(ni-nm))
+}
+
+// linear is the fallback linear adjustment when the parabola overshoots.
+func (e *P2Quantile) linear(i, s int) float64 {
+	return e.q[i] + float64(s)*(e.q[i+s]-e.q[i])/float64(e.pos[i+s]-e.pos[i])
+}
+
+// Value returns the current estimate: exact for n ≤ 5 (nearest-rank on the
+// sorted sample), the central marker height afterwards. 0 for no samples.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		i := int(e.p * float64(e.n))
+		if i >= e.n {
+			i = e.n - 1
+		}
+		return e.q[i]
+	}
+	return e.q[2]
+}
+
+// P2State is the estimator's complete, deterministic state — what the
+// serving daemon writes into checkpoints. JSON-encoding float64s
+// round-trips exactly, so restore is bit-identical.
+type P2State struct {
+	P    float64
+	N    int
+	Q    [5]float64
+	Pos  [5]int
+	Want [5]float64
+}
+
+// State snapshots the estimator.
+func (e *P2Quantile) State() P2State {
+	return P2State{P: e.p, N: e.n, Q: e.q, Pos: e.pos, Want: e.want}
+}
+
+// RestoreP2 reconstructs an estimator from a snapshot.
+func RestoreP2(st P2State) (*P2Quantile, error) {
+	if st.P <= 0 || st.P >= 1 {
+		return nil, fmt.Errorf("stats: restore P² quantile %v outside (0,1)", st.P)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("stats: restore P² with negative sample count %d", st.N)
+	}
+	return &P2Quantile{p: st.P, n: st.N, q: st.Q, pos: st.Pos, want: st.Want}, nil
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRing(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Len() != 0 || r.Cap() != 4 {
+		t.Fatalf("fresh ring Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	if got := r.Snapshot(nil); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+	for i := 4; i <= 10; i++ {
+		r.Push(i)
+	}
+	want := []int{7, 8, 9, 10}
+	got := r.Snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("full snapshot = %v", got)
+	}
+	for i, w := range want {
+		if got[i] != w || r.At(i) != w {
+			t.Fatalf("snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+// lcg is a tiny deterministic generator for the quantile tests.
+func lcg(seed uint64) func() float64 {
+	s := seed
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / float64(1<<53)
+	}
+}
+
+func exactQuantile(xs []float64, p float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	i := int(p * float64(len(ys)))
+	if i >= len(ys) {
+		i = len(ys) - 1
+	}
+	return ys[i]
+}
+
+func TestP2QuantileSmallExact(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("empty Value = %v", e.Value())
+	}
+	for _, x := range []float64{5, 1, 3} {
+		e.Add(x)
+	}
+	if e.Value() != 3 {
+		t.Errorf("median of {5,1,3} = %v, want 3", e.Value())
+	}
+	if e.N() != 3 {
+		t.Errorf("N = %d, want 3", e.N())
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	next := lcg(42)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		e := NewP2Quantile(p)
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			x := next()
+			xs = append(xs, x)
+			e.Add(x)
+		}
+		got, want := e.Value(), exactQuantile(xs, p)
+		// Uniform samples: both the estimate and the exact quantile are in
+		// [0,1]; P² should land within a couple of percent.
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("p=%v: estimate %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+func TestP2QuantileStateRestore(t *testing.T) {
+	next := lcg(7)
+	e := NewP2Quantile(0.9)
+	for i := 0; i < 1000; i++ {
+		e.Add(next())
+	}
+	r, err := RestoreP2(e.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continuing both with the same suffix must stay bit-identical.
+	for i := 0; i < 1000; i++ {
+		x := next()
+		e.Add(x)
+		r.Add(x)
+		if e.Value() != r.Value() || e.N() != r.N() {
+			t.Fatalf("diverged at sample %d: %v vs %v", i, e.Value(), r.Value())
+		}
+	}
+
+	if _, err := RestoreP2(P2State{P: 1.5}); err == nil {
+		t.Error("RestoreP2 accepted quantile outside (0,1)")
+	}
+	if _, err := RestoreP2(P2State{P: 0.5, N: -1}); err == nil {
+		t.Error("RestoreP2 accepted negative sample count")
+	}
+}
