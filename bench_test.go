@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"testing"
 
+	"stretchsched/internal/cluster"
 	"stretchsched/internal/core"
 	"stretchsched/internal/exp"
 	"stretchsched/internal/flow"
@@ -409,6 +410,48 @@ func BenchmarkServeEventLoop(b *testing.B) {
 	b.Run("policy=SWRPT/sustained", func(b *testing.B) { benchServeLoop(b, "SWRPT", false, sustained) })
 	b.Run("policy=Online-EGDF/float", func(b *testing.B) { benchServeLoop(b, "Online-EGDF", false, egdf) })
 	b.Run("policy=Online-EGDF/exact", func(b *testing.B) { benchServeLoop(b, "Online-EGDF", true, egdf) })
+}
+
+// BenchmarkClusterWorld measures one cluster world end to end — per-node
+// online accounting advanced at every arrival, a placement decision per
+// job, then the per-node batch runs — across machine counts and balancers
+// under the SWRPT local scheduler. The ideal balancer's scratch-engine
+// lookahead (M candidate schedules per arrival) is the expensive outlier
+// the cheaper signals are judged against; recorded per commit in
+// BENCH_<sha>.json by the bench-smoke job.
+func BenchmarkClusterWorld(b *testing.B) {
+	for _, machines := range []int{2, 4} {
+		inst, err := workload.Config{
+			Sites: 1, ProcsPerSite: 1, Databanks: 12, Availability: 1,
+			Density: 1.5 * float64(machines), TargetJobs: 30 * machines,
+			SizeRange: [2]float64{10, 200}, Seed: 20_06,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci, err := model.Replicate(inst.Platform, machines, inst.Jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := core.NewClusterRunner()
+		for _, name := range []string{"random", "kchoices", "stretch", "ideal"} {
+			lb, ok := cluster.Balancers(name)
+			if !ok {
+				b.Fatalf("unknown balancer %s", name)
+			}
+			b.Run(fmt.Sprintf("machines=%d/balancer=%s", machines, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cs, err := runner.Run("SWRPT", ci, lb, 20_06)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cs.MaxStretch(ci) < 1 {
+						b.Fatal("degenerate schedule")
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkGridWorkers measures the sharded runner's scaling on a fixed

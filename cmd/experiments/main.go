@@ -13,13 +13,20 @@
 //	experiments -tables all -dryrun -csv expected.csv    # row-count oracle
 //	experiments -tables all -fromcsv merged.csv          # tables, no grid
 //	experiments ... -csv s.csv -digest s.digest          # per-point digests
+//	experiments -tables all -times t.csv                 # measure per-point cost
+//	experiments -tables all -fromtimes t.csv             # dispatch by measured cost
+//	experiments -tables cluster -runs 5                  # single vs parallel machines
+//	experiments -tables cluster -shard 0/3 -csv c0.csv   # one cluster matrix job
+//	experiments -tables cluster -fromcsv merged.csv      # cluster tables, no run
 //
 // The scheduled nightly workflow (.github/workflows/nightly.yml) runs the
 // paper-scale pass — `-tables all -horizon 900 -runs 200` — as a matrix of
 // `-shard k/n` jobs whose CSVs a final job concatenates, checks against a
 // `-dryrun` row count and the shards' per-point row digests (recomputed
 // from the merged file with `-fromcsv ... -digest`), and renders into
-// tables via `-fromcsv`.
+// tables via `-fromcsv`. The cluster family (`-tables cluster`) — the
+// Srivastav–Trystram single-vs-parallel comparison over the load-balanced
+// cluster world — shards, digests and merges the same way.
 package main
 
 import (
@@ -37,7 +44,7 @@ import (
 func main() {
 	var (
 		table       = flag.Int("table", 0, "regenerate one table (1-16)")
-		tables      = flag.String("tables", "", `"all" regenerates every table from one grid pass`)
+		tables      = flag.String("tables", "", `"all" regenerates every table from one grid pass; "cluster" runs the single-vs-parallel cluster comparison`)
 		figure      = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
 		runs        = flag.Int("runs", 3, "instances per configuration (paper: 200)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -50,6 +57,8 @@ func main() {
 		dryRun      = flag.Bool("dryrun", false, "generate instances but run no scheduler (metrics are NA); predicts CSV row counts")
 		fromCSV     = flag.String("fromcsv", "", "aggregate tables from an existing results CSV instead of running the grid")
 		digest      = flag.String("digest", "", "write per-point row digests (one FNV-64a line per grid point) to this file; with -fromcsv they are recomputed from the CSV, which is how the nightly merge detects corrupted shards")
+		times       = flag.String("times", "", "measure per-instance scheduler wall time and write the per-point timing sidecar CSV here (never touches the results CSV)")
+		fromTimes   = flag.String("fromtimes", "", "load a prior pass's timing sidecar and dispatch shards by measured cost instead of the static heuristic; never affects results")
 		verifyExact = flag.Bool("verifyexact", false, "run the exact-verification lane: Offline-Exact vs Offline and the online heuristics on a deterministic 10/20-site grid subsample, exiting nonzero if the §5.3 anomaly reappears (honours -runs, -seed, -target, -workers, -progress)")
 	)
 	flag.Parse()
@@ -59,14 +68,16 @@ func main() {
 		runVerifyExact(*runs, *seed, *target, *workers, *progress)
 	case *figure != "":
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
+	case *tables == "cluster":
+		runCluster(*runs, *seed, *target, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *fromCSV)
 	case *fromCSV != "":
 		fromCSVMain(*tables, *table, *fromCSV, *digest)
 	case *tables == "all":
-		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest)
+		runTables(allTableNumbers(), *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *times, *fromTimes)
 	case *table >= 1 && *table <= 16:
-		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest)
+		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *times, *fromTimes)
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all, or -figure 3|3a|3b")
+		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all|cluster, or -figure 3|3a|3b")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -216,7 +227,7 @@ func allTableNumbers() []int {
 	return out
 }
 
-func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool, shard string, dryRun bool, digest string) {
+func runTables(nums []int, runs int, seed int64, target int, horizon float64, workers int, csvOut string, progress bool, shard string, dryRun bool, digest, times, fromTimes string) {
 	start := time.Now()
 	opts := exp.Options{
 		Runs:       runs,
@@ -225,6 +236,27 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 		Horizon:    horizon,
 		Workers:    workers,
 		DryRun:     dryRun,
+	}
+	if times != "" {
+		// Inject the wall clock here, at the edge: the harness measures with
+		// whatever clock it is handed and stays free of time.Now itself.
+		base := time.Now()
+		opts.Clock = func() int64 { return int64(time.Since(base)) }
+	}
+	if fromTimes != "" {
+		f, err := os.Open(fromTimes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.MeasuredSeconds, err = exp.ReadPointTimes(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# shard dispatch ordered by %d measured point times from %s\n\n",
+			len(opts.MeasuredSeconds), fromTimes)
 	}
 	points := exp.DefaultGrid()
 	shardK, shardN, err := parseShard(shard)
@@ -258,6 +290,11 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 		results = exp.RunGrid(points, opts)
 	}
 	writeDigests(digest, results)
+	if times != "" {
+		writeCSV(times, func(f *os.File) error {
+			return exp.WritePointTimes(f, results)
+		})
+	}
 	errCount, stretchErrs, refineErrs := 0, 0, 0
 	for _, r := range results {
 		errCount += len(r.Errs)
@@ -274,6 +311,101 @@ func runTables(nums []int, runs int, seed int64, target int, horizon float64, wo
 		return
 	}
 	renderTables(nums, results)
+}
+
+// runCluster is the cluster experiment family: the Srivastav–Trystram
+// single-vs-parallel comparison over the load-balanced cluster world. It
+// mirrors runTables' sharding, CSV streaming and digest contract, keyed on
+// (machines, balancer, density) points.
+func runCluster(runs int, seed int64, target, workers int, csvOut string, progress bool, shard string, dryRun bool, digest, fromCSV string) {
+	schedulers := exp.DefaultClusterSchedulers()
+	if fromCSV != "" {
+		f, err := os.Open(fromCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		results, err := exp.ReadClusterCSV(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %d cluster instances read from %s\n\n", len(results), fromCSV)
+		writeClusterDigests(digest, results, schedulers)
+		fmt.Println(exp.RenderClusterTables(results, schedulers))
+		return
+	}
+
+	start := time.Now()
+	opts := exp.ClusterOptions{
+		Runs:       runs,
+		Seed:       seed,
+		TargetJobs: target,
+		Workers:    workers,
+		DryRun:     dryRun,
+	}
+	points := exp.DefaultClusterGrid()
+	shardK, shardN, err := parseShard(shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if shardN > 1 {
+		points, opts.PointIndices = exp.ShardPoints(points, shardK, shardN)
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rcluster: %d/%d instances", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	var results []exp.ClusterResult
+	if csvOut != "" {
+		writeCSV(csvOut, func(f *os.File) error {
+			var err error
+			results, err = exp.RunClusterCSV(f, points, opts)
+			return err
+		})
+	} else {
+		results = exp.RunCluster(points, opts)
+	}
+	writeClusterDigests(digest, results, schedulers)
+	errCount := 0
+	for _, r := range results {
+		errCount += len(r.Errs)
+	}
+	fmt.Printf("# cluster: %d instances in %v (%d scheduler errors)\n\n",
+		len(results), time.Since(start).Round(time.Second), errCount)
+	if shardN > 1 || dryRun {
+		fmt.Printf("# table rendering skipped (shard %d/%d, dryrun=%v); use -fromcsv on the merged CSV\n",
+			shardK, shardN, dryRun)
+		return
+	}
+	fmt.Println(exp.RenderClusterTables(results, schedulers))
+}
+
+// writeClusterDigests writes cluster per-point row digests (no-op when
+// path is empty).
+func writeClusterDigests(path string, results []exp.ClusterResult, schedulers []string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := exp.WriteClusterPointDigests(f, results, schedulers); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# per-point row digests written to %s\n\n", path)
 }
 
 func runFigure(which string, runs int, seed int64, workers int, csvOut string) {

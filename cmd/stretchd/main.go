@@ -74,6 +74,8 @@ func runDaemon(args []string) error {
 	ckPath := fs.String("checkpoint", "", "write a checkpoint here on drain")
 	restore := fs.String("restore", "", "resume from this checkpoint file")
 	replay := fs.String("replay", "", "replay this trace CSV in-process and exit")
+	backlog := fs.Int("backlog", 0, "backlog guard: switch to the fallback policy while more than this many jobs are active (0 = off)")
+	fallback := fs.String("fallback", "SWRPT", "backlog guard fallback policy (must be a list policy)")
 	wl := wlFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,12 +121,20 @@ func runDaemon(args []string) error {
 	}
 
 	cfg := serve.Config{
-		Platform:    inst.Platform,
-		Scheduler:   sched,
-		Workspace:   ws,
-		Deadline:    *deadline,
-		RecentCap:   *recents,
-		DecisionLog: logw,
+		Platform:         inst.Platform,
+		Scheduler:        sched,
+		Workspace:        ws,
+		Deadline:         *deadline,
+		RecentCap:        *recents,
+		DecisionLog:      logw,
+		BacklogThreshold: *backlog,
+	}
+	if *backlog > 0 {
+		fb, err := core.New(*fallback)
+		if err != nil {
+			return err
+		}
+		cfg.Fallback = fb
 	}
 	var loop *serve.Loop
 	if *restore != "" {

@@ -1,0 +1,216 @@
+package cluster_test
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/cluster"
+	"stretchsched/internal/model"
+	"stretchsched/internal/policy"
+	"stretchsched/internal/sim"
+	"stretchsched/internal/workload"
+)
+
+func genInstance(t *testing.T, density float64, targetJobs int, seed int64) *model.Instance {
+	t.Helper()
+	inst, err := workload.Config{
+		Sites:        1,
+		ProcsPerSite: 1,
+		Databanks:    12,
+		Availability: 1,
+		Density:      density,
+		TargetJobs:   targetJobs,
+		SizeRange:    [2]float64{10, 200},
+		Seed:         seed,
+	}.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if inst.NumJobs() == 0 {
+		t.Fatalf("seed %d generated no jobs", seed)
+	}
+	return inst
+}
+
+func swrptLocal() cluster.Local {
+	return cluster.PolicyLocal(func() sim.Policy { return policy.SWRPT{} })
+}
+
+func allBalancers(t *testing.T) map[string]cluster.LB {
+	t.Helper()
+	out := map[string]cluster.LB{}
+	for _, name := range []string{"single", "random", "kchoices", "stretch", "ideal"} {
+		lb, ok := cluster.Balancers(name)
+		if !ok {
+			t.Fatalf("Balancers(%q) unknown", name)
+		}
+		out[name] = lb
+	}
+	return out
+}
+
+// TestMachinesOneBitwise is the tentpole equivalence guarantee: a 1-node
+// cluster under every balancer must reproduce the single-platform engine's
+// schedule bit for bit — completions and slices — because placement is
+// forced and the node's sub-instance is the whole instance.
+func TestMachinesOneBitwise(t *testing.T) {
+	inst := genInstance(t, 1.5, 30, 42)
+	ref, err := sim.NewEngine().RunList(inst, policy.SWRPT{})
+	if err != nil {
+		t.Fatalf("reference RunList: %v", err)
+	}
+	ci, err := model.Replicate(inst.Platform, 1, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	for name, lb := range allBalancers(t) {
+		w, err := cluster.New(ci, lb, swrptLocal(), 7)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		cs, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		for j := range ci.Jobs {
+			if cs.Placement[j] != 0 {
+				t.Fatalf("%s: job %d placed on node %d, want 0", name, j, cs.Placement[j])
+			}
+			if cs.Completion[j] != ref.Completion[j] {
+				t.Fatalf("%s: job %d completion %v != reference %v",
+					name, j, cs.Completion[j], ref.Completion[j])
+			}
+		}
+		if got, want := len(cs.NodeSched[0].Slices), len(ref.Slices); got != want {
+			t.Fatalf("%s: %d slices, reference has %d", name, got, want)
+		}
+		for i, sl := range cs.NodeSched[0].Slices {
+			if sl != ref.Slices[i] {
+				t.Fatalf("%s: slice %d = %+v, reference %+v", name, i, sl, ref.Slices[i])
+			}
+		}
+	}
+}
+
+// TestSeedStablePlacement pins placement to (instance, balancer, seed):
+// fresh worlds and reused worlds with the same seed place identically, and
+// the randomized balancers move at least one job when the seed changes.
+func TestSeedStablePlacement(t *testing.T) {
+	inst := genInstance(t, 2.0, 40, 11)
+	ci, err := model.Replicate(inst.Platform, 4, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	for name, lb := range allBalancers(t) {
+		w, err := cluster.New(ci, lb, swrptLocal(), 3)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		first, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		// Reused world, same seed.
+		again, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: rerun: %v", name, err)
+		}
+		// Fresh world, same seed.
+		w2, _ := cluster.New(ci, lb, swrptLocal(), 3)
+		fresh, err := w2.Run()
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", name, err)
+		}
+		for j := range ci.Jobs {
+			if again.Placement[j] != first.Placement[j] {
+				t.Fatalf("%s: rerun moved job %d: %d -> %d",
+					name, j, first.Placement[j], again.Placement[j])
+			}
+			if fresh.Placement[j] != first.Placement[j] {
+				t.Fatalf("%s: fresh world moved job %d: %d -> %d",
+					name, j, first.Placement[j], fresh.Placement[j])
+			}
+			if again.Completion[j] != first.Completion[j] || fresh.Completion[j] != first.Completion[j] {
+				t.Fatalf("%s: completions not seed-stable for job %d", name, j)
+			}
+		}
+	}
+	// Randomized balancers must actually depend on the seed.
+	for _, name := range []string{"random"} {
+		lb, _ := cluster.Balancers(name)
+		w1, _ := cluster.New(ci, lb, swrptLocal(), 3)
+		a, err := w1.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		w2, _ := cluster.New(ci, lb, swrptLocal(), 4)
+		b, err := w2.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		moved := false
+		for j := range ci.Jobs {
+			if a.Placement[j] != b.Placement[j] {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.Fatalf("%s: seeds 3 and 4 produced identical placements over %d jobs",
+				name, ci.NumJobs())
+		}
+	}
+}
+
+// TestClusterScheduleValid checks every balancer produces a schedule that
+// passes full cluster validation (placement consistency, per-node schedule
+// validity, completion agreement) with sane metrics.
+func TestClusterScheduleValid(t *testing.T) {
+	inst := genInstance(t, 1.0, 30, 5)
+	ci, err := model.Replicate(inst.Platform, 2, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	for name, lb := range allBalancers(t) {
+		w, _ := cluster.New(ci, lb, swrptLocal(), 99)
+		cs, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if err := cs.Validate(ci, 1e-9); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+		maxS, sumS := cs.MaxStretch(ci), cs.SumStretch(ci)
+		if !(maxS >= 1-1e-9) || math.IsInf(maxS, 0) || math.IsNaN(maxS) {
+			t.Fatalf("%s: MaxStretch = %v", name, maxS)
+		}
+		if !(sumS >= float64(ci.NumJobs())*(1-1e-9)) || math.IsNaN(sumS) {
+			t.Fatalf("%s: SumStretch = %v over %d jobs", name, sumS, ci.NumJobs())
+		}
+	}
+}
+
+// TestBalancersSpread sanity-checks that the load-aware balancers use more
+// than one node on a 4-node cluster under heavy load.
+func TestBalancersSpread(t *testing.T) {
+	inst := genInstance(t, 3.0, 40, 21)
+	ci, err := model.Replicate(inst.Platform, 4, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	for _, name := range []string{"random", "kchoices", "stretch", "ideal"} {
+		lb, _ := cluster.Balancers(name)
+		w, _ := cluster.New(ci, lb, swrptLocal(), 13)
+		cs, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		used := map[int]bool{}
+		for _, ni := range cs.Placement {
+			used[ni] = true
+		}
+		if len(used) < 2 {
+			t.Fatalf("%s: all %d jobs on one node", name, ci.NumJobs())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"stretchsched/internal/model"
+)
+
+// Random places each job on a uniformly random node — the baseline every
+// informed balancer has to beat.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a random balancer; the RNG is seeded from the world at
+// each Run.
+func NewRandom() *Random { return &Random{} }
+
+func (*Random) Name() string { return "random" }
+
+func (b *Random) Init(w *World) { b.rng = rand.New(rand.NewSource(w.Seed())) }
+
+func (b *Random) Place(w *World, _ model.JobID) (int, error) {
+	return b.rng.Intn(w.NumNodes()), nil
+}
+
+// KChoices is the power-of-k-choices balancer: sample k nodes (with
+// replacement) and place on the least loaded, measured as backlog drain
+// time. On work-conserving nodes the backlog is invariant under the local
+// policy, so its placements do not depend on which local scheduler runs.
+type KChoices struct {
+	K   int
+	rng *rand.Rand
+}
+
+// NewKChoices returns a k-choices balancer (k defaults to 2 when < 1).
+func NewKChoices(k int) *KChoices {
+	if k < 1 {
+		k = 2
+	}
+	return &KChoices{K: k}
+}
+
+func (*KChoices) Name() string { return "kchoices" }
+
+func (b *KChoices) Init(w *World) { b.rng = rand.New(rand.NewSource(w.Seed())) }
+
+func (b *KChoices) Place(w *World, _ model.JobID) (int, error) {
+	best, bestDrain := -1, 0.0
+	for i := 0; i < b.K; i++ {
+		ni := b.rng.Intn(w.NumNodes())
+		ld := w.Load(ni)
+		drain := ld.Backlog / ld.TotalSpeed
+		if best == -1 || drain < bestDrain || (drain == bestDrain && ni < best) {
+			best, bestDrain = ni, drain
+		}
+	}
+	return best, nil
+}
+
+// StretchAware places each job on the node minimising the estimated
+// post-placement max stretch from the existing driver accounting
+// (Driver.EstMaxStretch plus the new job's own drain estimate). It reads
+// every node but never simulates.
+type StretchAware struct{}
+
+// NewStretchAware returns a stretch-aware balancer.
+func NewStretchAware() *StretchAware { return &StretchAware{} }
+
+func (*StretchAware) Name() string { return "stretch" }
+
+func (*StretchAware) Init(*World) {}
+
+func (*StretchAware) Place(w *World, j model.JobID) (int, error) {
+	best, bestEst := 0, w.PredictStretch(0, j)
+	for ni := 1; ni < w.NumNodes(); ni++ {
+		if est := w.PredictStretch(ni, j); est < bestEst {
+			best, bestEst = ni, est
+		}
+	}
+	return best, nil
+}
+
+// Ideal is the omniscient least-stretch balancer: for every candidate node
+// it simulates the local policy over the node's residual state plus the new
+// job and places where the realised max stretch is smallest. It is the
+// quality ceiling for placement signals (at M full local simulations per
+// arrival), not a practical balancer.
+type Ideal struct{}
+
+// NewIdeal returns an ideal balancer.
+func NewIdeal() *Ideal { return &Ideal{} }
+
+func (*Ideal) Name() string { return "ideal" }
+
+func (*Ideal) Init(*World) {}
+
+func (*Ideal) Place(w *World, j model.JobID) (int, error) {
+	best, bestEst := -1, 0.0
+	for ni := 0; ni < w.NumNodes(); ni++ {
+		est, err := w.Lookahead(ni, j)
+		if err != nil {
+			return 0, err
+		}
+		if best == -1 || est < bestEst {
+			best, bestEst = ni, est
+		}
+	}
+	return best, nil
+}
+
+// Balancers returns a fresh balancer by name: "ideal", "random",
+// "kchoices" (k = 2), "stretch", or "single" (the degenerate M = 1 alias,
+// which always places on node 0 via the stretch-aware scan).
+func Balancers(name string) (LB, bool) {
+	switch name {
+	case "ideal":
+		return NewIdeal(), true
+	case "random":
+		return NewRandom(), true
+	case "kchoices":
+		return NewKChoices(2), true
+	case "stretch", "single":
+		return NewStretchAware(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,291 @@
+// Package cluster is the multi-machine world on top of the single-platform
+// engine stack: M nodes (each a full model.Platform replica running its own
+// local scheduler) behind a pluggable load-balancer seam. A job is *placed*
+// onto exactly one node at its arrival instant — the balancer sees only
+// each node's online accounting, never the future — and is then *scheduled*
+// there by the node's local policy.
+//
+// The event loop mirrors the serving daemon (internal/serve): each node
+// carries a model.Stream + sim.Driver pair advanced to every arrival
+// instant, committing completions at their predicted instants, so balancer
+// decisions are a deterministic function of (instance, balancer, seed) —
+// independent of worker count or wall clock. Final per-node schedules are
+// produced by re-running the node's sub-instance through the ordinary batch
+// engine paths, which is what makes a 1-node cluster bitwise identical to
+// the single-platform pipeline and lets planner-backed schedulers (Offline,
+// Online-EGDF) act as local schedulers unchanged.
+package cluster
+
+import (
+	"fmt"
+
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+// Local supplies a node's scheduling machinery. NewPolicy returns a fresh
+// accounting policy instance — drivers and lookaheads each own one, so
+// stateful policies never share state across nodes. Run produces the node's
+// final schedule over its sub-instance; the result only needs to stay valid
+// until the next Run call (the world copies it), so engine-owned schedules
+// are fine.
+type Local struct {
+	Name      string
+	NewPolicy func() sim.Policy
+	Run       func(node int, inst *model.Instance) (*model.Schedule, error)
+}
+
+// PolicyLocal wraps a list policy as a Local: accounting and final
+// scheduling both use fresh instances of the policy, the latter through one
+// shared engine.
+func PolicyLocal(mk func() sim.Policy) Local {
+	eng := sim.NewEngine()
+	return Local{
+		Name:      mk().Name(),
+		NewPolicy: mk,
+		Run: func(_ int, inst *model.Instance) (*model.Schedule, error) {
+			return eng.RunList(inst, mk())
+		},
+	}
+}
+
+// LB decides, at each arrival instant, which node a job is placed on.
+// Init runs at the start of every World.Run — balancers reseed their RNG
+// there so placements are a pure function of (instance, seed).
+type LB interface {
+	Name() string
+	Init(w *World)
+	Place(w *World, j model.JobID) (int, error)
+}
+
+// Load is the read-only accounting view of one node a balancer sees at a
+// placement instant.
+type Load struct {
+	Active        int     // released, unfinished jobs
+	Backlog       float64 // total remaining work
+	TotalSpeed    float64 // node's summed machine speed
+	EstMaxStretch float64 // driver estimate over the active set
+}
+
+// World drives one cluster execution: the arrival loop, the per-node
+// accounting, and the final per-node schedules.
+type World struct {
+	ci    *model.ClusterInstance
+	lb    LB
+	local Local
+	seed  int64
+
+	nodes   []*node
+	scratch *sim.Engine // Ideal lookahead simulations
+	tmpJobs []model.Job
+	tmpOrig []lookJob
+}
+
+// lookJob maps a lookahead job back to its original stretch denominator.
+type lookJob struct {
+	release float64
+	alone   float64
+}
+
+// node is one machine of the world: a live stream + driver running the
+// accounting policy, plus the placement record.
+type node struct {
+	stream   *model.Stream
+	drv      *sim.Driver
+	pol      sim.Policy
+	jobs     []model.JobID // global IDs in placement (= release) order
+	globalOf []model.JobID // slot -> global ID (-1 when tombstoned)
+}
+
+// New returns a world over ci using balancer lb and local scheduling
+// machinery local. seed feeds the balancer's RNG (Init) at each Run.
+func New(ci *model.ClusterInstance, lb LB, local Local, seed int64) (*World, error) {
+	if lb == nil || local.NewPolicy == nil || local.Run == nil {
+		return nil, fmt.Errorf("cluster: balancer and local scheduler are required")
+	}
+	return &World{ci: ci, lb: lb, local: local, seed: seed, scratch: sim.NewEngine()}, nil
+}
+
+// Instance returns the cluster instance the world runs.
+func (w *World) Instance() *model.ClusterInstance { return w.ci }
+
+// NumNodes returns M.
+func (w *World) NumNodes() int { return w.ci.NumNodes() }
+
+// Seed returns the balancer seed for this world.
+func (w *World) Seed() int64 { return w.seed }
+
+// Load returns node ni's accounting view at the current instant.
+func (w *World) Load(ni int) Load {
+	n := w.nodes[ni]
+	return Load{
+		Active:        n.drv.NumActive(),
+		Backlog:       n.drv.Backlog(),
+		TotalSpeed:    w.ci.Nodes[ni].TotalSpeed(),
+		EstMaxStretch: n.drv.EstMaxStretch(),
+	}
+}
+
+// PredictStretch is the stretch-aware placement estimate for putting job j
+// on node ni right now: the worse of the node's current estimated max
+// stretch and the new job's own estimate under the node draining its whole
+// backlog plus the job at full speed.
+func (w *World) PredictStretch(ni int, j model.JobID) float64 {
+	ld := w.Load(ni)
+	est := (ld.Backlog + w.ci.Jobs[j].Size) / ld.TotalSpeed / w.ci.AloneOn(ni, j)
+	if ld.EstMaxStretch > est {
+		return ld.EstMaxStretch
+	}
+	return est
+}
+
+// Lookahead simulates node ni's local policy over its residual active set
+// plus job j and returns the realised max stretch (against the jobs'
+// original releases) — the omniscient signal the Ideal balancer ranks
+// nodes by. It costs a full local simulation per candidate node.
+func (w *World) Lookahead(ni int, j model.JobID) (float64, error) {
+	n := w.nodes[ni]
+	now := n.drv.Now()
+	worst := 0.0
+	w.tmpJobs = w.tmpJobs[:0]
+	w.tmpOrig = w.tmpOrig[:0]
+	for _, id := range n.drv.Ctx().Active() {
+		g := n.globalOf[id]
+		release, alone := w.ci.Jobs[g].Release, w.ci.AloneOn(ni, g)
+		rem := n.drv.Remaining(id)
+		if rem <= 0 {
+			// Completes at this very instant; its stretch is already fixed.
+			if s := (now - release) / alone; s > worst {
+				worst = s
+			}
+			continue
+		}
+		w.tmpJobs = append(w.tmpJobs, model.Job{Size: rem, Databank: w.ci.Jobs[g].Databank})
+		w.tmpOrig = append(w.tmpOrig, lookJob{release: release, alone: alone})
+	}
+	w.tmpJobs = append(w.tmpJobs, model.Job{Size: w.ci.Jobs[j].Size, Databank: w.ci.Jobs[j].Databank})
+	w.tmpOrig = append(w.tmpOrig, lookJob{release: w.ci.Jobs[j].Release, alone: w.ci.AloneOn(ni, j)})
+
+	// All releases are zero, so NewInstance's stable sort keeps the append
+	// order and local ID i maps to tmpOrig[i]; completions are relative to
+	// the placement instant.
+	tmp, err := model.NewInstance(w.ci.Nodes[ni], w.tmpJobs)
+	if err != nil {
+		return 0, err
+	}
+	sched, err := w.scratch.RunList(tmp, w.local.NewPolicy())
+	if err != nil {
+		return 0, err
+	}
+	for i := range tmp.Jobs {
+		s := (now + sched.Completion[i] - w.tmpOrig[i].release) / w.tmpOrig[i].alone
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}
+
+// Run executes the full cluster trace: arrivals placed in release order,
+// per-node accounting advanced between events, then one batch run per node
+// over its sub-instance. Worlds are reusable; every Run starts from fresh
+// node state and a reseeded balancer.
+func (w *World) Run() (*model.ClusterSchedule, error) {
+	w.nodes = w.nodes[:0]
+	for range w.ci.Nodes {
+		w.nodes = append(w.nodes, nil)
+	}
+	for ni := range w.nodes {
+		st := model.NewStream(w.ci.Nodes[ni])
+		drv := sim.NewDriver(st.Instance())
+		pol := w.local.NewPolicy()
+		pol.Init(st.Instance())
+		w.nodes[ni] = &node{stream: st, drv: drv, pol: pol}
+	}
+	w.lb.Init(w)
+
+	for gj := range w.ci.Jobs {
+		t := w.ci.Jobs[gj].Release
+		for ni, n := range w.nodes {
+			if err := n.advanceTo(t); err != nil {
+				return nil, fmt.Errorf("cluster: node %d accounting: %w", ni, err)
+			}
+		}
+		ni, err := w.lb.Place(w, model.JobID(gj))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s placing job %d: %w", w.lb.Name(), gj, err)
+		}
+		if ni < 0 || ni >= len(w.nodes) {
+			return nil, fmt.Errorf("cluster: %s placed job %d on node %d of %d", w.lb.Name(), gj, ni, len(w.nodes))
+		}
+		if err := w.nodes[ni].place(w.ci, model.JobID(gj)); err != nil {
+			return nil, fmt.Errorf("cluster: node %d admitting job %d: %w", ni, gj, err)
+		}
+	}
+
+	cs := model.NewClusterSchedule(w.ci)
+	for ni, n := range w.nodes {
+		cs.NodeJobs[ni] = append([]model.JobID(nil), n.jobs...)
+		sub, err := w.ci.Sub(ni, n.jobs)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := w.local.Run(ni, sub)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d %s: %w", ni, w.local.Name, err)
+		}
+		cp := &model.Schedule{
+			Result: model.Result{Completion: append([]float64(nil), sched.Completion...)},
+			Slices: append([]model.Slice(nil), sched.Slices...),
+		}
+		cs.NodeSched[ni] = cp
+		for li, g := range n.jobs {
+			cs.Placement[g] = ni
+			cs.Completion[g] = cp.Completion[li]
+		}
+	}
+	return cs, nil
+}
+
+// advanceTo moves the node's accounting clock to t, committing completions
+// at their predicted instants exactly as the serving loop does.
+func (n *node) advanceTo(t float64) error {
+	for {
+		id, at, ok := n.drv.NextCompletion()
+		if !ok || at > t {
+			break
+		}
+		if dt := at - n.drv.Now(); dt > 0 {
+			n.drv.Advance(dt)
+		}
+		n.drv.Complete(id)
+		if err := n.stream.Remove(id); err != nil {
+			return err
+		}
+		n.globalOf[id] = -1
+		if n.drv.NumActive() > 0 {
+			n.drv.Replan(n.pol)
+		}
+	}
+	if t > n.drv.Now() {
+		n.drv.Advance(t - n.drv.Now())
+	}
+	return nil
+}
+
+// place admits global job gj into the node's stream and accounting.
+func (n *node) place(ci *model.ClusterInstance, gj model.JobID) error {
+	j := ci.Jobs[gj]
+	id, err := n.stream.Add(model.Job{Name: j.Name, Release: j.Release, Size: j.Size, Databank: j.Databank})
+	if err != nil {
+		return err
+	}
+	for int(id) >= len(n.globalOf) {
+		n.globalOf = append(n.globalOf, -1)
+	}
+	n.globalOf[id] = gj
+	n.drv.Arrive(id, j.Size)
+	n.drv.Replan(n.pol)
+	n.jobs = append(n.jobs, gj)
+	return nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"stretchsched/internal/cluster"
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+// accountingFor maps a registry scheduler to the policy driving each
+// cluster node's online accounting (the driver state the balancers read).
+// Cheap list policies account as themselves, so placement signals see the
+// exact order the node will serve in; LP-backed policies and planners are
+// proxied by SWRPT — replaying an LP solve at every arrival on every node
+// (and inside every Ideal lookahead) is not a price the accounting path
+// can pay, and SWRPT is the paper's best-practice list proxy.
+func accountingFor(name string) string {
+	switch name {
+	case "FCFS", "SPT", "SWPT", "SRPT", "SWRPT", "Bender02", "ST14":
+		return name
+	default:
+		return "SWRPT"
+	}
+}
+
+// ClusterRunner executes cluster worlds over registry schedulers: one
+// Runner (engine + pooled workspace) per node backs the final per-node
+// batch runs, and Stats aggregates the per-machine snapshots into one
+// cluster-wide view. Like Runner it is single-goroutine; harnesses hold
+// one per worker.
+type ClusterRunner struct {
+	nodes []*Runner
+}
+
+// NewClusterRunner returns an empty cluster runner; per-node Runners are
+// created lazily as worlds need them and reused across runs.
+func NewClusterRunner() *ClusterRunner { return &ClusterRunner{} }
+
+// node returns the Runner backing node ni, growing the pool on demand.
+func (c *ClusterRunner) node(ni int) *Runner {
+	for len(c.nodes) <= ni {
+		c.nodes = append(c.nodes, NewRunner())
+	}
+	return c.nodes[ni]
+}
+
+// Local adapts the named registry scheduler to a cluster.Local: accounting
+// through accountingFor's policy, final node schedules through the per-node
+// Runner (so planner-backed schedulers run their full pipeline locally).
+func (c *ClusterRunner) Local(name string) (cluster.Local, error) {
+	h, err := Get(name)
+	if err != nil {
+		return cluster.Local{}, err
+	}
+	acct := accountingFor(name)
+	return cluster.Local{
+		Name: name,
+		NewPolicy: func() sim.Policy {
+			b, err := New(acct)
+			if err != nil {
+				panic(err) // unreachable: acct is a registry policy name
+			}
+			return b.(PolicyBacked).Policy()
+		},
+		Run: func(ni int, inst *model.Instance) (*model.Schedule, error) {
+			return c.node(ni).Run(h, inst)
+		},
+	}, nil
+}
+
+// Run executes one cluster world: the named registry scheduler locally on
+// every node of ci, placements by lb seeded with seed. The returned
+// schedule is caller-owned.
+func (c *ClusterRunner) Run(name string, ci *model.ClusterInstance, lb cluster.LB, seed int64) (*model.ClusterSchedule, error) {
+	loc, err := c.Local(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := cluster.New(ci, lb, loc, seed)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := w.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster %s/%s: %w", name, lb.Name(), err)
+	}
+	return cs, nil
+}
+
+// Stats aggregates the per-node Runner snapshots into one cluster-wide
+// Stats via MergeStats.
+func (c *ClusterRunner) Stats() Stats {
+	agg := Stats{Solve: map[string]SolveStats{}}
+	for _, r := range c.nodes {
+		agg = MergeStats(agg, r.Stats())
+	}
+	return agg
+}
+
+// ResetStats zeroes every node Runner's cumulative workspace counters.
+func (c *ClusterRunner) ResetStats() {
+	for _, r := range c.nodes {
+		r.ResetStats()
+	}
+}
+
+// MergeStats combines two Stats snapshots — per-machine views of a cluster
+// run — into one aggregate: solver-failure and tier counters sum, the
+// incremental session's counters sum and its eta gauges take the
+// cluster-wide high-water mark.
+func MergeStats(a, b Stats) Stats {
+	out := Stats{Solve: map[string]SolveStats{}}
+	for name, ss := range a.Solve {
+		out.Solve[name] = ss
+	}
+	for name, ss := range b.Solve {
+		prev := out.Solve[name]
+		out.Solve[name] = SolveStats{
+			StretchErrs: prev.StretchErrs + ss.StretchErrs,
+			RefineErrs:  prev.RefineErrs + ss.RefineErrs,
+		}
+	}
+	out.HasTiers = a.HasTiers || b.HasTiers
+	out.Tiers = a.Tiers
+	for i := range out.Tiers.Ops {
+		out.Tiers.Ops[i] += b.Tiers.Ops[i]
+		out.Tiers.Promotions[i] += b.Tiers.Promotions[i]
+		out.Tiers.Demotions[i] += b.Tiers.Demotions[i]
+	}
+	out.HasIncremental = a.HasIncremental || b.HasIncremental
+	ai, bi := a.Incremental, b.Incremental
+	out.Incremental = ai
+	out.Incremental.Cold += bi.Cold
+	out.Incremental.Warm += bi.Warm
+	out.Incremental.Fallback += bi.Fallback
+	out.Incremental.ColdIters += bi.ColdIters
+	out.Incremental.WarmIters += bi.WarmIters
+	out.Incremental.DualSteps += bi.DualSteps
+	out.Incremental.WarmPhase1 += bi.WarmPhase1
+	out.Incremental.Resolves += bi.Resolves
+	out.Incremental.EtaLen = max(ai.EtaLen, bi.EtaLen)
+	out.Incremental.EtaNNZ = max(ai.EtaNNZ, bi.EtaNNZ)
+	out.Incremental.MaxEtaLen = max(ai.MaxEtaLen, bi.MaxEtaLen)
+	out.Incremental.MaxEtaNNZ = max(ai.MaxEtaNNZ, bi.MaxEtaNNZ)
+	return out
+}

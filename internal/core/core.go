@@ -315,6 +315,9 @@ func init() {
 	registerPolicy("SWPT", func(*offline.Workspace) sim.Policy { return policy.SWPT{} })
 	registerPolicy("SRPT", func(*offline.Workspace) sim.Policy { return policy.SRPT{} })
 	registerPolicy("SWRPT", func(*offline.Workspace) sim.Policy { return policy.SWRPT{} })
+	// ST14 is the Srivastav–Trystram total-stretch heuristic (PAPERS.md),
+	// the competing local policy of the cluster experiment family.
+	registerPolicy("ST14", func(*offline.Workspace) sim.Policy { return policy.NewST14() })
 	registerDirect("MCT", greedy.MCT)
 	registerDirect("MCT-Div", greedy.MCTDiv)
 }

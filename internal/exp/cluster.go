@@ -1,0 +1,562 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"stretchsched/internal/cluster"
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/stats"
+	"stretchsched/internal/workload"
+)
+
+// The cluster experiment family reproduces the Srivastav–Trystram
+// single-vs-parallel-machines comparison (PAPERS.md: total stretch on
+// single and identical parallel machines) on the cluster world: one
+// generated job stream is placed over M identical single-processor nodes
+// by a competing balancer and scheduled locally by competing policies,
+// with machines = 1 as the single-machine baseline. It rides the same
+// sharded worker pool, streamed CSV merge and per-point digests as the
+// paper grid — the task space just carries (machines, balancer) axes
+// instead of platform shape.
+
+// ClusterPoint is one cluster configuration: M identical nodes, a
+// balancer, and a per-node workload density.
+type ClusterPoint struct {
+	Machines int
+	Balancer string
+	Density  float64
+}
+
+func (p ClusterPoint) String() string {
+	return fmt.Sprintf("machines=%d balancer=%s density=%.2f", p.Machines, p.Balancer, p.Density)
+}
+
+// DefaultClusterGrid returns the single-vs-parallel comparison grid:
+// machines = 1 (the degenerate "single" placement) against clusters of 2
+// and 4 nodes under every balancer, across four densities.
+func DefaultClusterGrid() []ClusterPoint {
+	var out []ClusterPoint
+	for _, m := range []int{1, 2, 4} {
+		balancers := []string{"ideal", "random", "kchoices", "stretch"}
+		if m == 1 {
+			// Every balancer degenerates to node 0; one entry suffices.
+			balancers = []string{"single"}
+		}
+		for _, b := range balancers {
+			for _, d := range []float64{0.75, 1.0, 1.5, 2.0} {
+				out = append(out, ClusterPoint{m, b, d})
+			}
+		}
+	}
+	return out
+}
+
+// ClusterOptions controls a cluster grid run.
+type ClusterOptions struct {
+	Runs       int      // instances per configuration
+	Seed       int64    // base seed; instance seeds derive deterministically
+	Schedulers []string // local policies; defaults to SRPT, SWRPT, ST14
+	// TargetJobs sizes each instance by expected job count per machine
+	// (default 30): an M-machine point generates ~M·TargetJobs jobs at M
+	// times the arrival rate, holding per-machine load at the point's
+	// density.
+	TargetJobs int
+	// SizeRange overrides the databank size range (MB).
+	SizeRange [2]float64
+	// Workers bounds parallelism (0 = GOMAXPROCS); never affects results.
+	Workers int
+	// PointIndices remaps points to global grid indices for sharded runs
+	// (see ShardPoints); nil means points[i] is global index i.
+	PointIndices []int
+	// DryRun generates every instance but runs no scheduler (NaN metrics),
+	// predicting the exact row structure of a real run.
+	DryRun bool
+	// Progress, when non-nil, is called after every completed instance.
+	Progress func(done, total int)
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if o.TargetJobs <= 0 {
+		o.TargetJobs = 30
+	}
+	if len(o.Schedulers) == 0 {
+		o.Schedulers = DefaultClusterSchedulers()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SizeRange == [2]float64{} {
+		o.SizeRange = [2]float64{10, 200}
+	}
+	return o
+}
+
+// DefaultClusterSchedulers returns the local policies of the comparison:
+// the paper's best-practice list rules against the Srivastav–Trystram
+// heuristic.
+func DefaultClusterSchedulers() []string { return []string{"SRPT", "SWRPT", "ST14"} }
+
+// config builds the workload for one cluster point and run: one
+// single-processor site holding every databank — the identical-machines
+// setting — with the arrival rate and job count scaled by M so per-machine
+// load stays at the point's density.
+func (o ClusterOptions) config(p ClusterPoint, run, pointIdx int) workload.Config {
+	return workload.Config{
+		Sites:        1,
+		ProcsPerSite: 1,
+		Databanks:    12,
+		Availability: 1,
+		Density:      p.Density * float64(p.Machines),
+		TargetJobs:   o.TargetJobs * p.Machines,
+		SizeRange:    o.SizeRange,
+		Seed:         o.Seed + int64(pointIdx)*1_000_003 + int64(run)*7919,
+	}
+}
+
+// lbSeed derives the balancer RNG seed for one instance — offset from the
+// workload seed so balancer draws never alias the generator's.
+func (o ClusterOptions) lbSeed(run, pointIdx int) int64 {
+	return o.Seed + int64(pointIdx)*1_000_003 + int64(run)*7919 + 500_009
+}
+
+func (o ClusterOptions) globalPointIndex(pi int) int {
+	if o.PointIndices != nil {
+		return o.PointIndices[pi]
+	}
+	return pi
+}
+
+// pointWeight estimates the relative cost of one instance at p for shard
+// dispatch only: local list scheduling is ~jobs² in the worst case, and the
+// ideal balancer runs one full local simulation per node per arrival.
+func (o ClusterOptions) pointWeight(p ClusterPoint) float64 {
+	jobs := float64(o.TargetJobs * p.Machines)
+	w := jobs * jobs
+	if p.Balancer == "ideal" {
+		w *= float64(p.Machines)
+	}
+	return w
+}
+
+// ClusterResult holds the raw metrics of every local policy on one cluster
+// instance. Absent schedulers (failed) are recorded as NaN.
+type ClusterResult struct {
+	Point      ClusterPoint
+	Run        int
+	Jobs       int
+	MaxStretch map[string]float64
+	SumStretch map[string]float64
+	Errs       []error
+}
+
+// RunCluster evaluates the configured local policies over points × runs on
+// the sharded worker pool and returns one ClusterResult per instance,
+// indexed by pointIdx·Runs + run regardless of worker count.
+func RunCluster(points []ClusterPoint, opts ClusterOptions) []ClusterResult {
+	return runClusterSharded(points, opts.withDefaults(), nil)
+}
+
+func runClusterSharded(points []ClusterPoint, opts ClusterOptions,
+	onShard func(si int, shard []ClusterResult)) []ClusterResult {
+	total := len(points) * opts.Runs
+	results := make([]ClusterResult, total)
+	pw := make([]float64, len(points))
+	for pi := range points {
+		pw[pi] = opts.pointWeight(points[pi])
+	}
+	order := orderByWeight(shardWeights(total, func(ti int) float64 {
+		return pw[ti/opts.Runs]
+	}))
+	var shardDone func(si, lo, hi int)
+	if onShard != nil {
+		shardDone = func(si, lo, hi int) { onShard(si, results[lo:hi]) }
+	}
+	runSharded(total, opts.Workers, core.NewClusterRunner, order,
+		func(cr *core.ClusterRunner, ti int) {
+			pi, run := ti/opts.Runs, ti%opts.Runs
+			results[ti] = runClusterOne(cr, points[pi], run, opts.globalPointIndex(pi), opts)
+		}, shardDone, opts.Progress)
+	return results
+}
+
+func runClusterOne(cr *core.ClusterRunner, p ClusterPoint, run, pointIdx int, opts ClusterOptions) ClusterResult {
+	res := ClusterResult{
+		Point:      p,
+		Run:        run,
+		MaxStretch: map[string]float64{},
+		SumStretch: map[string]float64{},
+	}
+	inst, err := opts.config(p, run, pointIdx).Generate()
+	if err != nil {
+		res.Errs = append(res.Errs, err)
+		return res
+	}
+	res.Jobs = inst.NumJobs()
+	if inst.NumJobs() == 0 {
+		return res
+	}
+	if opts.DryRun {
+		for _, name := range opts.Schedulers {
+			res.MaxStretch[name] = math.NaN()
+			res.SumStretch[name] = math.NaN()
+		}
+		return res
+	}
+	ci, err := model.Replicate(inst.Platform, p.Machines, inst.Jobs)
+	if err != nil {
+		res.Errs = append(res.Errs, err)
+		return res
+	}
+	seed := opts.lbSeed(run, pointIdx)
+	for _, name := range opts.Schedulers {
+		lb, ok := cluster.Balancers(p.Balancer)
+		if !ok {
+			res.Errs = append(res.Errs, fmt.Errorf("exp: unknown balancer %q", p.Balancer))
+			res.MaxStretch[name] = math.NaN()
+			res.SumStretch[name] = math.NaN()
+			continue
+		}
+		cs, err := runClusterScheduler(cr, name, ci, lb, seed)
+		if err != nil {
+			res.Errs = append(res.Errs, fmt.Errorf("%s on %v run %d: %w", name, p, run, err))
+			res.MaxStretch[name] = math.NaN()
+			res.SumStretch[name] = math.NaN()
+			continue
+		}
+		res.MaxStretch[name] = cs.MaxStretch(ci)
+		res.SumStretch[name] = cs.SumStretch(ci)
+	}
+	return res
+}
+
+func runClusterScheduler(cr *core.ClusterRunner, name string, ci *model.ClusterInstance,
+	lb cluster.LB, seed int64) (cs *model.ClusterSchedule, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return cr.Run(name, ci, lb, seed)
+}
+
+// clusterHeader is the column layout of the raw cluster metric dump.
+var clusterHeader = []string{"machines", "balancer", "density",
+	"run", "jobs", "scheduler", "max_stretch", "sum_stretch"}
+
+// writeClusterRows encodes one cluster instance's per-scheduler rows.
+func writeClusterRows(cw *csv.Writer, r *ClusterResult, schedulers []string) error {
+	for _, name := range schedulers {
+		maxS, okM := r.MaxStretch[name]
+		sumS, okS := r.SumStretch[name]
+		if !okM && !okS {
+			continue
+		}
+		row := []string{
+			strconv.Itoa(r.Point.Machines),
+			r.Point.Balancer,
+			formatFloat(r.Point.Density),
+			strconv.Itoa(r.Run),
+			strconv.Itoa(r.Jobs),
+			name,
+			formatFloat(maxS),
+			formatFloat(sumS),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeClusterShard encodes one completed shard's rows (header-less).
+func encodeClusterShard(w io.Writer, shard []ClusterResult, schedulers []string) error {
+	cw := csv.NewWriter(w)
+	for i := range shard {
+		if err := writeClusterRows(cw, &shard[i], schedulers); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteClusterCSV dumps raw per-instance cluster metrics (one row per
+// scheduler per instance).
+func WriteClusterCSV(w io.Writer, results []ClusterResult, schedulers []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(clusterHeader); err != nil {
+		return err
+	}
+	for i := range results {
+		if err := writeClusterRows(cw, &results[i], schedulers); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunClusterCSV runs the cluster grid and streams the raw metrics to w via
+// the same in-order shard flush as RunGridCSV: output bytes are identical
+// for any worker count.
+func RunClusterCSV(w io.Writer, points []ClusterPoint, opts ClusterOptions) ([]ClusterResult, error) {
+	opts = opts.withDefaults()
+	stream, err := newCSVStream(w, clusterHeader)
+	if err != nil {
+		return nil, err
+	}
+	results := runClusterSharded(points, opts, func(si int, shard []ClusterResult) {
+		if stream.failed() {
+			return
+		}
+		var buf bytes.Buffer
+		if err := encodeClusterShard(&buf, shard, opts.Schedulers); err != nil {
+			stream.fail(fmt.Errorf("exp: encoding cluster shard %d: %w", si, err))
+			return
+		}
+		stream.add(si, buf.Bytes())
+	})
+	return results, stream.err()
+}
+
+// ReadClusterCSV parses a raw cluster metric dump (or concatenated
+// per-shard dumps) back into ClusterResults, grouping the per-scheduler
+// rows of one instance by (point, run).
+func ReadClusterCSV(r io.Reader) ([]ClusterResult, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("exp: cluster CSV header: %w", err)
+	}
+	if len(header) != len(clusterHeader) {
+		return nil, fmt.Errorf("exp: cluster CSV header has %d columns, want %d",
+			len(header), len(clusterHeader))
+	}
+	for i, name := range clusterHeader {
+		if header[i] != name {
+			return nil, fmt.Errorf("exp: cluster CSV column %d is %q, want %q", i, header[i], name)
+		}
+	}
+	type instKey struct {
+		point ClusterPoint
+		run   int
+	}
+	var results []ClusterResult
+	index := map[instKey]int{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return results, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exp: cluster CSV line %d: %w", line, err)
+		}
+		bad := func(col string, err error) error {
+			return fmt.Errorf("exp: cluster CSV line %d: bad %s: %w", line, col, err)
+		}
+		machines, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, bad("machines", err)
+		}
+		density, err := parseFloat(row[2])
+		if err != nil {
+			return nil, bad("density", err)
+		}
+		run, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, bad("run", err)
+		}
+		jobs, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, bad("jobs", err)
+		}
+		maxS, err := parseFloat(row[6])
+		if err != nil {
+			return nil, bad("max_stretch", err)
+		}
+		sumS, err := parseFloat(row[7])
+		if err != nil {
+			return nil, bad("sum_stretch", err)
+		}
+		key := instKey{ClusterPoint{machines, row[1], density}, run}
+		ri, ok := index[key]
+		if !ok {
+			ri = len(results)
+			index[key] = ri
+			results = append(results, ClusterResult{
+				Point:      key.point,
+				Run:        run,
+				Jobs:       jobs,
+				MaxStretch: map[string]float64{},
+				SumStretch: map[string]float64{},
+			})
+		}
+		results[ri].MaxStretch[row[5]] = maxS
+		results[ri].SumStretch[row[5]] = sumS
+	}
+}
+
+// clusterPointKey is the digest line key: the point's CSV coordinates.
+func clusterPointKey(p ClusterPoint) string {
+	return fmt.Sprintf("%d,%s,%s", p.Machines, p.Balancer, formatFloat(p.Density))
+}
+
+// ClusterPointDigests returns one "machines,balancer,density fnv64a" line
+// per cluster point present in results, sorted, each digesting the point's
+// CSV rows exactly as WriteClusterCSV encodes them — the cluster family's
+// merge-integrity check, mirroring PointDigests.
+func ClusterPointDigests(results []ClusterResult, schedulers []string) ([]string, error) {
+	return digestLines(len(results),
+		func(i int) string { return clusterPointKey(results[i].Point) },
+		func(i int, cw *csv.Writer) error { return writeClusterRows(cw, &results[i], schedulers) })
+}
+
+// WriteClusterPointDigests writes ClusterPointDigests lines to w.
+func WriteClusterPointDigests(w io.Writer, results []ClusterResult, schedulers []string) error {
+	lines, err := ClusterPointDigests(results, schedulers)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AggregateCluster normalises each instance's metrics by the best local
+// policy on that instance and aggregates the ratios over instances whose
+// point passes the filter (nil = all), in the given scheduler order — the
+// cluster analogue of Aggregate, reusing the paper tables' Row shape.
+func AggregateCluster(results []ClusterResult, filter func(ClusterPoint) bool, schedulers []string) []Row {
+	maxAgg := map[string]*stats.Agg{}
+	sumAgg := map[string]*stats.Agg{}
+	for _, name := range schedulers {
+		maxAgg[name] = &stats.Agg{}
+		sumAgg[name] = &stats.Agg{}
+	}
+	for _, res := range results {
+		if filter != nil && !filter(res.Point) {
+			continue
+		}
+		if res.Jobs == 0 {
+			continue
+		}
+		maxRatio := stats.RatiosToBest(res.MaxStretch)
+		sumRatio := stats.RatiosToBest(res.SumStretch)
+		for _, name := range schedulers {
+			if r, ok := maxRatio[name]; ok && !math.IsNaN(r) {
+				maxAgg[name].Add(r)
+			}
+			if r, ok := sumRatio[name]; ok && !math.IsNaN(r) {
+				sumAgg[name].Add(r)
+			}
+		}
+	}
+	rows := make([]Row, 0, len(schedulers))
+	for _, name := range schedulers {
+		rows = append(rows, Row{
+			Scheduler: name,
+			N:         maxAgg[name].N(),
+			MaxMean:   maxAgg[name].Mean(),
+			MaxSD:     maxAgg[name].SD(),
+			MaxMax:    maxAgg[name].Max(),
+			SumMean:   sumAgg[name].Mean(),
+			SumSD:     sumAgg[name].SD(),
+			SumMax:    sumAgg[name].Max(),
+		})
+	}
+	return rows
+}
+
+// clusterCombos returns the distinct (machines, balancer) combinations of
+// points, in first-appearance order.
+func clusterCombos(points []ClusterPoint) []ClusterPoint {
+	var combos []ClusterPoint
+	for _, p := range points {
+		dup := false
+		for _, c := range combos {
+			if c.Machines == p.Machines && c.Balancer == p.Balancer {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			combos = append(combos, ClusterPoint{Machines: p.Machines, Balancer: p.Balancer})
+		}
+	}
+	return combos
+}
+
+// RenderClusterTables renders the full cluster family report: the
+// single-vs-parallel summary matrix (mean sum-stretch ratio-to-best per
+// policy per machines/balancer combination — the Srivastav–Trystram
+// comparison) followed by one paper-style table per combination.
+func RenderClusterTables(results []ClusterResult, schedulers []string) string {
+	combos := clusterCombos(clusterResultPoints(results))
+	var b strings.Builder
+	b.WriteString(renderClusterMatrix(results, combos, schedulers))
+	b.WriteString("\n")
+	for _, c := range combos {
+		mc, bc := c.Machines, c.Balancer
+		rows := AggregateCluster(results, func(p ClusterPoint) bool {
+			return p.Machines == mc && p.Balancer == bc
+		}, schedulers)
+		title := fmt.Sprintf("Cluster: %d machine(s), balancer %s — ratio to best local policy", mc, bc)
+		b.WriteString(Render(title, rows))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// clusterResultPoints lists each result's point, in result order.
+func clusterResultPoints(results []ClusterResult) []ClusterPoint {
+	pts := make([]ClusterPoint, len(results))
+	for i := range results {
+		pts[i] = results[i].Point
+	}
+	return pts
+}
+
+// renderClusterMatrix is the headline single-vs-parallel view: one row per
+// local policy, one column per (machines, balancer) combination, cells the
+// mean sum-stretch ratio-to-best over that combination's instances.
+func renderClusterMatrix(results []ClusterResult, combos []ClusterPoint, schedulers []string) string {
+	var b strings.Builder
+	b.WriteString("Single vs parallel machines: mean sum-stretch (ratio to best local policy)\n")
+	fmt.Fprintf(&b, "%-14s |", "")
+	for _, c := range combos {
+		fmt.Fprintf(&b, " %14s |", fmt.Sprintf("m=%d/%s", c.Machines, c.Balancer))
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 14+1+len(combos)*18))
+	b.WriteString("\n")
+	for _, name := range schedulers {
+		fmt.Fprintf(&b, "%-14s |", name)
+		for _, c := range combos {
+			mc, bc := c.Machines, c.Balancer
+			rows := AggregateCluster(results, func(p ClusterPoint) bool {
+				return p.Machines == mc && p.Balancer == bc
+			}, []string{name})
+			cell := "-"
+			if len(rows) == 1 && rows[0].N > 0 {
+				cell = fmt.Sprintf("%.4f", rows[0].SumMean)
+			}
+			fmt.Fprintf(&b, " %14s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

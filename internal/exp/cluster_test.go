@@ -1,0 +1,307 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"stretchsched/internal/core"
+)
+
+func clusterTestPoints() []ClusterPoint {
+	return []ClusterPoint{
+		{Machines: 1, Balancer: "single", Density: 1.0},
+		{Machines: 2, Balancer: "random", Density: 1.5},
+		{Machines: 2, Balancer: "kchoices", Density: 1.5},
+		{Machines: 4, Balancer: "stretch", Density: 2.0},
+		{Machines: 2, Balancer: "ideal", Density: 1.0},
+	}
+}
+
+func clusterTestOptions(workers int) ClusterOptions {
+	return ClusterOptions{
+		Runs:       2,
+		Seed:       23,
+		TargetJobs: 8,
+		Schedulers: []string{"SRPT", "SWRPT", "ST14"},
+		Workers:    workers,
+	}
+}
+
+// TestClusterWorkerInvariance mirrors TestGridWorkerInvariance for the
+// cluster family: results, rendered tables, the merged CSV stream, and the
+// per-point digests must be byte-identical for 1 worker and NumCPU workers.
+func TestClusterWorkerInvariance(t *testing.T) {
+	points := clusterTestPoints()
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 4
+	}
+
+	var csv1, csvN bytes.Buffer
+	res1, err := RunClusterCSV(&csv1, points, clusterTestOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resN, err := RunClusterCSV(&csvN, points, clusterTestOptions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res1) != len(resN) {
+		t.Fatalf("result counts differ: %d vs %d", len(res1), len(resN))
+	}
+	for i := range res1 {
+		a, b := res1[i], resN[i]
+		if a.Point != b.Point || a.Run != b.Run || a.Jobs != b.Jobs {
+			t.Fatalf("instance %d identity differs: %+v vs %+v", i, a, b)
+		}
+		for name := range a.MaxStretch {
+			if !sameMetric(a.MaxStretch[name], b.MaxStretch[name]) {
+				t.Fatalf("instance %d %s max-stretch: %v (1 worker) vs %v (%d workers)",
+					i, name, a.MaxStretch[name], b.MaxStretch[name], n)
+			}
+			if !sameMetric(a.SumStretch[name], b.SumStretch[name]) {
+				t.Fatalf("instance %d %s sum-stretch: %v vs %v",
+					i, name, a.SumStretch[name], b.SumStretch[name])
+			}
+		}
+		if len(a.Errs) != 0 || len(b.Errs) != 0 {
+			t.Fatalf("instance %d errors: %v / %v", i, a.Errs, b.Errs)
+		}
+	}
+
+	sched := clusterTestOptions(0).withDefaults().Schedulers
+	t1 := RenderClusterTables(res1, sched)
+	tN := RenderClusterTables(resN, sched)
+	if t1 != tN {
+		t.Fatalf("rendered cluster tables differ:\n%s\nvs\n%s", t1, tN)
+	}
+
+	if !bytes.Equal(csv1.Bytes(), csvN.Bytes()) {
+		t.Fatalf("merged CSV differs between 1 and %d workers (%d vs %d bytes)",
+			n, csv1.Len(), csvN.Len())
+	}
+	if csv1.Len() == 0 {
+		t.Fatal("CSV output empty")
+	}
+
+	d1, err := ClusterPointDigests(res1, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dN, err := ClusterPointDigests(resN, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(points) {
+		t.Fatalf("%d digest lines, want one per point (%d)", len(d1), len(points))
+	}
+	for i := range d1 {
+		if d1[i] != dN[i] {
+			t.Fatalf("digest line %d differs: %q vs %q", i, d1[i], dN[i])
+		}
+	}
+}
+
+// TestClusterSingleMachineMatchesSinglePlatform: a machines=1 cluster point
+// must reproduce the single-platform scheduler path exactly — identical
+// metrics to running the very same generated instances through the core
+// registry directly.
+func TestClusterSingleMachineMatchesSinglePlatform(t *testing.T) {
+	copts := clusterTestOptions(1).withDefaults()
+	copts.Schedulers = []string{"SRPT", "SWRPT", "ST14"}
+	p := ClusterPoint{Machines: 1, Balancer: "single", Density: 1.5}
+	cres := RunCluster([]ClusterPoint{p}, copts)
+
+	for run := 0; run < copts.Runs; run++ {
+		inst, err := copts.config(p, run, 0).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.NumJobs() != cres[run].Jobs {
+			t.Fatalf("run %d jobs: cluster %d, direct %d", run, cres[run].Jobs, inst.NumJobs())
+		}
+		for _, name := range copts.Schedulers {
+			sched, err := core.MustGet(name).Run(inst)
+			if err != nil {
+				t.Fatalf("run %d %s: %v", run, name, err)
+			}
+			if got, want := cres[run].MaxStretch[name], sched.MaxStretch(inst); got != want {
+				t.Fatalf("run %d %s max-stretch: cluster %v, direct %v", run, name, got, want)
+			}
+			if got, want := cres[run].SumStretch[name], sched.SumStretch(inst); got != want {
+				t.Fatalf("run %d %s sum-stretch: cluster %v, direct %v", run, name, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterCSVRoundTrip: ReadClusterCSV must reconstruct the results a
+// CSV pass wrote, and re-encoding must reproduce the bytes — the property
+// the nightly -fromcsv merge and digest check stand on.
+func TestClusterCSVRoundTrip(t *testing.T) {
+	points := clusterTestPoints()[:3]
+	opts := clusterTestOptions(2)
+	var buf bytes.Buffer
+	results, err := RunClusterCSV(&buf, points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadClusterCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rewritten bytes.Buffer
+	if err := WriteClusterCSV(&rewritten, back, opts.Schedulers); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), rewritten.Bytes()) {
+		t.Fatalf("re-encoded CSV differs:\n%q\nvs\n%q", buf.String(), rewritten.String())
+	}
+	d1, err := ClusterPointDigests(results, opts.Schedulers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ClusterPointDigests(back, opts.Schedulers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("digest counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("digest %d differs after round trip: %q vs %q", i, d1[i], d2[i])
+		}
+	}
+}
+
+// TestClusterShardedMatrixMerge simulates the nightly matrix: interleaved
+// point shards run independently with PointIndices, their CSVs concatenate
+// (minus inner headers) into the merged dump, and the recomputed digests of
+// the merged read-back must equal the union of the shard digests.
+func TestClusterShardedMatrixMerge(t *testing.T) {
+	points := clusterTestPoints()
+	opts := clusterTestOptions(2)
+	const nShards = 2
+
+	var full bytes.Buffer
+	if _, err := RunClusterCSV(&full, points, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var merged bytes.Buffer
+	var shardDigests []string
+	for k := 0; k < nShards; k++ {
+		shard, indices := ShardPoints(points, k, nShards)
+		sopts := opts
+		sopts.PointIndices = indices
+		var buf bytes.Buffer
+		res, err := RunClusterCSV(&buf, shard, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, err := ClusterPointDigests(res, sopts.withDefaults().Schedulers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardDigests = append(shardDigests, lines...)
+		body := buf.String()
+		if k > 0 {
+			// Drop the inner header, as the merge job's tail -n +2 does.
+			body = body[strings.Index(body, "\n")+1:]
+		}
+		merged.WriteString(body)
+	}
+
+	back, err := ReadClusterCSV(bytes.NewReader(merged.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed, err := ClusterPointDigests(back, opts.withDefaults().Schedulers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, l := range shardDigests {
+		want[l] = true
+	}
+	if len(recomputed) != len(want) {
+		t.Fatalf("merged digests: %d lines, shards produced %d", len(recomputed), len(want))
+	}
+	for _, l := range recomputed {
+		if !want[l] {
+			t.Fatalf("merged digest %q not produced by any shard", l)
+		}
+	}
+
+	// The sharded merge must carry exactly the full run's row multiset:
+	// re-encoding the read-back in full-run result order matches.
+	fullBack, err := ReadClusterCSV(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDigests, err := ClusterPointDigests(fullBack, opts.withDefaults().Schedulers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fullDigests {
+		if !want[fullDigests[i]] {
+			t.Fatalf("full-run digest %q missing from sharded merge", fullDigests[i])
+		}
+	}
+}
+
+// TestClusterDryRun: a dry run must produce the exact row structure of a
+// real run (same instances, same schedulers) with every metric NA.
+func TestClusterDryRun(t *testing.T) {
+	points := clusterTestPoints()[:2]
+	opts := clusterTestOptions(1)
+	opts.DryRun = true
+	results := RunCluster(points, opts)
+	if len(results) != len(points)*opts.Runs {
+		t.Fatalf("%d results, want %d", len(results), len(points)*opts.Runs)
+	}
+	for i, r := range results {
+		if r.Jobs == 0 {
+			t.Fatalf("dry-run instance %d generated no jobs", i)
+		}
+		for _, name := range opts.Schedulers {
+			if !math.IsNaN(r.MaxStretch[name]) || !math.IsNaN(r.SumStretch[name]) {
+				t.Fatalf("dry-run instance %d %s has real metrics", i, name)
+			}
+		}
+	}
+	live := RunCluster(points, clusterTestOptions(1))
+	var dryCSV, liveCSV bytes.Buffer
+	if err := WriteClusterCSV(&dryCSV, results, opts.Schedulers); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteClusterCSV(&liveCSV, live, opts.Schedulers); err != nil {
+		t.Fatal(err)
+	}
+	if dryLines, liveLines := strings.Count(dryCSV.String(), "\n"), strings.Count(liveCSV.String(), "\n"); dryLines != liveLines {
+		t.Fatalf("dry run predicts %d rows, live run produced %d", dryLines, liveLines)
+	}
+}
+
+// TestDefaultClusterGrid pins the comparison grid's shape: the machines=1
+// baseline plus every balancer at 2 and 4 machines, four densities each.
+func TestDefaultClusterGrid(t *testing.T) {
+	grid := DefaultClusterGrid()
+	if len(grid) != 36 {
+		t.Fatalf("%d points, want 36", len(grid))
+	}
+	combos := clusterCombos(grid)
+	if len(combos) != 9 {
+		t.Fatalf("%d machine/balancer combos, want 9", len(combos))
+	}
+	for _, p := range grid {
+		if p.Machines == 1 && p.Balancer != "single" {
+			t.Fatalf("machines=1 point uses balancer %q", p.Balancer)
+		}
+	}
+}

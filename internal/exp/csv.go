@@ -72,66 +72,100 @@ func WriteResultsCSV(w io.Writer, results []InstanceResult, schedulers []string)
 	return cw.Error()
 }
 
-// RunGridCSV runs the grid and streams the raw per-instance metrics to w
-// while the grid is still running: each worker encodes its shard's rows
-// while the results are hot, and completed shards are flushed to w as soon
-// as every earlier shard has been written, so task order — and therefore
-// the output bytes — is identical for any worker count. Because shards are
-// dispatched largest-estimated-cost first (see shardOrder), completion
-// order need not follow index order: encoded shards wait in memory (a few
-// MB at paper scale) until the in-order flush reaches them, so a run
+// csvStream is the in-order shard flusher shared by the CSV-streaming grid
+// runners: completed shards hand their encoded bytes to add, which flushes
+// to the underlying writer as soon as every earlier shard has been written,
+// so task order — and therefore the output bytes — is identical for any
+// worker count and any dispatch order. Encoded shards wait in memory (a
+// few MB at paper scale) until the in-order cursor reaches them, so a run
 // killed midway keeps only the contiguous task-order prefix that happened
-// to complete, not everything computed so far. The grid results are
-// returned as from RunGrid, together with the first encode or write error
-// (the grid always runs to completion; encoding is skipped once a write
-// has failed).
-func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult, error) {
-	opts = opts.withDefaults()
+// to complete.
+type csvStream struct {
+	w       io.Writer
+	mu      sync.Mutex
+	pending map[int][]byte // encoded shards not yet flushable
+	next    int            // lowest shard index not yet written
+	werr    error
+}
+
+// newCSVStream writes the header row and returns the stream, or the header
+// write error.
+func newCSVStream(w io.Writer, header []string) (*csvStream, error) {
 	hc := csv.NewWriter(w)
-	if err := hc.Write(resultsHeader); err != nil {
+	if err := hc.Write(header); err != nil {
 		return nil, err
 	}
 	hc.Flush()
 	if err := hc.Error(); err != nil {
 		return nil, err
 	}
+	return &csvStream{w: w, pending: map[int][]byte{}}, nil
+}
 
-	var (
-		mu      sync.Mutex
-		pending = map[int][]byte{} // encoded shards not yet flushable
-		next    int                // lowest shard index not yet written
-		werr    error
-	)
+// failed reports whether the stream has already recorded an error, so
+// workers skip encoding work that could never be written.
+func (s *csvStream) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr != nil
+}
+
+// fail poisons the stream with an encode error: a shard that fails to
+// encode must surface as the run's error, never as a silently truncated
+// CSV.
+func (s *csvStream) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.werr == nil {
+		s.werr = err
+	}
+}
+
+// add hands shard si's encoded bytes to the in-order flush.
+func (s *csvStream) add(si int, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[si] = b
+	for b, ok := s.pending[s.next]; ok; b, ok = s.pending[s.next] {
+		delete(s.pending, s.next)
+		if s.werr == nil {
+			_, s.werr = s.w.Write(b)
+		}
+		s.next++
+	}
+}
+
+// err returns the first encode or write error.
+func (s *csvStream) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr
+}
+
+// RunGridCSV runs the grid and streams the raw per-instance metrics to w
+// while the grid is still running: each worker encodes its shard's rows
+// while the results are hot and hands them to the in-order csvStream
+// flush. The grid results are returned as from RunGrid, together with the
+// first encode or write error (the grid always runs to completion;
+// encoding is skipped once a write has failed).
+func RunGridCSV(w io.Writer, points []GridPoint, opts Options) ([]InstanceResult, error) {
+	opts = opts.withDefaults()
+	stream, err := newCSVStream(w, resultsHeader)
+	if err != nil {
+		return nil, err
+	}
 	results := runGridSharded(points, opts, func(si int, shard []InstanceResult) {
-		mu.Lock()
-		skip := werr != nil
-		mu.Unlock()
-		if skip {
+		if stream.failed() {
 			return
 		}
 		var buf bytes.Buffer
-		encErr := encodeShard(&buf, shard, opts.Schedulers)
-		mu.Lock()
-		defer mu.Unlock()
-		if encErr != nil {
-			// A shard that fails to encode poisons the whole dump: record
-			// the error (RunGridCSV returns it) and stop writing, so the
-			// failure cannot surface as a silently truncated CSV.
-			if werr == nil {
-				werr = fmt.Errorf("exp: encoding shard %d: %w", si, encErr)
-			}
+		if err := encodeShard(&buf, shard, opts.Schedulers); err != nil {
+			stream.fail(fmt.Errorf("exp: encoding shard %d: %w", si, err))
 			return
 		}
-		pending[si] = buf.Bytes()
-		for b, ok := pending[next]; ok; b, ok = pending[next] {
-			delete(pending, next)
-			if werr == nil {
-				_, werr = w.Write(b)
-			}
-			next++
-		}
+		stream.add(si, buf.Bytes())
 	})
-	return results, werr
+	return results, stream.err()
 }
 
 // ReadResultsCSV parses a raw per-instance metric dump produced by

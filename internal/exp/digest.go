@@ -28,38 +28,37 @@ func pointKey(p GridPoint) string {
 		p.Sites, p.Databanks, formatFloat(p.Availability), formatFloat(p.Density))
 }
 
-// PointDigests returns one "sites,dbs,avail,density fnv64a" line per grid
-// point present in results, sorted, each digesting the point's CSV rows
-// (all runs, all schedulers, in row order) exactly as WriteResultsCSV
-// encodes them. schedulers must match the list the rows were produced
-// with; a mismatch shows up as a digest mismatch, which is the desired
-// failure mode for a misconfigured merge.
-func PointDigests(results []InstanceResult, schedulers []string) ([]string, error) {
+// digestLines is the digest core shared by the experiment families: for
+// each of n results it encodes the result's CSV rows (via write, exactly
+// as the family's CSV writer does), folds the bytes into the FNV-64a
+// accumulator of the result's point key, and returns the sorted
+// "key fnv64a" lines.
+func digestLines(n int, key func(i int) string, write func(i int, cw *csv.Writer) error) ([]string, error) {
 	hs := map[string]hash.Hash64{}
 	var buf bytes.Buffer
-	for i := range results {
+	for i := 0; i < n; i++ {
 		buf.Reset()
 		cw := csv.NewWriter(&buf)
-		if err := writeResultRows(cw, &results[i], schedulers); err != nil {
+		if err := write(i, cw); err != nil {
 			return nil, err
 		}
 		cw.Flush()
 		if err := cw.Error(); err != nil {
 			return nil, err
 		}
-		// A point whose instances produced no rows at all (generation
-		// failure, zero-job instances) must not get a digest line: the
-		// merge-side recomputation reads rows back from the merged CSV and
-		// would never see the point, so an empty-input digest here could
-		// only ever produce a spurious mismatch.
+		// A result that produced no rows at all (generation failure,
+		// zero-job instances) must not get a digest line: the merge-side
+		// recomputation reads rows back from the merged CSV and would never
+		// see the point, so an empty-input digest here could only ever
+		// produce a spurious mismatch.
 		if buf.Len() == 0 {
 			continue
 		}
-		key := pointKey(results[i].Point)
-		h, ok := hs[key]
+		k := key(i)
+		h, ok := hs[k]
 		if !ok {
 			h = fnv.New64a()
-			hs[key] = h
+			hs[k] = h
 		}
 		h.Write(buf.Bytes())
 	}
@@ -69,6 +68,18 @@ func PointDigests(results []InstanceResult, schedulers []string) ([]string, erro
 	}
 	sort.Strings(lines)
 	return lines, nil
+}
+
+// PointDigests returns one "sites,dbs,avail,density fnv64a" line per grid
+// point present in results, sorted, each digesting the point's CSV rows
+// (all runs, all schedulers, in row order) exactly as WriteResultsCSV
+// encodes them. schedulers must match the list the rows were produced
+// with; a mismatch shows up as a digest mismatch, which is the desired
+// failure mode for a misconfigured merge.
+func PointDigests(results []InstanceResult, schedulers []string) ([]string, error) {
+	return digestLines(len(results),
+		func(i int) string { return pointKey(results[i].Point) },
+		func(i int, cw *csv.Writer) error { return writeResultRows(cw, &results[i], schedulers) })
 }
 
 // WritePointDigests writes PointDigests lines to w, one per line.

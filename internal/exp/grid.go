@@ -25,8 +25,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"slices"
-	"sync"
 
 	"stretchsched/internal/core"
 	"stretchsched/internal/model"
@@ -97,6 +95,17 @@ type Options struct {
 	// with the number of finished instances and the total. Calls are
 	// serialised across workers.
 	Progress func(done, total int)
+	// Clock, when non-nil, is a monotonic nanosecond clock used to measure
+	// each instance's scheduler wall time into InstanceResult.Seconds.
+	// Injected (rather than time.Now) so the harness itself stays free of
+	// wall-clock reads — results and CSV bytes never depend on it; the
+	// measurements feed the PointTimes sidecar, not the results stream.
+	Clock func() int64
+	// MeasuredSeconds, when non-nil, overrides the static pointWeight cost
+	// heuristic with measured per-point times from a prior pass
+	// (ReadPointTimes), so shard dispatch orders by observed cost. It only
+	// influences dispatch order, never results.
+	MeasuredSeconds map[GridPoint]float64
 }
 
 func (o Options) withDefaults() Options {
@@ -159,22 +168,27 @@ type InstanceResult struct {
 	// diagnostics, not run errors; cmd/experiments sums them per pass.
 	StretchErrs int
 	RefineErrs  int
+	// Seconds is the measured scheduler wall time of this instance
+	// (Options.Clock; zero without one). It never enters the results CSV —
+	// worker-count invariance byte-compares that stream — only the
+	// PointTimes sidecar that feeds the next pass's dispatch order.
+	Seconds float64
 }
 
-// shardSize is the number of (point, run) tasks per worker shard: small
-// enough to balance load across heterogeneous grid points, large enough
-// that channel traffic and per-shard bookkeeping are negligible.
-const shardSize = 8
-
 // pointWeight estimates the relative simulation cost of one instance at p,
-// for shard dispatch ordering only — it never influences results. Planned
-// schedulers dominate: each of the ~jobs re-plans runs a milestone search
-// with O(log jobs) feasibility flows over networks that grow with
-// jobs·sites, so the bulk scales like jobs²·sites. Bender98 performs a full
-// offline solve per arrival on the points where it runs (sites within
-// Bender98SiteLimit), worth roughly another factor of jobs — which is
-// exactly why those points straggle when dispatched last.
+// for shard dispatch ordering only — it never influences results. With
+// MeasuredSeconds (a prior pass's PointTimes) the observed cost wins;
+// otherwise the static heuristic: planned schedulers dominate, each of the
+// ~jobs re-plans runs a milestone search with O(log jobs) feasibility flows
+// over networks that grow with jobs·sites, so the bulk scales like
+// jobs²·sites. Bender98 performs a full offline solve per arrival on the
+// points where it runs (sites within Bender98SiteLimit), worth roughly
+// another factor of jobs — which is exactly why those points straggle when
+// dispatched last.
 func (o Options) pointWeight(p GridPoint) float64 {
+	if s, ok := o.MeasuredSeconds[p]; ok && s > 0 {
+		return s
+	}
 	jobs := float64(o.TargetJobs)
 	if o.Horizon > 0 {
 		if ej, err := o.config(p, 0, 0).ExpectedJobs(); err == nil && ej > 0 {
@@ -204,31 +218,9 @@ func shardOrder(points []GridPoint, opts Options, total, nShards int) []int {
 	for pi := range points {
 		pw[pi] = opts.pointWeight(points[pi])
 	}
-	weight := make([]float64, nShards)
-	for si := 0; si < nShards; si++ {
-		lo, hi := si*shardSize, (si+1)*shardSize
-		if hi > total {
-			hi = total
-		}
-		for ti := lo; ti < hi; ti++ {
-			weight[si] += pw[ti/opts.Runs]
-		}
-	}
-	order := make([]int, nShards)
-	for i := range order {
-		order[i] = i
-	}
-	slices.SortFunc(order, func(a, b int) int {
-		switch {
-		case weight[a] > weight[b]:
-			return -1
-		case weight[a] < weight[b]:
-			return 1
-		default:
-			return a - b // stable, deterministic dispatch for equal weights
-		}
-	})
-	return order
+	return orderByWeight(shardWeights(total, func(ti int) float64 {
+		return pw[ti/opts.Runs]
+	}))
 }
 
 // globalPointIndex maps a position in the points slice to the grid index
@@ -248,16 +240,7 @@ func (o Options) globalPointIndex(pi int) int {
 // high-density tail of the default grid across all shards, keeping a CI
 // matrix balanced. It panics unless 0 ≤ k < n.
 func ShardGrid(points []GridPoint, k, n int) ([]GridPoint, []int) {
-	if n <= 0 || k < 0 || k >= n {
-		panic(fmt.Sprintf("exp: shard %d/%d out of range", k, n))
-	}
-	var shard []GridPoint
-	var indices []int
-	for i := k; i < len(points); i += n {
-		shard = append(shard, points[i])
-		indices = append(indices, i)
-	}
-	return shard, indices
+	return ShardPoints(points, k, n)
 }
 
 // RunGrid evaluates the configured schedulers over points × runs on the
@@ -281,47 +264,16 @@ func runGridSharded(points []GridPoint, opts Options,
 	onShard func(si int, shard []InstanceResult)) []InstanceResult {
 	total := len(points) * opts.Runs
 	results := make([]InstanceResult, total)
-	nShards := (total + shardSize - 1) / shardSize
-
-	shards := make(chan int)
-	done := 0
-	var progressMu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			runner := core.NewRunner()
-			for si := range shards {
-				lo := si * shardSize
-				hi := lo + shardSize
-				if hi > total {
-					hi = total
-				}
-				for ti := lo; ti < hi; ti++ {
-					pi, run := ti/opts.Runs, ti%opts.Runs
-					results[ti] = runOne(runner, points[pi], run, opts.globalPointIndex(pi), opts)
-					if opts.Progress != nil {
-						// Count under the same lock that serialises the
-						// callback, so done values arrive in order and
-						// (total, total) is always the last call.
-						progressMu.Lock()
-						done++
-						opts.Progress(done, total)
-						progressMu.Unlock()
-					}
-				}
-				if onShard != nil {
-					onShard(si, results[lo:hi])
-				}
-			}
-		}()
+	order := shardOrder(points, opts, total, numShards(total))
+	var shardDone func(si, lo, hi int)
+	if onShard != nil {
+		shardDone = func(si, lo, hi int) { onShard(si, results[lo:hi]) }
 	}
-	for _, si := range shardOrder(points, opts, total, nShards) {
-		shards <- si
-	}
-	close(shards)
-	wg.Wait()
+	runSharded(total, opts.Workers, core.NewRunner, order,
+		func(runner *core.Runner, ti int) {
+			pi, run := ti/opts.Runs, ti%opts.Runs
+			results[ti] = runOne(runner, points[pi], run, opts.globalPointIndex(pi), opts)
+		}, shardDone, opts.Progress)
 	return results
 }
 
@@ -349,6 +301,10 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 			res.SumStretch[name] = math.NaN()
 		}
 		return res
+	}
+	var t0 int64
+	if opts.Clock != nil {
+		t0 = opts.Clock()
 	}
 	ran := make([]string, 0, len(opts.Schedulers))
 	for _, name := range opts.Schedulers {
@@ -383,6 +339,9 @@ func runOne(runner *core.Runner, p GridPoint, run, pointIdx int, opts Options) I
 			res.StretchErrs += ss.StretchErrs
 			res.RefineErrs += ss.RefineErrs
 		}
+	}
+	if opts.Clock != nil {
+		res.Seconds = float64(opts.Clock()-t0) / 1e9
 	}
 	return res
 }

@@ -12,11 +12,14 @@ const OrderOkDirective = "//stretch:order-ok"
 
 // determinismDefaultPaths are the packages whose outputs must be a pure
 // function of (point, run) coordinates: the grid harness (CSV bytes and
-// FNV digests are compared across shard counts and reruns) and the
-// workload generator (instance seeds ARE the reproducibility contract).
+// FNV digests are compared across shard counts and reruns), the workload
+// generator (instance seeds ARE the reproducibility contract), and the
+// cluster world (placements must replay bitwise from the lb seed — the
+// machines=1 equivalence and shard-merge digests both depend on it).
 var determinismDefaultPaths = []string{
 	"stretchsched/internal/exp",
 	"stretchsched/internal/workload",
+	"stretchsched/internal/cluster",
 }
 
 // randConstructors are the math/rand top-level functions that merely build

@@ -38,6 +38,18 @@ var noswallowWatch = map[string]map[string]bool{
 		"VerifyExact": true,
 		// Package-internal encoders: the csv.go:100 class of swallow.
 		"writeResultRows": true, "encodeShard": true,
+		// Cluster family (PR 9) — same CSV/digest contract as the grid.
+		"RunClusterCSV": true, "WriteClusterCSV": true, "ReadClusterCSV": true,
+		"ClusterPointDigests": true, "WriteClusterPointDigests": true,
+		"writeClusterRows": true, "encodeClusterShard": true,
+		// Measured-times sidecar: a swallowed write error silently loses
+		// the feedback that orders the next pass's shard dispatch.
+		"WritePointTimes": true, "ReadPointTimes": true,
+	},
+	// Cluster world entry points: a swallowed Run/Place/Lookahead error is
+	// a node silently dropped from the comparison tables.
+	"stretchsched/internal/cluster": {
+		"Run": true, "Place": true, "Lookahead": true, "New": true,
 	},
 }
 

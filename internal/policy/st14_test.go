@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+// TestST14ClassPreemptsAcrossClasses: the class rule must let a small job
+// preempt a large one even when the large job's SWRPT kernel is smaller —
+// the exact point where ST14 departs from SWRPT.
+func TestST14ClassPreemptsAcrossClasses(t *testing.T) {
+	// J0 size 8 at 0; J1 size 1 at 7. At t=7, J0's remaining is 1, so its
+	// SWRPT kernel 8·1 = 8 equals J1's 1·1 = 1... SWRPT compares 8 vs 1 and
+	// also preempts here; use remaining 0.1 instead: kernel 8·0.1 = 0.8 < 1,
+	// SWRPT finishes J0 first, while ST14's class rule (⌊log2(8)⌋ = 3 > 0)
+	// runs J1 immediately.
+	inst := uniInstance(t, []float64{1}, []model.Job{
+		{Release: 0, Size: 8, Databank: 0},
+		{Release: 7.9, Size: 1, Databank: 0},
+	})
+	swrpt := run(t, inst, SWRPT{})
+	if math.Abs(swrpt.Completion[0]-8) > 1e-9 || math.Abs(swrpt.Completion[1]-9) > 1e-9 {
+		t.Fatalf("SWRPT completions = %v", swrpt.Completion)
+	}
+	st := run(t, inst, NewST14())
+	if math.Abs(st.Completion[1]-8.9) > 1e-9 || math.Abs(st.Completion[0]-9) > 1e-9 {
+		t.Fatalf("ST14 completions = %v, want small job first", st.Completion)
+	}
+}
+
+// TestST14SingleClassMatchesSWRPT: jobs within a factor-2 alone-time band
+// fall in one class, where ST14 degenerates to SWRPT exactly.
+func TestST14SingleClassMatchesSWRPT(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		inst := bandedUniInstance(t, seed, 9)
+		a := run(t, inst, SWRPT{})
+		b := run(t, inst, NewST14())
+		for j := range a.Completion {
+			if math.Abs(a.Completion[j]-b.Completion[j]) > 1e-9 {
+				t.Fatalf("seed %d: job %d SWRPT %v vs ST14 %v",
+					seed, j, a.Completion[j], b.Completion[j])
+			}
+		}
+	}
+}
+
+// bandedUniInstance draws sizes from [2, 4) — one geometric class relative
+// to any minimum in the band.
+func bandedUniInstance(t *testing.T, seed int64, n int) *model.Instance {
+	t.Helper()
+	inst := randomUniInstance(t, seed, n)
+	jobs := make([]model.Job, len(inst.Jobs))
+	copy(jobs, inst.Jobs)
+	for i := range jobs {
+		jobs[i].Size = 2 + math.Mod(jobs[i].Size, 1.0) // sizes in [2, 3)
+	}
+	return uniInstance(t, []float64{1}, jobs)
+}
+
+// TestST14StreamResistsStarvation: on the Theorem 1 construction (big job
+// plus a unit stream) ST14 keeps serving the stream like SRPT does, so its
+// sum-stretch stays near SRPT's rather than SWRPT-style compromises.
+func TestST14StreamResistsStarvation(t *testing.T) {
+	jobs := []model.Job{{Release: 0, Size: 8, Databank: 0}}
+	for i := 0; i < 32; i++ {
+		jobs = append(jobs, model.Job{Release: float64(i), Size: 1, Databank: 0})
+	}
+	inst := uniInstance(t, []float64{1}, jobs)
+	st := run(t, inst, NewST14())
+	// Every unit job is class 0, the big job class 3: units preempt it on
+	// release, so each completes one time unit after its release.
+	for j := 1; j < inst.NumJobs(); j++ {
+		if s := st.Stretch(inst, model.JobID(j)); s > 1+1e-9 {
+			t.Fatalf("unit job %d stretch %v under ST14", j, s)
+		}
+	}
+	// The big job is only delayed by the stream, never forever: it completes
+	// right after the last unit.
+	if math.Abs(st.Completion[0]-40) > 1e-9 {
+		t.Fatalf("big job completion %v, want 40", st.Completion[0])
+	}
+}

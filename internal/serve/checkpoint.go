@@ -49,7 +49,11 @@ type Checkpoint struct {
 	NStretch, NFlow        uint64
 
 	Submitted, CompletedN, Events, Checkpoints uint64
-	Rejected                                   map[string]uint64
+	// Switches is the backlog-guard transition count; the guard's *mode* is
+	// deliberately absent — it is a pure function of the active count and is
+	// recomputed on restore. Absent in pre-guard checkpoints (decodes as 0).
+	Switches uint64 `json:",omitempty"`
+	Rejected map[string]uint64
 }
 
 // Checkpoint snapshots the loop. The snapshot is taken at the loop's
@@ -72,6 +76,7 @@ func (l *Loop) Checkpoint() (*Checkpoint, error) {
 		SumFlow: l.qf.sum, MaxFlow: l.qf.max, NFlow: l.qf.n,
 		Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
 		Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
+		Switches: l.counters.Switches,
 		Rejected: map[string]uint64{},
 	}
 	for k, v := range l.counters.Rejected {
@@ -187,6 +192,7 @@ func Restore(cfg Config, ck *Checkpoint) (*Loop, error) {
 	l.counters.CompletedN = ck.CompletedN
 	l.counters.Events = ck.Events
 	l.counters.Checkpoints = ck.Checkpoints
+	l.counters.Switches = ck.Switches
 	for k, v := range ck.Rejected {
 		l.counters.Rejected[k] = v
 	}
@@ -200,9 +206,15 @@ func Restore(cfg Config, ck *Checkpoint) (*Loop, error) {
 	}
 	// Re-establish rates and the policy's order without logging: this
 	// recomputation replaces in-memory state the interrupted daemon already
-	// had, it is not a new decision.
+	// had, it is not a new decision. The guard mode is recomputed the same
+	// way — derived, not decoded, and no transition is counted.
+	l.degraded = l.guardMode()
 	if l.drv.NumActive() > 0 {
-		l.drv.Replan(l.pol)
+		pol := l.pol
+		if l.degraded {
+			pol = l.fbPol
+		}
+		l.drv.Replan(pol)
 	}
 	return l, nil
 }

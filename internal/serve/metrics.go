@@ -25,6 +25,14 @@ func (s Snapshot) Prometheus() string {
 	counter("stretchd_events_total", "Arrival and completion events processed.", s.Counters.Events)
 	counter("stretchd_checkpoints_total", "Checkpoints taken.", s.Counters.Checkpoints)
 	counter("stretchd_decision_log_errors_total", "Decision-log write errors (drain fails when nonzero).", uint64(s.LogErrs))
+	if s.Fallback != "" {
+		degraded := 0.0
+		if s.Degraded {
+			degraded = 1
+		}
+		gauge("stretchd_degraded", "Backlog guard in degraded mode (1) or normal mode (0).", degraded)
+		counter("stretchd_policy_switches_total", "Backlog-guard policy switches, both directions.", s.Counters.Switches)
+	}
 
 	fmt.Fprintf(&b, "# HELP stretchd_rejections_total Typed request rejections by code.\n# TYPE stretchd_rejections_total counter\n")
 	codes := make([]string, 0, len(s.Counters.Rejected))

@@ -73,6 +73,17 @@ type Config struct {
 	Deadline    time.Duration      // per-request admission deadline (0 = 2s default)
 	RecentCap   int                // completed-job ring capacity (0 = 1024)
 	DecisionLog io.Writer          // decision sink; nil discards
+
+	// BacklogThreshold arms the backlog guard: at every decision instant
+	// where the active set exceeds it, the loop schedules with the cheap
+	// Fallback policy instead of the configured scheduler, reverting as soon
+	// as the backlog is back within bounds. Degraded mode is a pure function
+	// of the current active count — no hysteresis state — so a restored
+	// daemon recomputes it instead of trusting the checkpoint. 0 disables.
+	BacklogThreshold int
+	// Fallback is the guard's degraded-mode scheduler; it must be
+	// policy-backed. Nil defaults to SWRPT.
+	Fallback core.Scheduler
 }
 
 // defaultDeadline bounds how long a request may wait for the loop.
@@ -96,6 +107,7 @@ type Counters struct {
 	CompletedN  uint64
 	Events      uint64
 	Checkpoints uint64
+	Switches    uint64            // backlog-guard policy switches (both directions)
 	Rejected    map[string]uint64 // by rejection code
 }
 
@@ -109,6 +121,10 @@ type Loop struct {
 	pol    sim.Policy
 	stream *model.Stream
 	drv    *sim.Driver
+
+	fbName   string     // backlog-guard fallback policy name ("" = guard off)
+	fbPol    sim.Policy // fallback policy instance
+	degraded bool       // last evaluated guard mode
 
 	tok chan struct{} // one-slot admission token
 
@@ -198,8 +214,54 @@ func New(cfg Config) (*Loop, error) {
 	l.counters.Rejected = map[string]uint64{}
 	l.drv = sim.NewDriver(l.stream.Instance())
 	l.pol.Init(l.stream.Instance())
+	if cfg.BacklogThreshold > 0 {
+		fb := cfg.Fallback
+		if fb == nil {
+			def, err := core.New("SWRPT")
+			if err != nil {
+				return nil, fmt.Errorf("serve: building default fallback: %w", err)
+			}
+			fb = def
+		}
+		fpb, ok := fb.(core.PolicyBacked)
+		if !ok {
+			return nil, fmt.Errorf("serve: fallback scheduler %s is not policy-backed", fb.Name())
+		}
+		if fb.Name() == l.name {
+			return nil, fmt.Errorf("serve: fallback scheduler %s is the primary scheduler; the guard would be a no-op", fb.Name())
+		}
+		l.fbName = fb.Name()
+		l.fbPol = fpb.Policy()
+		l.fbPol.Init(l.stream.Instance())
+	}
 	l.tok <- struct{}{}
 	return l, nil
+}
+
+// guardMode reports whether the backlog guard calls for degraded mode at
+// this instant — a pure function of the live active count, so restored
+// daemons recompute it rather than decode it.
+func (l *Loop) guardMode() bool {
+	return l.cfg.BacklogThreshold > 0 && l.drv.NumActive() > l.cfg.BacklogThreshold
+}
+
+// activePolicy evaluates the guard at a decision instant, counting and
+// logging mode transitions, and returns the policy this decision must use.
+func (l *Loop) activePolicy() sim.Policy {
+	if want := l.guardMode(); want != l.degraded {
+		l.degraded = want
+		l.counters.Switches++
+		mode, pol := "normal", l.name
+		if want {
+			mode, pol = "degraded", l.fbName
+		}
+		l.logf("guard t=%s mode=%s policy=%s active=%d threshold=%d",
+			ftoa(l.drv.Now()), mode, pol, l.drv.NumActive(), l.cfg.BacklogThreshold)
+	}
+	if l.degraded {
+		return l.fbPol
+	}
+	return l.pol
 }
 
 // acquire takes the admission token within d, or returns the typed
@@ -356,7 +418,7 @@ func (l *Loop) replan() {
 		l.logf("plan t=%s idle", ftoa(l.drv.Now()))
 		return
 	}
-	l.drv.Replan(l.pol)
+	l.drv.Replan(l.activePolicy())
 	var b strings.Builder
 	b.WriteString("plan t=")
 	b.WriteString(ftoa(l.drv.Now()))
@@ -498,6 +560,8 @@ type Snapshot struct {
 	Now                                                         float64
 	Policy                                                      string
 	Active                                                      int
+	Degraded                                                    bool   // backlog guard currently in degraded mode
+	Fallback                                                    string // guard fallback policy ("" = guard off)
 	Counters                                                    Counters
 	StretchP50, StretchP90, StretchP99, StretchMean, StretchMax float64
 	FlowP50, FlowP90, FlowP99, FlowMean, FlowMax                float64
@@ -517,9 +581,11 @@ func (l *Loop) Snapshot() (Snapshot, error) {
 func (l *Loop) snapshotLocked() Snapshot {
 	s := Snapshot{
 		Now: l.drv.Now(), Policy: l.name, Active: l.drv.NumActive(),
+		Degraded: l.guardMode(), Fallback: l.fbName,
 		Counters: Counters{
 			Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
 			Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
+			Switches: l.counters.Switches,
 			Rejected: map[string]uint64{},
 		},
 		StretchP50: l.qs.p50.Value(), StretchP90: l.qs.p90.Value(),
@@ -545,7 +611,7 @@ func (l *Loop) Drain() error {
 	defer l.release()
 	l.draining = true
 	for l.drv.NumActive() > 0 {
-		l.drv.Replan(l.pol)
+		l.drv.Replan(l.activePolicy())
 		id, at, ok := l.drv.NextCompletion()
 		if !ok {
 			return reject(CodeExhausted, "%d active jobs but nothing running", l.drv.NumActive())

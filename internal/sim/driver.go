@@ -151,6 +151,43 @@ func (d *Driver) Advance(dt float64) {
 	d.ctx.Now += dt
 }
 
+// Backlog returns the total remaining work of the active set — the
+// load signal the cluster balancers compare across machines. On a
+// work-conserving single platform it is invariant under the local policy,
+// which makes least-backlog placement policy-independent.
+func (d *Driver) Backlog() float64 {
+	w := 0.0
+	for _, j := range d.ctx.active {
+		w += d.ctx.Remaining[j]
+	}
+	return w
+}
+
+// EstMaxStretch estimates the maximum realised stretch of the active set
+// assuming no further arrivals: a job served at a positive rate finishes at
+// its predicted instant; a starved job is bounded by the whole backlog
+// draining at the platform's total speed. Rates reflect the last Replan, so
+// call it after replanning (the cluster world consults it between the last
+// event and the next placement). Zero when the machine is idle.
+func (d *Driver) EstMaxStretch() float64 {
+	sigma := d.ctx.Inst.Platform.TotalSpeed()
+	backlog := d.Backlog()
+	worst := 0.0
+	for _, j := range d.ctx.active {
+		var c float64
+		if r := d.rate[j]; r > 0 {
+			c = d.ctx.Now + d.ctx.Remaining[j]/r
+		} else {
+			c = d.ctx.Now + backlog/sigma
+		}
+		s := (c - d.ctx.Inst.Jobs[j].Release) / d.ctx.Inst.AloneTime(j)
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
 // RestoreActive rebuilds the active set and per-slot state from a
 // checkpoint: ids must be the released, unfinished slots in ID order with
 // rem their remaining work. Everything else (rates, order) is rebuilt by
