@@ -16,6 +16,7 @@ import (
 	"stretchsched/internal/cluster"
 	"stretchsched/internal/core"
 	"stretchsched/internal/exp"
+	"stretchsched/internal/fault"
 	"stretchsched/internal/flow"
 	"stretchsched/internal/lp"
 	"stretchsched/internal/model"
@@ -451,6 +452,54 @@ func BenchmarkClusterWorld(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFaultyWorld measures the fault-injected cluster world — the
+// event loop interleaving machine down/up intervals with arrivals, work
+// lost on failure, and backoff-delayed re-placement — against the
+// zero-failure batch path BenchmarkClusterWorld measures. The delta is
+// the price of fault accounting under the stretch balancer.
+func BenchmarkFaultyWorld(b *testing.B) {
+	for _, machines := range []int{2, 4} {
+		inst, err := workload.Config{
+			Sites: 1, ProcsPerSite: 1, Databanks: 12, Availability: 1,
+			Density: 1.5 * float64(machines), TargetJobs: 30 * machines,
+			SizeRange: [2]float64{10, 200}, Seed: 20_06,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci, err := model.Replicate(inst.Platform, machines, inst.Jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		horizon := 0.0
+		for _, j := range ci.Jobs {
+			if j.Release > horizon {
+				horizon = j.Release
+			}
+		}
+		plan, err := fault.New(fault.Config{
+			Nodes: machines, Horizon: horizon, Rate: 2, Seed: 20_06,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, _ := cluster.Balancers("stretch")
+		runner := core.NewClusterRunner()
+		b.Run(fmt.Sprintf("machines=%d", machines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner.ResetStats()
+				cs, err := runner.RunFaulty("SWRPT", ci, lb, 20_06, plan, fault.DefaultBackoff())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cs.MaxStretch(ci) < 1 {
+					b.Fatal("degenerate schedule")
+				}
+			}
+		})
 	}
 }
 

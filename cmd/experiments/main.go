@@ -18,6 +18,9 @@
 //	experiments -tables cluster -runs 5                  # single vs parallel machines
 //	experiments -tables cluster -shard 0/3 -csv c0.csv   # one cluster matrix job
 //	experiments -tables cluster -fromcsv merged.csv      # cluster tables, no run
+//	experiments -tables faults -runs 5                   # stretch vs failure rate
+//	experiments -tables faults -shard 0/2 -csv f0.csv    # one faults matrix job
+//	experiments -tables faults -fromcsv merged.csv       # fault tables, no run
 //
 // The scheduled nightly workflow (.github/workflows/nightly.yml) runs the
 // paper-scale pass — `-tables all -horizon 900 -runs 200` — as a matrix of
@@ -26,7 +29,9 @@
 // from the merged file with `-fromcsv ... -digest`), and renders into
 // tables via `-fromcsv`. The cluster family (`-tables cluster`) — the
 // Srivastav–Trystram single-vs-parallel comparison over the load-balanced
-// cluster world — shards, digests and merges the same way.
+// cluster world — shards, digests and merges the same way, as does the
+// faults family (`-tables faults`), which charts max/mean retry-inflated
+// stretch against seeded machine-failure rates per balancer.
 package main
 
 import (
@@ -44,7 +49,7 @@ import (
 func main() {
 	var (
 		table       = flag.Int("table", 0, "regenerate one table (1-16)")
-		tables      = flag.String("tables", "", `"all" regenerates every table from one grid pass; "cluster" runs the single-vs-parallel cluster comparison`)
+		tables      = flag.String("tables", "", `"all" regenerates every table from one grid pass; "cluster" runs the single-vs-parallel cluster comparison; "faults" runs the stretch-vs-failure-rate sweep`)
 		figure      = flag.String("figure", "", `"3", "3a" or "3b" regenerates the Figure 3 sweep`)
 		runs        = flag.Int("runs", 3, "instances per configuration (paper: 200)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -70,6 +75,8 @@ func main() {
 		runFigure(*figure, *runs, *seed, *workers, *csvOut)
 	case *tables == "cluster":
 		runCluster(*runs, *seed, *target, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *fromCSV)
+	case *tables == "faults":
+		runFaults(*runs, *seed, *target, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *fromCSV)
 	case *fromCSV != "":
 		fromCSVMain(*tables, *table, *fromCSV, *digest)
 	case *tables == "all":
@@ -77,7 +84,7 @@ func main() {
 	case *table >= 1 && *table <= 16:
 		runTables([]int{*table}, *runs, *seed, *target, *horizon, *workers, *csvOut, *progress, *shard, *dryRun, *digest, *times, *fromTimes)
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all|cluster, or -figure 3|3a|3b")
+		fmt.Fprintln(os.Stderr, "experiments: need -table N, -tables all|cluster|faults, or -figure 3|3a|3b")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -387,6 +394,105 @@ func runCluster(runs int, seed int64, target, workers int, csvOut string, progre
 		return
 	}
 	fmt.Println(exp.RenderClusterTables(results, schedulers))
+}
+
+// runFaults is the faults experiment family: max/mean retry-inflated
+// stretch against seeded machine-failure rate per balancer, over the
+// fault-tolerant cluster world. Sharding, CSV streaming and digests follow
+// runCluster, keyed on (machines, balancer, rate) points.
+func runFaults(runs int, seed int64, target, workers int, csvOut string, progress bool, shard string, dryRun bool, digest, fromCSV string) {
+	if fromCSV != "" {
+		f, err := os.Open(fromCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		results, scheduler, err := exp.ReadFaultsCSV(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %d fault instances read from %s\n\n", len(results), fromCSV)
+		writeFaultDigests(digest, results, scheduler)
+		fmt.Println(exp.RenderFaultTables(results, scheduler))
+		return
+	}
+
+	start := time.Now()
+	opts := exp.FaultOptions{
+		Runs:       runs,
+		Seed:       seed,
+		TargetJobs: target,
+		Workers:    workers,
+		DryRun:     dryRun,
+	}
+	scheduler := opts.Scheduler
+	if scheduler == "" {
+		scheduler = "SWRPT"
+	}
+	points := exp.DefaultFaultGrid()
+	shardK, shardN, err := parseShard(shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if shardN > 1 {
+		points, opts.PointIndices = exp.ShardPoints(points, shardK, shardN)
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rfaults: %d/%d instances", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	var results []exp.FaultResult
+	if csvOut != "" {
+		writeCSV(csvOut, func(f *os.File) error {
+			var err error
+			results, err = exp.RunFaultsCSV(f, points, opts)
+			return err
+		})
+	} else {
+		results = exp.RunFaults(points, opts)
+	}
+	writeFaultDigests(digest, results, scheduler)
+	errCount, retries := 0, 0
+	for _, r := range results {
+		errCount += len(r.Errs)
+		retries += r.Retries
+	}
+	fmt.Printf("# faults: %d instances in %v (%d scheduler errors, %d retries)\n\n",
+		len(results), time.Since(start).Round(time.Second), errCount, retries)
+	if shardN > 1 || dryRun {
+		fmt.Printf("# table rendering skipped (shard %d/%d, dryrun=%v); use -fromcsv on the merged CSV\n",
+			shardK, shardN, dryRun)
+		return
+	}
+	fmt.Println(exp.RenderFaultTables(results, scheduler))
+}
+
+// writeFaultDigests writes faults per-point row digests (no-op when path
+// is empty).
+func writeFaultDigests(path string, results []exp.FaultResult, scheduler string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := exp.WriteFaultPointDigests(f, results, scheduler); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# per-point row digests written to %s\n\n", path)
 }
 
 // writeClusterDigests writes cluster per-point row digests (no-op when

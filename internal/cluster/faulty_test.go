@@ -1,0 +1,211 @@
+package cluster_test
+
+import (
+	"math"
+	"testing"
+
+	"stretchsched/internal/cluster"
+	"stretchsched/internal/fault"
+	"stretchsched/internal/model"
+)
+
+// planFor builds a failure plan sized to the instance's arrival window.
+func planFor(t *testing.T, ci *model.ClusterInstance, rate float64, seed int64) *fault.Plan {
+	t.Helper()
+	horizon := 0.0
+	for _, j := range ci.Jobs {
+		if j.Release > horizon {
+			horizon = j.Release
+		}
+	}
+	if horizon == 0 {
+		horizon = 100
+	}
+	p, err := fault.New(fault.Config{
+		Nodes: ci.NumNodes(), Horizon: horizon, Rate: rate,
+		MeanDown: horizon / 20, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("fault.New: %v", err)
+	}
+	return p
+}
+
+// TestZeroFailurePlanBitwise is the acceptance slice-equality check: a
+// world with a zero-failure plan installed must produce placements and
+// completions bitwise identical to the plain PR 9 cluster path — the fault
+// machinery is inert by construction when nothing ever fails.
+func TestZeroFailurePlanBitwise(t *testing.T) {
+	inst := genInstance(t, 1.5, 40, 17)
+	ci, err := model.Replicate(inst.Platform, 3, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	for name, lb := range allBalancers(t) {
+		w, err := cluster.New(ci, lb, swrptLocal(), 5)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		ref, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		wf, err := cluster.New(ci, lb, swrptLocal(), 5)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		if err := wf.SetFaults(planFor(t, ci, 0, 77), fault.DefaultBackoff()); err != nil {
+			t.Fatalf("%s: SetFaults: %v", name, err)
+		}
+		got, err := wf.Run()
+		if err != nil {
+			t.Fatalf("%s: faulty Run: %v", name, err)
+		}
+		for j := range ci.Jobs {
+			if got.Placement[j] != ref.Placement[j] {
+				t.Fatalf("%s: zero-failure plan moved job %d: %d -> %d",
+					name, j, ref.Placement[j], got.Placement[j])
+			}
+			if got.Completion[j] != ref.Completion[j] {
+				t.Fatalf("%s: zero-failure plan changed job %d completion: %v -> %v",
+					name, j, ref.Completion[j], got.Completion[j])
+			}
+		}
+		if fs := wf.FaultStats(); fs != (cluster.FaultStats{}) {
+			t.Fatalf("%s: zero-failure plan recorded fault stats %+v", name, fs)
+		}
+	}
+}
+
+// TestFaultyRunRecovers drives every balancer through a plan with real
+// failures: every job still completes, retry stats are recorded, and
+// stretches stay sane (>= 1, finite) against the original releases — the
+// retry-inflated stretch measurement.
+func TestFaultyRunRecovers(t *testing.T) {
+	inst := genInstance(t, 2.0, 40, 23)
+	ci, err := model.Replicate(inst.Platform, 3, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	plan := planFor(t, ci, 3, 41)
+	if !plan.HasFailures() {
+		t.Fatal("rate-3 plan generated no failures; pick another seed")
+	}
+	sawFailure := false
+	for name, lb := range allBalancers(t) {
+		w, err := cluster.New(ci, lb, swrptLocal(), 9)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		if err := w.SetFaults(plan, fault.DefaultBackoff()); err != nil {
+			t.Fatalf("%s: SetFaults: %v", name, err)
+		}
+		cs, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		for j := range ci.Jobs {
+			if cs.Placement[j] < 0 || cs.Placement[j] >= ci.NumNodes() {
+				t.Fatalf("%s: job %d placement %d", name, j, cs.Placement[j])
+			}
+			if math.IsNaN(cs.Completion[j]) || math.IsInf(cs.Completion[j], 0) {
+				t.Fatalf("%s: job %d completion %v", name, j, cs.Completion[j])
+			}
+		}
+		maxS := cs.MaxStretch(ci)
+		if !(maxS >= 1-1e-9) || math.IsInf(maxS, 0) || math.IsNaN(maxS) {
+			t.Fatalf("%s: MaxStretch = %v", name, maxS)
+		}
+		fs := w.FaultStats()
+		if fs.MachineFailures == 0 {
+			t.Fatalf("%s: plan has failures but none were recorded", name)
+		}
+		if fs.JobFailures > 0 {
+			sawFailure = true
+			if fs.Replacements == 0 || fs.MaxAttempts < 2 || fs.LostWork <= 0 {
+				t.Fatalf("%s: inconsistent fault stats %+v", name, fs)
+			}
+		}
+	}
+	if !sawFailure {
+		t.Fatal("no balancer saw a single job failure under a rate-3 plan")
+	}
+}
+
+// TestFaultySeedStable extends TestSeedStablePlacement to faults-on: fresh
+// and reused worlds under the same (plan, seed) reproduce placements,
+// completions and fault stats exactly.
+func TestFaultySeedStable(t *testing.T) {
+	inst := genInstance(t, 2.0, 40, 11)
+	ci, err := model.Replicate(inst.Platform, 4, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	plan := planFor(t, ci, 2, 61)
+	if !plan.HasFailures() {
+		t.Fatal("rate-2 plan generated no failures; pick another seed")
+	}
+	for name, lb := range allBalancers(t) {
+		w, err := cluster.New(ci, lb, swrptLocal(), 3)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		if err := w.SetFaults(plan, fault.DefaultBackoff()); err != nil {
+			t.Fatalf("%s: SetFaults: %v", name, err)
+		}
+		first, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		firstStats := w.FaultStats()
+		// Reused world, same seed and plan.
+		again, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: rerun: %v", name, err)
+		}
+		if w.FaultStats() != firstStats {
+			t.Fatalf("%s: rerun fault stats %+v != %+v", name, w.FaultStats(), firstStats)
+		}
+		// Fresh world, same seed and plan.
+		w2, _ := cluster.New(ci, lb, swrptLocal(), 3)
+		if err := w2.SetFaults(plan, fault.DefaultBackoff()); err != nil {
+			t.Fatalf("%s: SetFaults: %v", name, err)
+		}
+		fresh, err := w2.Run()
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", name, err)
+		}
+		if w2.FaultStats() != firstStats {
+			t.Fatalf("%s: fresh fault stats %+v != %+v", name, w2.FaultStats(), firstStats)
+		}
+		for j := range ci.Jobs {
+			if again.Placement[j] != first.Placement[j] || fresh.Placement[j] != first.Placement[j] {
+				t.Fatalf("%s: placements not seed-stable for job %d", name, j)
+			}
+			if again.Completion[j] != first.Completion[j] || fresh.Completion[j] != first.Completion[j] {
+				t.Fatalf("%s: completions not seed-stable for job %d", name, j)
+			}
+		}
+	}
+}
+
+// TestSetFaultsValidates rejects a plan sized for the wrong cluster.
+func TestSetFaultsValidates(t *testing.T) {
+	inst := genInstance(t, 1.0, 20, 3)
+	ci, err := model.Replicate(inst.Platform, 2, inst.Jobs)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	lb, _ := cluster.Balancers("stretch")
+	w, err := cluster.New(ci, lb, swrptLocal(), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := fault.New(fault.Config{Nodes: 3, Horizon: 10, Rate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetFaults(p, fault.DefaultBackoff()); err == nil {
+		t.Fatal("SetFaults accepted a 3-node plan on a 2-node world")
+	}
+}

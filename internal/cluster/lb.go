@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 
 	"stretchsched/internal/model"
@@ -21,7 +22,14 @@ func (*Random) Name() string { return "random" }
 func (b *Random) Init(w *World) { b.rng = rand.New(rand.NewSource(w.Seed())) }
 
 func (b *Random) Place(w *World, _ model.JobID) (int, error) {
-	return b.rng.Intn(w.NumNodes()), nil
+	up := w.UpNodes()
+	if len(up) == 0 {
+		return 0, fmt.Errorf("cluster: random: no node is up")
+	}
+	// With every node up this is Intn(M) over the identity list — the draw
+	// sequence (and so every placement) is bitwise identical to the
+	// fault-free balancer.
+	return up[b.rng.Intn(len(up))], nil
 }
 
 // KChoices is the power-of-k-choices balancer: sample k nodes (with
@@ -46,9 +54,13 @@ func (*KChoices) Name() string { return "kchoices" }
 func (b *KChoices) Init(w *World) { b.rng = rand.New(rand.NewSource(w.Seed())) }
 
 func (b *KChoices) Place(w *World, _ model.JobID) (int, error) {
+	up := w.UpNodes()
+	if len(up) == 0 {
+		return 0, fmt.Errorf("cluster: kchoices: no node is up")
+	}
 	best, bestDrain := -1, 0.0
 	for i := 0; i < b.K; i++ {
-		ni := b.rng.Intn(w.NumNodes())
+		ni := up[b.rng.Intn(len(up))]
 		ld := w.Load(ni)
 		drain := ld.Backlog / ld.TotalSpeed
 		if best == -1 || drain < bestDrain || (drain == bestDrain && ni < best) {
@@ -72,11 +84,14 @@ func (*StretchAware) Name() string { return "stretch" }
 func (*StretchAware) Init(*World) {}
 
 func (*StretchAware) Place(w *World, j model.JobID) (int, error) {
-	best, bestEst := 0, w.PredictStretch(0, j)
-	for ni := 1; ni < w.NumNodes(); ni++ {
-		if est := w.PredictStretch(ni, j); est < bestEst {
+	best, bestEst := -1, 0.0
+	for _, ni := range w.UpNodes() {
+		if est := w.PredictStretch(ni, j); best == -1 || est < bestEst {
 			best, bestEst = ni, est
 		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("cluster: stretch: no node is up")
 	}
 	return best, nil
 }
@@ -95,16 +110,34 @@ func (*Ideal) Name() string { return "ideal" }
 
 func (*Ideal) Init(*World) {}
 
+// Place ranks the up nodes by simulated max stretch. Ideal is the one
+// balancer that sees the failure plan: a node whose next planned failure
+// lands before the candidate job's predicted completion would kill the job
+// mid-run, so such nodes are penalised — preferred only when every up node
+// is doomed the same way.
 func (*Ideal) Place(w *World, j model.JobID) (int, error) {
 	best, bestEst := -1, 0.0
-	for ni := 0; ni < w.NumNodes(); ni++ {
-		est, err := w.Lookahead(ni, j)
+	bestDoomed := false
+	for _, ni := range w.UpNodes() {
+		est, done, err := w.Lookahead(ni, j)
 		if err != nil {
 			return 0, err
 		}
-		if best == -1 || est < bestEst {
-			best, bestEst = ni, est
+		doomed := false
+		if w.plan != nil {
+			if at, ok := w.plan.NextDown(ni, w.nodes[ni].drv.Now()); ok && at < done {
+				doomed = true
+			}
 		}
+		better := best == -1 ||
+			(bestDoomed && !doomed) ||
+			(doomed == bestDoomed && est < bestEst)
+		if better {
+			best, bestEst, bestDoomed = ni, est, doomed
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("cluster: ideal: no node is up")
 	}
 	return best, nil
 }

@@ -19,6 +19,7 @@ package cluster
 import (
 	"fmt"
 
+	"stretchsched/internal/fault"
 	"stretchsched/internal/model"
 	"stretchsched/internal/sim"
 )
@@ -79,6 +80,17 @@ type World struct {
 	scratch *sim.Engine // Ideal lookahead simulations
 	tmpJobs []model.Job
 	tmpOrig []lookJob
+
+	// Fault injection (nil plan = the perfect world of PR 9). All per-run
+	// fault state (down flags, attempt counts, stats, the pending heap)
+	// is reset at every Run, so reused worlds stay bitwise reproducible.
+	plan     *fault.Plan
+	backoff  fault.Backoff
+	nodeDown []bool
+	attempts []int
+	pending  []pendingArrival
+	fstats   FaultStats
+	upList   []int
 }
 
 // lookJob maps a lookahead job back to its original stretch denominator.
@@ -115,6 +127,44 @@ func (w *World) NumNodes() int { return w.ci.NumNodes() }
 // Seed returns the balancer seed for this world.
 func (w *World) Seed() int64 { return w.seed }
 
+// SetFaults installs a failure plan and retry backoff. A nil plan (or a
+// plan without failures) keeps the perfect-world batch path; Run output is
+// then bitwise identical to a world without faults. The plan must cover
+// exactly this world's machines.
+func (w *World) SetFaults(p *fault.Plan, b fault.Backoff) error {
+	if p != nil && p.NumNodes() != w.ci.NumNodes() {
+		return fmt.Errorf("cluster: fault plan covers %d nodes, world has %d",
+			p.NumNodes(), w.ci.NumNodes())
+	}
+	w.plan = p
+	w.backoff = b
+	return nil
+}
+
+// FaultStats returns the fault counters of the most recent Run (zero when
+// no plan is installed or the plan has no failures).
+func (w *World) FaultStats() FaultStats { return w.fstats }
+
+// NodeUp reports whether node ni is up at the current instant. Outside a
+// fault run every node is always up.
+func (w *World) NodeUp(ni int) bool {
+	return len(w.nodeDown) == 0 || !w.nodeDown[ni]
+}
+
+// UpNodes returns the indices of the currently up nodes, ascending. The
+// slice is scratch owned by the world — valid until the next call. With no
+// failures it is always [0..M), which is what keeps the failure-aware
+// balancers bitwise identical to their PR 9 selves on a perfect world.
+func (w *World) UpNodes() []int {
+	w.upList = w.upList[:0]
+	for ni := 0; ni < w.ci.NumNodes(); ni++ {
+		if w.NodeUp(ni) {
+			w.upList = append(w.upList, ni)
+		}
+	}
+	return w.upList
+}
+
 // Load returns node ni's accounting view at the current instant.
 func (w *World) Load(ni int) Load {
 	n := w.nodes[ni]
@@ -142,11 +192,12 @@ func (w *World) PredictStretch(ni int, j model.JobID) float64 {
 // Lookahead simulates node ni's local policy over its residual active set
 // plus job j and returns the realised max stretch (against the jobs'
 // original releases) — the omniscient signal the Ideal balancer ranks
-// nodes by. It costs a full local simulation per candidate node.
-func (w *World) Lookahead(ni int, j model.JobID) (float64, error) {
+// nodes by — plus the candidate job's own predicted completion instant,
+// which the fault-aware Ideal checks against the failure plan. It costs a
+// full local simulation per candidate node.
+func (w *World) Lookahead(ni int, j model.JobID) (worst, jobDone float64, err error) {
 	n := w.nodes[ni]
 	now := n.drv.Now()
-	worst := 0.0
 	w.tmpJobs = w.tmpJobs[:0]
 	w.tmpOrig = w.tmpOrig[:0]
 	for _, id := range n.drv.Ctx().Active() {
@@ -167,15 +218,15 @@ func (w *World) Lookahead(ni int, j model.JobID) (float64, error) {
 	w.tmpOrig = append(w.tmpOrig, lookJob{release: w.ci.Jobs[j].Release, alone: w.ci.AloneOn(ni, j)})
 
 	// All releases are zero, so NewInstance's stable sort keeps the append
-	// order and local ID i maps to tmpOrig[i]; completions are relative to
-	// the placement instant.
+	// order and local ID i maps to tmpOrig[i] (the candidate job is the
+	// last entry); completions are relative to the placement instant.
 	tmp, err := model.NewInstance(w.ci.Nodes[ni], w.tmpJobs)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	sched, err := w.scratch.RunList(tmp, w.local.NewPolicy())
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	for i := range tmp.Jobs {
 		s := (now + sched.Completion[i] - w.tmpOrig[i].release) / w.tmpOrig[i].alone
@@ -183,26 +234,24 @@ func (w *World) Lookahead(ni int, j model.JobID) (float64, error) {
 			worst = s
 		}
 	}
-	return worst, nil
+	jobDone = now + sched.Completion[len(tmp.Jobs)-1]
+	return worst, jobDone, nil
 }
 
 // Run executes the full cluster trace: arrivals placed in release order,
 // per-node accounting advanced between events, then one batch run per node
 // over its sub-instance. Worlds are reusable; every Run starts from fresh
-// node state and a reseeded balancer.
+// node state and a reseeded balancer. With an active failure plan
+// (SetFaults) the fault event loop replaces the batch path: jobs caught on
+// a failing machine lose their work and re-enter the balancer after a
+// backoff, and completions come from the accounting drivers themselves.
 func (w *World) Run() (*model.ClusterSchedule, error) {
-	w.nodes = w.nodes[:0]
-	for range w.ci.Nodes {
-		w.nodes = append(w.nodes, nil)
-	}
-	for ni := range w.nodes {
-		st := model.NewStream(w.ci.Nodes[ni])
-		drv := sim.NewDriver(st.Instance())
-		pol := w.local.NewPolicy()
-		pol.Init(st.Instance())
-		w.nodes[ni] = &node{stream: st, drv: drv, pol: pol}
-	}
+	w.resetNodes()
+	w.fstats = FaultStats{}
 	w.lb.Init(w)
+	if w.plan != nil && w.plan.HasFailures() {
+		return w.runFaulty()
+	}
 
 	for gj := range w.ci.Jobs {
 		t := w.ci.Jobs[gj].Release
@@ -245,6 +294,22 @@ func (w *World) Run() (*model.ClusterSchedule, error) {
 		}
 	}
 	return cs, nil
+}
+
+// resetNodes rebuilds every node's stream/driver/policy state for a fresh
+// Run.
+func (w *World) resetNodes() {
+	w.nodes = w.nodes[:0]
+	for range w.ci.Nodes {
+		w.nodes = append(w.nodes, nil)
+	}
+	for ni := range w.nodes {
+		st := model.NewStream(w.ci.Nodes[ni])
+		drv := sim.NewDriver(st.Instance())
+		pol := w.local.NewPolicy()
+		pol.Init(st.Instance())
+		w.nodes[ni] = &node{stream: st, drv: drv, pol: pol}
+	}
 }
 
 // advanceTo moves the node's accounting clock to t, committing completions

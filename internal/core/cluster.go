@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stretchsched/internal/cluster"
+	"stretchsched/internal/fault"
 	"stretchsched/internal/model"
 	"stretchsched/internal/sim"
 )
@@ -31,6 +32,12 @@ func accountingFor(name string) string {
 // one per worker.
 type ClusterRunner struct {
 	nodes []*Runner
+
+	// Fault-run accumulators, merged into Stats snapshots. faults sums the
+	// per-run counters (max for MaxAttempts); hasFaults marks that at least
+	// one RunFaulty executed since the last ResetStats.
+	faults    cluster.FaultStats
+	hasFaults bool
 }
 
 // NewClusterRunner returns an empty cluster runner; per-node Runners are
@@ -88,21 +95,65 @@ func (c *ClusterRunner) Run(name string, ci *model.ClusterInstance, lb cluster.L
 	return cs, nil
 }
 
+// RunFaulty executes one cluster world under a failure plan: the named
+// registry scheduler locally on every node, placements by lb seeded with
+// seed, machine down/up events from plan and retry pacing from backoff.
+// Fault mode requires a scheduler that accounts as itself (a cheap list
+// policy): under failures the accounting drivers ARE the schedule — there
+// is no final batch re-run for a planner to own — so a proxied scheduler
+// would silently report SWRPT's completions under its own name. The run's
+// FaultStats accumulate into the runner for Stats/MergeStats.
+func (c *ClusterRunner) RunFaulty(name string, ci *model.ClusterInstance, lb cluster.LB, seed int64, plan *fault.Plan, backoff fault.Backoff) (*model.ClusterSchedule, error) {
+	if accountingFor(name) != name {
+		return nil, fmt.Errorf("core: cluster fault mode needs a list-policy scheduler, not %s (accounts as %s)", name, accountingFor(name))
+	}
+	loc, err := c.Local(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := cluster.New(ci, lb, loc, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.SetFaults(plan, backoff); err != nil {
+		return nil, err
+	}
+	cs, err := w.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: faulty cluster %s/%s: %w", name, lb.Name(), err)
+	}
+	fs := w.FaultStats()
+	c.faults.MachineFailures += fs.MachineFailures
+	c.faults.JobFailures += fs.JobFailures
+	c.faults.Replacements += fs.Replacements
+	c.faults.Deferred += fs.Deferred
+	c.faults.LostWork += fs.LostWork
+	if fs.MaxAttempts > c.faults.MaxAttempts {
+		c.faults.MaxAttempts = fs.MaxAttempts
+	}
+	c.hasFaults = true
+	return cs, nil
+}
+
 // Stats aggregates the per-node Runner snapshots into one cluster-wide
-// Stats via MergeStats.
+// Stats via MergeStats, plus the runner's accumulated fault counters.
 func (c *ClusterRunner) Stats() Stats {
 	agg := Stats{Solve: map[string]SolveStats{}}
 	for _, r := range c.nodes {
 		agg = MergeStats(agg, r.Stats())
 	}
+	agg.Faults, agg.HasFaults = c.faults, c.hasFaults
 	return agg
 }
 
-// ResetStats zeroes every node Runner's cumulative workspace counters.
+// ResetStats zeroes every node Runner's cumulative workspace counters and
+// the accumulated fault counters.
 func (c *ClusterRunner) ResetStats() {
 	for _, r := range c.nodes {
 		r.ResetStats()
 	}
+	c.faults = cluster.FaultStats{}
+	c.hasFaults = false
 }
 
 // MergeStats combines two Stats snapshots — per-machine views of a cluster
@@ -143,5 +194,13 @@ func MergeStats(a, b Stats) Stats {
 	out.Incremental.EtaNNZ = max(ai.EtaNNZ, bi.EtaNNZ)
 	out.Incremental.MaxEtaLen = max(ai.MaxEtaLen, bi.MaxEtaLen)
 	out.Incremental.MaxEtaNNZ = max(ai.MaxEtaNNZ, bi.MaxEtaNNZ)
+	out.HasFaults = a.HasFaults || b.HasFaults
+	out.Faults = a.Faults
+	out.Faults.MachineFailures += b.Faults.MachineFailures
+	out.Faults.JobFailures += b.Faults.JobFailures
+	out.Faults.Replacements += b.Faults.Replacements
+	out.Faults.Deferred += b.Faults.Deferred
+	out.Faults.LostWork += b.Faults.LostWork
+	out.Faults.MaxAttempts = max(a.Faults.MaxAttempts, b.Faults.MaxAttempts)
 	return out
 }

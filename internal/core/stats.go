@@ -1,6 +1,7 @@
 package core
 
 import (
+	"stretchsched/internal/cluster"
 	"stretchsched/internal/lp"
 	"stretchsched/internal/offline"
 	"stretchsched/internal/rat"
@@ -45,6 +46,13 @@ type Stats struct {
 	// exists.
 	Incremental    lp.IncrementalStats
 	HasIncremental bool
+
+	// Faults holds the failure/retry counters accumulated by a
+	// ClusterRunner's fault-mode runs (machine failures hit, job executions
+	// killed, re-placements, lost work). HasFaults reports whether any
+	// fault-mode run contributed.
+	Faults    cluster.FaultStats
+	HasFaults bool
 }
 
 // Collect assembles a Stats snapshot from a workspace and a set of

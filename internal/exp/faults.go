@@ -1,0 +1,547 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"stretchsched/internal/cluster"
+	"stretchsched/internal/core"
+	"stretchsched/internal/fault"
+	"stretchsched/internal/model"
+	"stretchsched/internal/stats"
+	"stretchsched/internal/workload"
+)
+
+// The faults experiment family measures how placement quality degrades
+// under machine failures: one job stream over M nodes, a seeded failure
+// plan knocking machines down at a configurable rate, jobs on a failed
+// machine losing their work and re-entering the balancer after backoff.
+// The headline read is max/mean retry-inflated stretch versus failure rate
+// per balancer — rate 0 is the exact PR 9 fault-free cluster path, so each
+// curve's left edge doubles as a regression anchor. One local policy runs
+// per instance (fault mode needs a list policy; SWRPT by default), and the
+// family rides the same sharded pool, streamed CSV merge and per-point
+// digests as the paper and cluster grids.
+
+// FaultPoint is one fault configuration: M identical nodes, a balancer,
+// and a failure rate (expected failures per node over the arrival window).
+type FaultPoint struct {
+	Machines int
+	Balancer string
+	Rate     float64
+}
+
+func (p FaultPoint) String() string {
+	return fmt.Sprintf("machines=%d balancer=%s rate=%.2f", p.Machines, p.Balancer, p.Rate)
+}
+
+// DefaultFaultGrid returns the stretch-vs-failure-rate grid: clusters of 2
+// and 4 nodes under every balancer, across four failure rates including
+// the fault-free anchor.
+func DefaultFaultGrid() []FaultPoint {
+	var out []FaultPoint
+	for _, m := range []int{2, 4} {
+		for _, b := range []string{"ideal", "random", "kchoices", "stretch"} {
+			for _, r := range []float64{0, 0.5, 1, 2} {
+				out = append(out, FaultPoint{m, b, r})
+			}
+		}
+	}
+	return out
+}
+
+// FaultOptions controls a faults grid run.
+type FaultOptions struct {
+	Runs      int     // instances per configuration
+	Seed      int64   // base seed; instance/balancer/plan seeds derive deterministically
+	Scheduler string  // the single local list policy (default SWRPT)
+	Density   float64 // per-machine load (default 1.0)
+	// TargetJobs sizes each instance by expected job count per machine
+	// (default 30), exactly as the cluster family does.
+	TargetJobs int
+	// SizeRange overrides the databank size range (MB).
+	SizeRange [2]float64
+	// Workers bounds parallelism (0 = GOMAXPROCS); never affects results.
+	Workers int
+	// PointIndices remaps points to global grid indices for sharded runs.
+	PointIndices []int
+	// DryRun generates every instance but runs nothing (NaN metrics).
+	DryRun bool
+	// Progress, when non-nil, is called after every completed instance.
+	Progress func(done, total int)
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if o.TargetJobs <= 0 {
+		o.TargetJobs = 30
+	}
+	if o.Scheduler == "" {
+		o.Scheduler = "SWRPT"
+	}
+	if o.Density <= 0 {
+		o.Density = 1.0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SizeRange == [2]float64{} {
+		o.SizeRange = [2]float64{10, 200}
+	}
+	return o
+}
+
+// config builds the workload for one fault point and run — the cluster
+// family's identical-machines setting at a fixed per-machine density.
+func (o FaultOptions) config(p FaultPoint, run, pointIdx int) workload.Config {
+	return workload.Config{
+		Sites:        1,
+		ProcsPerSite: 1,
+		Databanks:    12,
+		Availability: 1,
+		Density:      o.Density * float64(p.Machines),
+		TargetJobs:   o.TargetJobs * p.Machines,
+		SizeRange:    o.SizeRange,
+		Seed:         o.Seed + int64(pointIdx)*1_000_003 + int64(run)*7919,
+	}
+}
+
+// lbSeed derives the balancer RNG seed for one instance, with the cluster
+// family's offset so balancer draws never alias the generator's.
+func (o FaultOptions) lbSeed(run, pointIdx int) int64 {
+	return o.Seed + int64(pointIdx)*1_000_003 + int64(run)*7919 + 500_009
+}
+
+// faultSeed derives the failure-plan seed for one instance — a third
+// offset so plan draws alias neither the generator's nor the balancer's.
+func (o FaultOptions) faultSeed(run, pointIdx int) int64 {
+	return o.Seed + int64(pointIdx)*1_000_003 + int64(run)*7919 + 900_007
+}
+
+func (o FaultOptions) globalPointIndex(pi int) int {
+	if o.PointIndices != nil {
+		return o.PointIndices[pi]
+	}
+	return pi
+}
+
+// pointWeight estimates relative instance cost for shard dispatch: the
+// cluster family's estimate, inflated by the failure rate (every retry is
+// another placement and another local replan).
+func (o FaultOptions) pointWeight(p FaultPoint) float64 {
+	jobs := float64(o.TargetJobs * p.Machines)
+	w := jobs * jobs * (1 + p.Rate)
+	if p.Balancer == "ideal" {
+		w *= float64(p.Machines)
+	}
+	return w
+}
+
+// planHorizon is the failure window for one instance: the arrival span,
+// falling back to the total alone time when every job releases at 0.
+func planHorizon(inst *model.Instance) float64 {
+	h := 0.0
+	for _, j := range inst.Jobs {
+		if j.Release > h {
+			h = j.Release
+		}
+	}
+	if h > 0 {
+		return h
+	}
+	for _, j := range inst.Jobs {
+		h += j.Size
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// FaultResult holds one instance's metrics under its failure plan.
+type FaultResult struct {
+	Point       FaultPoint
+	Run         int
+	Jobs        int
+	MaxStretch  float64 // max retry-inflated stretch
+	MeanStretch float64 // sum-stretch / jobs
+	Retries     int     // re-placements beyond each job's first
+	LostWork    float64 // completed-so-far work discarded by failures
+	Errs        []error
+}
+
+// RunFaults evaluates the configured policy over points × runs on the
+// sharded worker pool, one FaultResult per instance indexed by
+// pointIdx·Runs + run regardless of worker count.
+func RunFaults(points []FaultPoint, opts FaultOptions) []FaultResult {
+	return runFaultsSharded(points, opts.withDefaults(), nil)
+}
+
+func runFaultsSharded(points []FaultPoint, opts FaultOptions,
+	onShard func(si int, shard []FaultResult)) []FaultResult {
+	total := len(points) * opts.Runs
+	results := make([]FaultResult, total)
+	pw := make([]float64, len(points))
+	for pi := range points {
+		pw[pi] = opts.pointWeight(points[pi])
+	}
+	order := orderByWeight(shardWeights(total, func(ti int) float64 {
+		return pw[ti/opts.Runs]
+	}))
+	var shardDone func(si, lo, hi int)
+	if onShard != nil {
+		shardDone = func(si, lo, hi int) { onShard(si, results[lo:hi]) }
+	}
+	runSharded(total, opts.Workers, core.NewClusterRunner, order,
+		func(cr *core.ClusterRunner, ti int) {
+			pi, run := ti/opts.Runs, ti%opts.Runs
+			results[ti] = runFaultOne(cr, points[pi], run, opts.globalPointIndex(pi), opts)
+		}, shardDone, opts.Progress)
+	return results
+}
+
+func runFaultOne(cr *core.ClusterRunner, p FaultPoint, run, pointIdx int, opts FaultOptions) FaultResult {
+	res := FaultResult{
+		Point:       p,
+		Run:         run,
+		MaxStretch:  math.NaN(),
+		MeanStretch: math.NaN(),
+		LostWork:    math.NaN(),
+	}
+	inst, err := opts.config(p, run, pointIdx).Generate()
+	if err != nil {
+		res.Errs = append(res.Errs, err)
+		return res
+	}
+	res.Jobs = inst.NumJobs()
+	if inst.NumJobs() == 0 || opts.DryRun {
+		return res
+	}
+	ci, err := model.Replicate(inst.Platform, p.Machines, inst.Jobs)
+	if err != nil {
+		res.Errs = append(res.Errs, err)
+		return res
+	}
+	lb, ok := cluster.Balancers(p.Balancer)
+	if !ok {
+		res.Errs = append(res.Errs, fmt.Errorf("exp: unknown balancer %q", p.Balancer))
+		return res
+	}
+	plan, err := fault.New(fault.Config{
+		Nodes:   p.Machines,
+		Horizon: planHorizon(inst),
+		Rate:    p.Rate,
+		Seed:    opts.faultSeed(run, pointIdx),
+	})
+	if err != nil {
+		res.Errs = append(res.Errs, fmt.Errorf("exp: fault plan for %v run %d: %w", p, run, err))
+		return res
+	}
+	cr.ResetStats()
+	cs, err := runFaultScheduler(cr, opts.Scheduler, ci, lb, opts.lbSeed(run, pointIdx), plan)
+	if err != nil {
+		res.Errs = append(res.Errs, fmt.Errorf("%s on %v run %d: %w", opts.Scheduler, p, run, err))
+		return res
+	}
+	res.MaxStretch = cs.MaxStretch(ci)
+	res.MeanStretch = cs.SumStretch(ci) / float64(res.Jobs)
+	fs := cr.Stats().Faults
+	res.Retries = fs.Replacements
+	res.LostWork = fs.LostWork
+	return res
+}
+
+func runFaultScheduler(cr *core.ClusterRunner, name string, ci *model.ClusterInstance,
+	lb cluster.LB, seed int64, plan *fault.Plan) (cs *model.ClusterSchedule, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return cr.RunFaulty(name, ci, lb, seed, plan, fault.DefaultBackoff())
+}
+
+// faultHeader is the column layout of the raw faults metric dump.
+var faultHeader = []string{"machines", "balancer", "rate",
+	"run", "jobs", "scheduler", "max_stretch", "mean_stretch", "retries", "lost_work"}
+
+// writeFaultRow encodes one instance's single row.
+func writeFaultRow(cw *csv.Writer, r *FaultResult, scheduler string) error {
+	return cw.Write([]string{
+		strconv.Itoa(r.Point.Machines),
+		r.Point.Balancer,
+		formatFloat(r.Point.Rate),
+		strconv.Itoa(r.Run),
+		strconv.Itoa(r.Jobs),
+		scheduler,
+		formatFloat(r.MaxStretch),
+		formatFloat(r.MeanStretch),
+		strconv.Itoa(r.Retries),
+		formatFloat(r.LostWork),
+	})
+}
+
+// encodeFaultShard encodes one completed shard's rows (header-less).
+func encodeFaultShard(w io.Writer, shard []FaultResult, scheduler string) error {
+	cw := csv.NewWriter(w)
+	for i := range shard {
+		if err := writeFaultRow(cw, &shard[i], scheduler); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFaultsCSV dumps raw per-instance fault metrics, one row each.
+func WriteFaultsCSV(w io.Writer, results []FaultResult, scheduler string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(faultHeader); err != nil {
+		return err
+	}
+	for i := range results {
+		if err := writeFaultRow(cw, &results[i], scheduler); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunFaultsCSV runs the faults grid and streams the raw metrics to w via
+// the in-order shard flush: output bytes are identical for any worker
+// count.
+func RunFaultsCSV(w io.Writer, points []FaultPoint, opts FaultOptions) ([]FaultResult, error) {
+	opts = opts.withDefaults()
+	stream, err := newCSVStream(w, faultHeader)
+	if err != nil {
+		return nil, err
+	}
+	results := runFaultsSharded(points, opts, func(si int, shard []FaultResult) {
+		if stream.failed() {
+			return
+		}
+		var buf bytes.Buffer
+		if err := encodeFaultShard(&buf, shard, opts.Scheduler); err != nil {
+			stream.fail(fmt.Errorf("exp: encoding faults shard %d: %w", si, err))
+			return
+		}
+		stream.add(si, buf.Bytes())
+	})
+	return results, stream.err()
+}
+
+// ReadFaultsCSV parses a raw faults metric dump (or concatenated per-shard
+// dumps) back into FaultResults.
+func ReadFaultsCSV(r io.Reader) ([]FaultResult, string, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, "", fmt.Errorf("exp: faults CSV header: %w", err)
+	}
+	if len(header) != len(faultHeader) {
+		return nil, "", fmt.Errorf("exp: faults CSV header has %d columns, want %d",
+			len(header), len(faultHeader))
+	}
+	for i, name := range faultHeader {
+		if header[i] != name {
+			return nil, "", fmt.Errorf("exp: faults CSV column %d is %q, want %q", i, header[i], name)
+		}
+	}
+	var results []FaultResult
+	scheduler := ""
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return results, scheduler, nil
+		}
+		if err != nil {
+			return nil, "", fmt.Errorf("exp: faults CSV line %d: %w", line, err)
+		}
+		bad := func(col string, err error) error {
+			return fmt.Errorf("exp: faults CSV line %d: bad %s: %w", line, col, err)
+		}
+		machines, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, "", bad("machines", err)
+		}
+		rate, err := parseFloat(row[2])
+		if err != nil {
+			return nil, "", bad("rate", err)
+		}
+		run, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, "", bad("run", err)
+		}
+		jobs, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, "", bad("jobs", err)
+		}
+		maxS, err := parseFloat(row[6])
+		if err != nil {
+			return nil, "", bad("max_stretch", err)
+		}
+		meanS, err := parseFloat(row[7])
+		if err != nil {
+			return nil, "", bad("mean_stretch", err)
+		}
+		retries, err := strconv.Atoi(row[8])
+		if err != nil {
+			return nil, "", bad("retries", err)
+		}
+		lost, err := parseFloat(row[9])
+		if err != nil {
+			return nil, "", bad("lost_work", err)
+		}
+		if scheduler == "" {
+			scheduler = row[5]
+		} else if row[5] != scheduler {
+			return nil, "", fmt.Errorf("exp: faults CSV line %d: mixed schedulers %q and %q",
+				line, scheduler, row[5])
+		}
+		results = append(results, FaultResult{
+			Point:       FaultPoint{machines, row[1], rate},
+			Run:         run,
+			Jobs:        jobs,
+			MaxStretch:  maxS,
+			MeanStretch: meanS,
+			Retries:     retries,
+			LostWork:    lost,
+		})
+	}
+}
+
+// faultPointKey is the digest line key: the point's CSV coordinates.
+func faultPointKey(p FaultPoint) string {
+	return fmt.Sprintf("%d,%s,%s", p.Machines, p.Balancer, formatFloat(p.Rate))
+}
+
+// FaultPointDigests returns one "machines,balancer,rate fnv64a" line per
+// fault point present in results, sorted, each digesting the point's CSV
+// rows exactly as WriteFaultsCSV encodes them — the faults family's
+// merge-integrity check.
+func FaultPointDigests(results []FaultResult, scheduler string) ([]string, error) {
+	return digestLines(len(results),
+		func(i int) string { return faultPointKey(results[i].Point) },
+		func(i int, cw *csv.Writer) error { return writeFaultRow(cw, &results[i], scheduler) })
+}
+
+// WriteFaultPointDigests writes FaultPointDigests lines to w.
+func WriteFaultPointDigests(w io.Writer, results []FaultResult, scheduler string) error {
+	lines, err := FaultPointDigests(results, scheduler)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultAxes lists the distinct machine counts, balancers and rates of
+// points, each in first-appearance order.
+func faultAxes(results []FaultResult) (machines []int, balancers []string, rates []float64) {
+	for _, r := range results {
+		p := r.Point
+		foundM := false
+		for _, m := range machines {
+			if m == p.Machines {
+				foundM = true
+				break
+			}
+		}
+		if !foundM {
+			machines = append(machines, p.Machines)
+		}
+		foundB := false
+		for _, b := range balancers {
+			if b == p.Balancer {
+				foundB = true
+				break
+			}
+		}
+		if !foundB {
+			balancers = append(balancers, p.Balancer)
+		}
+		foundR := false
+		for _, rt := range rates {
+			if rt == p.Rate {
+				foundR = true
+				break
+			}
+		}
+		if !foundR {
+			rates = append(rates, p.Rate)
+		}
+	}
+	return machines, balancers, rates
+}
+
+// RenderFaultTables renders the faults family report: per machine count,
+// one balancer × failure-rate matrix of mean max-stretch and one of mean
+// mean-stretch, plus a retries/lost-work matrix — stretch degradation
+// curves read along each row.
+func RenderFaultTables(results []FaultResult, scheduler string) string {
+	machines, balancers, rates := faultAxes(results)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Faults: %s under seeded machine failures (rate = expected failures per node)\n\n", scheduler)
+	for _, m := range machines {
+		b.WriteString(renderFaultMatrix(results, m, balancers, rates, "mean max-stretch",
+			func(r *FaultResult) (float64, bool) { return r.MaxStretch, !math.IsNaN(r.MaxStretch) }))
+		b.WriteString("\n")
+		b.WriteString(renderFaultMatrix(results, m, balancers, rates, "mean mean-stretch",
+			func(r *FaultResult) (float64, bool) { return r.MeanStretch, !math.IsNaN(r.MeanStretch) }))
+		b.WriteString("\n")
+		b.WriteString(renderFaultMatrix(results, m, balancers, rates, "mean retries",
+			func(r *FaultResult) (float64, bool) { return float64(r.Retries), r.Jobs > 0 }))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderFaultMatrix renders one balancer × rate matrix for machine count m,
+// cells the mean of metric over that point's runs.
+func renderFaultMatrix(results []FaultResult, m int, balancers []string, rates []float64,
+	title string, metric func(*FaultResult) (float64, bool)) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d machines: %s\n", m, title)
+	fmt.Fprintf(&b, "%-10s |", "")
+	for _, rt := range rates {
+		fmt.Fprintf(&b, " %10s |", fmt.Sprintf("rate=%.2g", rt))
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 10+1+len(rates)*14))
+	b.WriteString("\n")
+	for _, bal := range balancers {
+		fmt.Fprintf(&b, "%-10s |", bal)
+		for _, rt := range rates {
+			var agg stats.Agg
+			for i := range results {
+				r := &results[i]
+				if r.Point.Machines != m || r.Point.Balancer != bal || r.Point.Rate != rt {
+					continue
+				}
+				if v, ok := metric(r); ok {
+					agg.Add(v)
+				}
+			}
+			cell := "-"
+			if agg.N() > 0 {
+				cell = fmt.Sprintf("%.4f", agg.Mean())
+			}
+			fmt.Fprintf(&b, " %10s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

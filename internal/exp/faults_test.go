@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func faultTestPoints() []FaultPoint {
+	return []FaultPoint{
+		{Machines: 2, Balancer: "random", Rate: 0},
+		{Machines: 2, Balancer: "kchoices", Rate: 1},
+		{Machines: 4, Balancer: "stretch", Rate: 2},
+		{Machines: 2, Balancer: "ideal", Rate: 1},
+	}
+}
+
+func faultTestOptions(workers int) FaultOptions {
+	return FaultOptions{
+		Runs:       2,
+		Seed:       31,
+		TargetJobs: 8,
+		Workers:    workers,
+	}
+}
+
+// TestFaultsWorkerInvariance: results, rendered tables, the merged CSV
+// stream and the per-point digests must be byte-identical for 1 worker and
+// NumCPU workers — failure injection must not break the family's
+// determinism contract.
+func TestFaultsWorkerInvariance(t *testing.T) {
+	points := faultTestPoints()
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 4
+	}
+
+	var csv1, csvN bytes.Buffer
+	res1, err := RunFaultsCSV(&csv1, points, faultTestOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resN, err := RunFaultsCSV(&csvN, points, faultTestOptions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res1) != len(resN) {
+		t.Fatalf("result counts differ: %d vs %d", len(res1), len(resN))
+	}
+	sawRetry := false
+	for i := range res1 {
+		a, b := res1[i], resN[i]
+		if a.Point != b.Point || a.Run != b.Run || a.Jobs != b.Jobs {
+			t.Fatalf("instance %d identity differs: %+v vs %+v", i, a, b)
+		}
+		if !sameMetric(a.MaxStretch, b.MaxStretch) || !sameMetric(a.MeanStretch, b.MeanStretch) {
+			t.Fatalf("instance %d stretch differs: %+v vs %+v", i, a, b)
+		}
+		if a.Retries != b.Retries || !sameMetric(a.LostWork, b.LostWork) {
+			t.Fatalf("instance %d fault counters differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Errs) != 0 || len(b.Errs) != 0 {
+			t.Fatalf("instance %d errors: %v / %v", i, a.Errs, b.Errs)
+		}
+		if a.Retries > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no instance recorded a retry; the fault grid is inert")
+	}
+
+	sched := faultTestOptions(0).withDefaults().Scheduler
+	if t1, tN := RenderFaultTables(res1, sched), RenderFaultTables(resN, sched); t1 != tN {
+		t.Fatalf("rendered fault tables differ:\n%s\nvs\n%s", t1, tN)
+	}
+	if !bytes.Equal(csv1.Bytes(), csvN.Bytes()) {
+		t.Fatalf("merged CSV differs between 1 and %d workers", n)
+	}
+	if csv1.Len() == 0 {
+		t.Fatal("CSV output empty")
+	}
+
+	d1, err := FaultPointDigests(res1, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dN, err := FaultPointDigests(resN, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(points) {
+		t.Fatalf("%d digest lines, want one per point (%d)", len(d1), len(points))
+	}
+	for i := range d1 {
+		if d1[i] != dN[i] {
+			t.Fatalf("digest line %d differs: %q vs %q", i, d1[i], dN[i])
+		}
+	}
+}
+
+// TestFaultsZeroRateMatchesCluster: the rate-0 column is the PR 9 cluster
+// path — identical workload/balancer seeds must yield identical stretches
+// to the cluster family on the same point.
+func TestFaultsZeroRateMatchesCluster(t *testing.T) {
+	fopts := faultTestOptions(1)
+	fp := FaultPoint{Machines: 2, Balancer: "kchoices", Rate: 0}
+	fres := RunFaults([]FaultPoint{fp}, fopts)
+
+	copts := ClusterOptions{
+		Runs:       fopts.Runs,
+		Seed:       fopts.Seed,
+		TargetJobs: fopts.TargetJobs,
+		Schedulers: []string{"SWRPT"},
+		Workers:    1,
+	}
+	cp := ClusterPoint{Machines: 2, Balancer: "kchoices", Density: 1.0}
+	cres := RunCluster([]ClusterPoint{cp}, copts)
+
+	for run := range fres {
+		f, c := fres[run], cres[run]
+		if f.Jobs != c.Jobs {
+			t.Fatalf("run %d jobs: faults %d, cluster %d", run, f.Jobs, c.Jobs)
+		}
+		if f.Retries != 0 || f.LostWork != 0 {
+			t.Fatalf("run %d rate-0 recorded faults: %+v", run, f)
+		}
+		if f.MaxStretch != c.MaxStretch["SWRPT"] {
+			t.Fatalf("run %d max-stretch: faults %v, cluster %v", run, f.MaxStretch, c.MaxStretch["SWRPT"])
+		}
+		if want := c.SumStretch["SWRPT"] / float64(c.Jobs); f.MeanStretch != want {
+			t.Fatalf("run %d mean-stretch: faults %v, cluster %v", run, f.MeanStretch, want)
+		}
+	}
+}
+
+// TestFaultsCSVRoundTrip: ReadFaultsCSV must reconstruct what a CSV pass
+// wrote and re-encode to the same bytes.
+func TestFaultsCSVRoundTrip(t *testing.T) {
+	points := faultTestPoints()[:3]
+	opts := faultTestOptions(2)
+	var buf bytes.Buffer
+	results, err := RunFaultsCSV(&buf, points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, sched, err := ReadFaultsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched != opts.withDefaults().Scheduler {
+		t.Fatalf("read-back scheduler %q, want %q", sched, opts.withDefaults().Scheduler)
+	}
+	var rewritten bytes.Buffer
+	if err := WriteFaultsCSV(&rewritten, back, sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), rewritten.Bytes()) {
+		t.Fatalf("re-encoded CSV differs:\n%q\nvs\n%q", buf.String(), rewritten.String())
+	}
+	d1, err := FaultPointDigests(results, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := FaultPointDigests(back, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("digest counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("digest %d differs after round trip: %q vs %q", i, d1[i], d2[i])
+		}
+	}
+}
+
+// TestFaultsShardedMatrixMerge simulates the nightly faults matrix:
+// interleaved shards with PointIndices, concatenated CSVs, recomputed
+// digests of the merged read-back equal to the union of the shard digests.
+func TestFaultsShardedMatrixMerge(t *testing.T) {
+	points := faultTestPoints()
+	opts := faultTestOptions(2)
+	const nShards = 2
+
+	var merged bytes.Buffer
+	var shardDigests []string
+	for k := 0; k < nShards; k++ {
+		shard, indices := ShardPoints(points, k, nShards)
+		sopts := opts
+		sopts.PointIndices = indices
+		var buf bytes.Buffer
+		res, err := RunFaultsCSV(&buf, shard, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, err := FaultPointDigests(res, sopts.withDefaults().Scheduler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardDigests = append(shardDigests, lines...)
+		body := buf.String()
+		if k > 0 {
+			body = body[strings.Index(body, "\n")+1:]
+		}
+		merged.WriteString(body)
+	}
+
+	back, sched, err := ReadFaultsCSV(bytes.NewReader(merged.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed, err := FaultPointDigests(back, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, l := range shardDigests {
+		want[l] = true
+	}
+	if len(recomputed) != len(want) {
+		t.Fatalf("merged digests: %d lines, shards produced %d", len(recomputed), len(want))
+	}
+	for _, l := range recomputed {
+		if !want[l] {
+			t.Fatalf("merged digest %q not produced by any shard", l)
+		}
+	}
+}
+
+// TestFaultsDryRun: a dry run predicts the exact row structure of a real
+// run with every metric NA.
+func TestFaultsDryRun(t *testing.T) {
+	points := faultTestPoints()[:2]
+	opts := faultTestOptions(1)
+	opts.DryRun = true
+	results := RunFaults(points, opts)
+	if len(results) != len(points)*opts.Runs {
+		t.Fatalf("%d results, want %d", len(results), len(points)*opts.Runs)
+	}
+	for i, r := range results {
+		if r.Jobs == 0 {
+			t.Fatalf("dry-run instance %d generated no jobs", i)
+		}
+		if !math.IsNaN(r.MaxStretch) || !math.IsNaN(r.MeanStretch) {
+			t.Fatalf("dry-run instance %d has real metrics: %+v", i, r)
+		}
+	}
+	live := RunFaults(points, faultTestOptions(1))
+	sched := opts.withDefaults().Scheduler
+	var dryCSV, liveCSV bytes.Buffer
+	if err := WriteFaultsCSV(&dryCSV, results, sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFaultsCSV(&liveCSV, live, sched); err != nil {
+		t.Fatal(err)
+	}
+	if dryLines, liveLines := strings.Count(dryCSV.String(), "\n"), strings.Count(liveCSV.String(), "\n"); dryLines != liveLines {
+		t.Fatalf("dry run predicts %d rows, live run produced %d", dryLines, liveLines)
+	}
+}
+
+// TestDefaultFaultGrid pins the grid shape: 2 machine counts × 4 balancers
+// × 4 rates including the fault-free anchor.
+func TestDefaultFaultGrid(t *testing.T) {
+	grid := DefaultFaultGrid()
+	if len(grid) != 32 {
+		t.Fatalf("%d points, want 32", len(grid))
+	}
+	anchors := 0
+	for _, p := range grid {
+		if p.Rate == 0 {
+			anchors++
+		}
+	}
+	if anchors != 8 {
+		t.Fatalf("%d rate-0 anchor points, want 8", anchors)
+	}
+}

@@ -1,0 +1,185 @@
+// Package fault is the deterministic failure model behind the cluster
+// world's fault injection and stretchd's chaos tooling: a seeded Plan of
+// per-machine down/up intervals (an alternating renewal process — every
+// draw comes from an explicitly seeded generator, so a plan is a pure
+// function of its Config and replays bitwise), a capped exponential
+// Backoff for re-placement delays in virtual time, and CrashIndices, the
+// shared seeded kill-point schedule of the chaos loadgen and the
+// crash-recovery differential tests.
+//
+// Failures are confined to [0, Horizon): beyond the horizon no machine
+// ever fails, which is what guarantees every retried job eventually runs
+// to completion and the fault event loop terminates.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterises one plan. Rate is the expected number of failures
+// per machine over the horizon; MeanDown is the mean repair duration.
+type Config struct {
+	Nodes    int
+	Horizon  float64
+	Rate     float64
+	MeanDown float64
+	Seed     int64
+}
+
+// Interval is one outage: the machine goes down at Down and is back at Up
+// (half-open [Down, Up): the machine is up again at exactly Up).
+type Interval struct {
+	Down, Up float64
+}
+
+// Plan is a fixed failure schedule: per machine, a sorted list of
+// non-overlapping down intervals. Plans are immutable and safe to share
+// across runs — reusing one never perturbs it.
+type Plan struct {
+	intervals [][]Interval
+}
+
+// nodeSeedStride decorrelates per-node generators derived from one seed.
+const nodeSeedStride = 1_000_003
+
+// New generates the plan for cfg: each machine draws exponential gaps
+// between failures (mean Horizon/Rate) and exponential repair durations
+// (mean MeanDown) from its own seeded generator, intervals clipped to
+// start inside [0, Horizon).
+func New(cfg Config) (*Plan, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("fault: plan needs at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Rate < 0 {
+		return nil, fmt.Errorf("fault: negative failure rate %v", cfg.Rate)
+	}
+	if cfg.Rate > 0 && cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: rate %v needs a positive horizon, got %v", cfg.Rate, cfg.Horizon)
+	}
+	if cfg.MeanDown < 0 {
+		return nil, fmt.Errorf("fault: negative mean down time %v", cfg.MeanDown)
+	}
+	p := &Plan{intervals: make([][]Interval, cfg.Nodes)}
+	if cfg.Rate == 0 {
+		return p, nil
+	}
+	meanGap := cfg.Horizon / cfg.Rate
+	meanDown := cfg.MeanDown
+	if meanDown == 0 {
+		meanDown = cfg.Horizon / 20
+	}
+	for ni := range p.intervals {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ni)*nodeSeedStride))
+		t := rng.ExpFloat64() * meanGap
+		for t < cfg.Horizon {
+			down := rng.ExpFloat64() * meanDown
+			p.intervals[ni] = append(p.intervals[ni], Interval{Down: t, Up: t + down})
+			t = t + down + rng.ExpFloat64()*meanGap
+		}
+	}
+	return p, nil
+}
+
+// NumNodes returns the number of machines the plan covers.
+func (p *Plan) NumNodes() int { return len(p.intervals) }
+
+// HasFailures reports whether any machine ever fails under the plan. A
+// plan without failures is by definition inert: consumers take their
+// fault-free fast path and results are bitwise identical to no plan.
+func (p *Plan) HasFailures() bool {
+	for _, ivs := range p.intervals {
+		if len(ivs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Intervals returns machine ni's outages, sorted and non-overlapping. The
+// returned slice is the plan's own storage — callers must not mutate it.
+func (p *Plan) Intervals(ni int) []Interval { return p.intervals[ni] }
+
+// Down reports whether machine ni is down at t.
+func (p *Plan) Down(ni int, t float64) bool {
+	ivs := p.intervals[ni]
+	i := sort.Search(len(ivs), func(k int) bool { return ivs[k].Up > t })
+	return i < len(ivs) && ivs[i].Down <= t
+}
+
+// UpAt returns the earliest instant >= t at which machine ni is up.
+func (p *Plan) UpAt(ni int, t float64) float64 {
+	ivs := p.intervals[ni]
+	i := sort.Search(len(ivs), func(k int) bool { return ivs[k].Up > t })
+	if i < len(ivs) && ivs[i].Down <= t {
+		return ivs[i].Up
+	}
+	return t
+}
+
+// NextDown returns machine ni's first failure instant strictly after t,
+// or ok=false when it never fails again.
+func (p *Plan) NextDown(ni int, t float64) (float64, bool) {
+	ivs := p.intervals[ni]
+	i := sort.Search(len(ivs), func(k int) bool { return ivs[k].Down > t })
+	if i == len(ivs) {
+		return 0, false
+	}
+	return ivs[i].Down, true
+}
+
+// Backoff is the capped exponential re-placement delay: a job failed on
+// its k-th attempt re-enters the balancer after min(Base·2^(k-1), Cap)
+// units of virtual time.
+type Backoff struct {
+	Base, Cap float64
+}
+
+// DefaultBackoff returns the cluster world's standard retry curve.
+func DefaultBackoff() Backoff { return Backoff{Base: 1, Cap: 64} }
+
+// Delay returns the backoff before re-placing a job that has already been
+// placed attempt times (attempt >= 1).
+func (b Backoff) Delay(attempt int) float64 {
+	base := b.Base
+	if base <= 0 {
+		base = 1
+	}
+	d := base
+	for k := 1; k < attempt; k++ {
+		d *= 2
+		if b.Cap > 0 && d >= b.Cap {
+			return b.Cap
+		}
+	}
+	if b.Cap > 0 && d > b.Cap {
+		return b.Cap
+	}
+	return d
+}
+
+// CrashIndices returns n distinct seeded crash points drawn from
+// [1, total), sorted ascending — the event indices at which the chaos
+// loadgen kills the daemon and the differential tests cut the stream.
+// Index 0 is excluded so a crash always has at least one event behind it.
+func CrashIndices(seed int64, n, total int) []int {
+	if total <= 1 || n <= 0 {
+		return nil
+	}
+	if n > total-1 {
+		n = total - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	picked := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := 1 + rng.Intn(total-1)
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

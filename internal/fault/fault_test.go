@@ -1,0 +1,171 @@
+package fault_test
+
+import (
+	"testing"
+
+	"stretchsched/internal/fault"
+)
+
+// TestPlanDeterministic: two plans from the same config are identical
+// interval for interval; a different seed moves at least one interval.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := fault.Config{Nodes: 4, Horizon: 100, Rate: 2, MeanDown: 3, Seed: 9}
+	a, err := fault.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fault.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasFailures() {
+		t.Fatal("rate 2 over 4 nodes generated no failures")
+	}
+	for ni := 0; ni < cfg.Nodes; ni++ {
+		ia, ib := a.Intervals(ni), b.Intervals(ni)
+		if len(ia) != len(ib) {
+			t.Fatalf("node %d: %d vs %d intervals", ni, len(ia), len(ib))
+		}
+		for k := range ia {
+			if ia[k] != ib[k] {
+				t.Fatalf("node %d interval %d: %+v vs %+v", ni, k, ia[k], ib[k])
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 10
+	c, err := fault.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for ni := 0; ni < cfg.Nodes && same; ni++ {
+		ia, ic := a.Intervals(ni), c.Intervals(ni)
+		if len(ia) != len(ic) {
+			same = false
+			break
+		}
+		for k := range ia {
+			if ia[k] != ic[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 9 and 10 produced identical plans")
+	}
+}
+
+// TestPlanInvariants: intervals are sorted, non-overlapping, start inside
+// the horizon, and the point queries agree with the interval list.
+func TestPlanInvariants(t *testing.T) {
+	cfg := fault.Config{Nodes: 3, Horizon: 50, Rate: 4, MeanDown: 2, Seed: 123}
+	p, err := fault.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := 0; ni < cfg.Nodes; ni++ {
+		prevUp := 0.0
+		for k, iv := range p.Intervals(ni) {
+			if iv.Down >= iv.Up {
+				t.Fatalf("node %d interval %d degenerate: %+v", ni, k, iv)
+			}
+			if iv.Down < prevUp {
+				t.Fatalf("node %d interval %d overlaps previous: %+v (prev up %v)", ni, k, iv, prevUp)
+			}
+			if iv.Down >= cfg.Horizon {
+				t.Fatalf("node %d interval %d starts past the horizon: %+v", ni, k, iv)
+			}
+			mid := (iv.Down + iv.Up) / 2
+			if !p.Down(ni, mid) {
+				t.Fatalf("node %d: Down(%v) = false inside %+v", ni, mid, iv)
+			}
+			if got := p.UpAt(ni, mid); got != iv.Up {
+				t.Fatalf("node %d: UpAt(%v) = %v, want %v", ni, mid, got, iv.Up)
+			}
+			if p.Down(ni, iv.Up) {
+				t.Fatalf("node %d: down at its own up instant %v", ni, iv.Up)
+			}
+			prevUp = iv.Up
+		}
+		if p.Down(ni, cfg.Horizon*10) {
+			t.Fatalf("node %d down far past the horizon", ni)
+		}
+		if next, ok := p.NextDown(ni, cfg.Horizon); ok {
+			t.Fatalf("node %d fails at %v past the horizon", ni, next)
+		}
+	}
+}
+
+// TestZeroRateInert: a zero-rate plan has no failures at all.
+func TestZeroRateInert(t *testing.T) {
+	p, err := fault.New(fault.Config{Nodes: 5, Horizon: 100, Rate: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasFailures() {
+		t.Fatal("zero-rate plan has failures")
+	}
+	for ni := 0; ni < 5; ni++ {
+		if len(p.Intervals(ni)) != 0 {
+			t.Fatalf("node %d has %d intervals", ni, len(p.Intervals(ni)))
+		}
+	}
+}
+
+// TestNewRejectsBadConfig covers the typed validation errors.
+func TestNewRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []fault.Config{
+		{Nodes: 0, Horizon: 1, Rate: 1},
+		{Nodes: 2, Horizon: 0, Rate: 1},
+		{Nodes: 2, Horizon: 1, Rate: -1},
+		{Nodes: 2, Horizon: 1, Rate: 1, MeanDown: -1},
+	} {
+		if _, err := fault.New(cfg); err == nil {
+			t.Fatalf("New(%+v) accepted a bad config", cfg)
+		}
+	}
+}
+
+// TestBackoffCurve pins the capped-exponential delays.
+func TestBackoffCurve(t *testing.T) {
+	b := fault.Backoff{Base: 2, Cap: 10}
+	want := []float64{2, 4, 8, 10, 10}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Zero-valued backoff defaults to base 1, uncapped growth.
+	z := fault.Backoff{}
+	if z.Delay(1) != 1 || z.Delay(4) != 8 {
+		t.Fatalf("zero backoff: Delay(1)=%v Delay(4)=%v", z.Delay(1), z.Delay(4))
+	}
+}
+
+// TestCrashIndices: seeded, sorted, distinct, in range, and stable.
+func TestCrashIndices(t *testing.T) {
+	a := fault.CrashIndices(7, 3, 100)
+	b := fault.CrashIndices(7, 3, 100)
+	if len(a) != 3 {
+		t.Fatalf("got %d indices, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reseeded indices diverge: %v vs %v", a, b)
+		}
+		if a[i] < 1 || a[i] >= 100 {
+			t.Fatalf("index %d out of [1,100)", a[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("indices not strictly ascending: %v", a)
+		}
+	}
+	if got := fault.CrashIndices(7, 10, 4); len(got) != 3 {
+		t.Fatalf("capped indices = %v, want 3 of them", got)
+	}
+	if got := fault.CrashIndices(7, 2, 1); got != nil {
+		t.Fatalf("total=1 should yield no crash points, got %v", got)
+	}
+}

@@ -15,11 +15,14 @@ const OrderOkDirective = "//stretch:order-ok"
 // FNV digests are compared across shard counts and reruns), the workload
 // generator (instance seeds ARE the reproducibility contract), and the
 // cluster world (placements must replay bitwise from the lb seed — the
-// machines=1 equivalence and shard-merge digests both depend on it).
+// machines=1 equivalence and shard-merge digests both depend on it), and
+// the fault planner (a reseeded plan must be bitwise stable or reused
+// worlds diverge from fresh ones).
 var determinismDefaultPaths = []string{
 	"stretchsched/internal/exp",
 	"stretchsched/internal/workload",
 	"stretchsched/internal/cluster",
+	"stretchsched/internal/fault",
 }
 
 // randConstructors are the math/rand top-level functions that merely build

@@ -45,11 +45,31 @@ var noswallowWatch = map[string]map[string]bool{
 		// Measured-times sidecar: a swallowed write error silently loses
 		// the feedback that orders the next pass's shard dispatch.
 		"WritePointTimes": true, "ReadPointTimes": true,
+		// Faults family (PR 10) — same CSV/digest contract again.
+		"RunFaultsCSV": true, "WriteFaultsCSV": true, "ReadFaultsCSV": true,
+		"FaultPointDigests": true, "WriteFaultPointDigests": true,
+		"writeFaultRow": true, "encodeFaultShard": true,
 	},
 	// Cluster world entry points: a swallowed Run/Place/Lookahead error is
-	// a node silently dropped from the comparison tables.
+	// a node silently dropped from the comparison tables; a swallowed
+	// SetFaults error silently runs the zero-failure path instead.
 	"stretchsched/internal/cluster": {
 		"Run": true, "Place": true, "Lookahead": true, "New": true,
+		"SetFaults": true, "RunFaulty": true,
+	},
+	// Fault planner: a swallowed construction error is a nil plan, which
+	// silently degrades a faults experiment to the zero-failure path.
+	"stretchsched/internal/fault": {
+		"New": true,
+	},
+	// Crash-recovery entry points: every one of these failing silently
+	// turns "recovered" into "corrupted". RecoverLogFile truncates a real
+	// file; WriteFileAtomic replaces the previous checkpoint; Restore and
+	// DecodeCheckpoint gate whether a daemon resumes at all.
+	"stretchsched/internal/serve": {
+		"RecoverLogFile": true, "WriteFileAtomic": true, "ReadLogPayloads": true,
+		"Restore": true, "DecodeCheckpoint": true, "WriteFile": true,
+		"Checkpoint": true, "Sync": true,
 	},
 }
 

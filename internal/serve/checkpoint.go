@@ -53,30 +53,48 @@ type Checkpoint struct {
 	// deliberately absent — it is a pure function of the active count and is
 	// recomputed on restore. Absent in pre-guard checkpoints (decodes as 0).
 	Switches uint64 `json:",omitempty"`
-	Rejected map[string]uint64
+	// Panics counts recovered loop panics. Absent in older checkpoints.
+	Panics uint64 `json:",omitempty"`
+	// LogRecords is the number of decision-log lines emitted before this
+	// snapshot — synced to disk first when the sink supports it, so crash
+	// recovery can truncate a framed log to exactly the attested records
+	// (see RecoverLogFile). Absent in older checkpoints (decodes as 0).
+	LogRecords uint64 `json:",omitempty"`
+	Rejected   map[string]uint64
 }
 
 // Checkpoint snapshots the loop. The snapshot is taken at the loop's
 // current quiescent instant — after the last committed event — so a
-// restored daemon resumes exactly where this one stood.
-func (l *Loop) Checkpoint() (*Checkpoint, error) {
+// restored daemon resumes exactly where this one stood. When the decision
+// sink supports a Sync barrier (LogFile does), the attested log records
+// are made durable before the snapshot exists: a checkpoint must never
+// claim records a crash could still lose.
+func (l *Loop) Checkpoint() (ck *Checkpoint, err error) {
 	if err := l.acquire(0); err != nil {
 		return nil, err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
+	if s, ok := l.logw.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			l.countReject(CodeLogWrite)
+			return nil, reject(CodeLogWrite, "syncing decision log before checkpoint: %v", err)
+		}
+	}
 	l.counters.Checkpoints++
-	ck := &Checkpoint{
+	ck = &Checkpoint{
 		Version:    checkpointVersion,
 		Policy:     l.name,
 		Now:        l.drv.Now(),
 		NextSeq:    l.seq,
+		LogRecords: l.logLines,
 		QStretch:   []stats.P2State{l.qs.p50.State(), l.qs.p90.State(), l.qs.p99.State()},
 		QFlow:      []stats.P2State{l.qf.p50.State(), l.qf.p90.State(), l.qf.p99.State()},
 		SumStretch: l.qs.sum, MaxStretch: l.qs.max, NStretch: l.qs.n,
 		SumFlow: l.qf.sum, MaxFlow: l.qf.max, NFlow: l.qf.n,
 		Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
 		Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
-		Switches: l.counters.Switches,
+		Switches: l.counters.Switches, Panics: l.counters.Panics,
 		Rejected: map[string]uint64{},
 	}
 	for k, v := range l.counters.Rejected {
@@ -111,6 +129,17 @@ func (ck *Checkpoint) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("serve: encoding checkpoint: %w", err)
 	}
 	return append(b, '\n'), nil
+}
+
+// WriteFile atomically persists the encoded checkpoint at path: temp
+// file, fsync, rename, directory fsync — a crash mid-write leaves the
+// previous checkpoint intact, never a torn one.
+func (ck *Checkpoint) WriteFile(path string) error {
+	b, err := ck.Encode()
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, b, 0o644)
 }
 
 // DecodeCheckpoint parses an Encode output.
@@ -193,6 +222,8 @@ func Restore(cfg Config, ck *Checkpoint) (*Loop, error) {
 	l.counters.Events = ck.Events
 	l.counters.Checkpoints = ck.Checkpoints
 	l.counters.Switches = ck.Switches
+	l.counters.Panics = ck.Panics
+	l.logLines = ck.LogRecords
 	for k, v := range ck.Rejected {
 		l.counters.Rejected[k] = v
 	}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// Crash-safe decision-log persistence. Every decision line the loop emits
+// is framed on disk as
+//
+//	%016x <payload>\n
+//
+// where the prefix is the FNV-64a checksum of the payload bytes. A crash
+// mid-write leaves a torn tail — a final record with no newline, a short
+// checksum field, or a checksum mismatch — which ScanLog detects and
+// RecoverLogFile truncates away, so a restarted daemon appends to a log
+// whose every surviving record is intact. The payload bytes themselves are
+// exactly what the in-memory decision log carries: stripping the frames
+// reproduces the unframed log byte for byte.
+
+// logChecksumLen is the fixed width of the hex checksum field.
+const logChecksumLen = 16
+
+func logChecksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// appendFramed appends one framed record for payload (no trailing newline)
+// to dst.
+func appendFramed(dst, payload []byte) []byte {
+	dst = fmt.Appendf(dst, "%016x ", logChecksum(payload))
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// parseFramed splits one framed line (without its trailing newline) into
+// its payload, reporting whether frame and checksum are intact.
+func parseFramed(line []byte) ([]byte, bool) {
+	if len(line) < logChecksumLen+1 || line[logChecksumLen] != ' ' {
+		return nil, false
+	}
+	var sum uint64
+	for _, c := range line[:logChecksumLen] {
+		switch {
+		case c >= '0' && c <= '9':
+			sum = sum<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			sum = sum<<4 | uint64(c-'a'+10)
+		default:
+			return nil, false
+		}
+	}
+	payload := line[logChecksumLen+1:]
+	if logChecksum(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// nextRecord splits b into its first framed record's payload and the rest.
+func nextRecord(b []byte) (payload, rest []byte, ok bool) {
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, b, false // torn tail: record never got its newline
+	}
+	payload, ok = parseFramed(b[:nl])
+	return payload, b[nl+1:], ok
+}
+
+// ScanLog walks the framed records of b from the start and returns the
+// count of intact records and the byte length of that intact prefix.
+// Anything past goodLen — a torn tail from a crash, or corruption — is not
+// a valid record.
+func ScanLog(b []byte) (n uint64, goodLen int) {
+	rest := b
+	for len(rest) > 0 {
+		_, r, ok := nextRecord(rest)
+		if !ok {
+			break
+		}
+		n++
+		rest = r
+	}
+	return n, len(b) - len(rest)
+}
+
+// ReadLogPayloads strictly parses a framed log: every byte must belong to
+// an intact record. It returns the concatenated payload lines (the
+// unframed decision log) — the logcheck verification path.
+func ReadLogPayloads(b []byte) ([]byte, uint64, error) {
+	var out []byte
+	var n uint64
+	rest := b
+	for len(rest) > 0 {
+		payload, r, ok := nextRecord(rest)
+		if !ok {
+			return nil, n, fmt.Errorf("serve: log record %d (offset %d) is torn or corrupt",
+				n+1, len(b)-len(rest))
+		}
+		out = append(out, payload...)
+		out = append(out, '\n')
+		n++
+		rest = r
+	}
+	return out, n, nil
+}
+
+// RecoverLogFile truncates the framed log at path to exactly its first
+// upTo records — the records a checkpoint attests to. Records beyond upTo
+// (decisions after the checkpoint, which the restored daemon will re-emit)
+// and any torn tail are discarded. It errors if fewer than upTo intact
+// records survive: then the log lost data the checkpoint presumed durable,
+// and restoring would silently diverge.
+func RecoverLogFile(path string, upTo uint64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: recovering log: %w", err)
+	}
+	var n uint64
+	rest := b
+	for n < upTo {
+		_, r, ok := nextRecord(rest)
+		if !ok {
+			return fmt.Errorf("serve: log %s holds %d intact records, checkpoint attests %d",
+				path, n, upTo)
+		}
+		n++
+		rest = r
+	}
+	keep := len(b) - len(rest)
+	if keep == len(b) {
+		return nil
+	}
+	if err := os.Truncate(path, int64(keep)); err != nil {
+		return fmt.Errorf("serve: truncating log to %d bytes: %w", keep, err)
+	}
+	return nil
+}
+
+// LogFile is the crash-safe decision-log sink: an append-only file whose
+// Write frames each decision line with its checksum. It satisfies the
+// loop's DecisionLog contract (one Write per line) plus the Sync barrier
+// Checkpoint uses to make attested records durable before the snapshot.
+type LogFile struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte
+}
+
+// OpenLogFile opens (creating if absent) the framed log at path for
+// appending.
+func OpenLogFile(path string) (*LogFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening log: %w", err)
+	}
+	return &LogFile{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Write frames one decision line (which must end in exactly one newline —
+// the loop's logf contract) and appends it.
+func (lf *LogFile) Write(p []byte) (int, error) {
+	if len(p) == 0 || p[len(p)-1] != '\n' || bytes.IndexByte(p[:len(p)-1], '\n') >= 0 {
+		return 0, fmt.Errorf("serve: log write is not a single newline-terminated line (%d bytes)", len(p))
+	}
+	lf.buf = appendFramed(lf.buf[:0], p[:len(p)-1])
+	if _, err := lf.w.Write(lf.buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Sync flushes buffered records and fsyncs the file — the durability
+// barrier a checkpoint takes before attesting its record count.
+func (lf *LogFile) Sync() error {
+	if err := lf.w.Flush(); err != nil {
+		return err
+	}
+	return lf.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (lf *LogFile) Close() error {
+	if err := lf.Sync(); err != nil {
+		lf.f.Close()
+		return err
+	}
+	return lf.f.Close()
+}
+
+// WriteFileAtomic writes data to path through a same-directory temp file,
+// fsyncs it, renames it over path and fsyncs the directory — so path holds
+// either its previous content or all of data, never a torn prefix, no
+// matter where a crash lands.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("serve: atomic write: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: atomic write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: atomic write: syncing: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: atomic write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: atomic write: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Directory fsync is best-effort: not every filesystem supports it,
+		// and the rename itself already happened.
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

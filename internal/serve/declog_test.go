@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stretchsched/internal/core"
+	"stretchsched/internal/model"
+	"stretchsched/internal/sim"
+)
+
+// TestLogFileFramingRoundTrip: framed writes parse back to the exact
+// unframed payload bytes.
+func TestLogFileFramingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	lf, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{"arrive t=0 seq=0", "plan t=0 assign=[0]", "complete t=3 seq=0"}
+	var want bytes.Buffer
+	for _, s := range lines {
+		want.WriteString(s)
+		want.WriteByte('\n')
+		if _, err := lf.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, n, err := ReadLogPayloads(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(lines)) {
+		t.Fatalf("parsed %d records, want %d", n, len(lines))
+	}
+	if !bytes.Equal(payloads, want.Bytes()) {
+		t.Fatalf("payloads:\n%q\nwant\n%q", payloads, want.Bytes())
+	}
+	// Not-a-single-line writes are refused, never silently reframed.
+	lf2, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf2.Close()
+	if _, err := lf2.Write([]byte("no newline")); err == nil {
+		t.Fatal("write without newline accepted")
+	}
+	if _, err := lf2.Write([]byte("two\nlines\n")); err == nil {
+		t.Fatal("multi-line write accepted")
+	}
+}
+
+// TestScanLogTornTail: a crash-torn tail (partial record, bad checksum,
+// missing newline) is detected and excluded from the intact prefix, and
+// RecoverLogFile truncates to exactly the attested records.
+func TestScanLogTornTail(t *testing.T) {
+	var good bytes.Buffer
+	for _, s := range []string{"one", "two", "three"} {
+		good.Write(appendFramed(nil, []byte(s)))
+	}
+	whole := good.Bytes()
+
+	if n, g := ScanLog(whole); n != 3 || g != len(whole) {
+		t.Fatalf("clean log: %d records, %d good bytes; want 3, %d", n, g, len(whole))
+	}
+	// Torn tail: final record missing its newline.
+	torn := append(append([]byte(nil), whole...), appendFramed(nil, []byte("four"))[:10]...)
+	if n, g := ScanLog(torn); n != 3 || g != len(whole) {
+		t.Fatalf("torn log: %d records, %d good bytes; want 3, %d", n, g, len(whole))
+	}
+	// Corrupt checksum mid-frame.
+	flipped := append([]byte(nil), whole...)
+	flipped[logChecksumLen+2] ^= 1
+	if n, _ := ScanLog(flipped); n != 0 {
+		t.Fatalf("corrupt first record still scanned %d records", n)
+	}
+	if _, _, err := ReadLogPayloads(torn); err == nil {
+		t.Fatal("strict parse accepted a torn log")
+	}
+
+	// RecoverLogFile: torn tail plus one post-checkpoint record, attested 2.
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecoverLogFile(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, g := ScanLog(b); n != 2 || g != len(b) {
+		t.Fatalf("recovered log holds %d records (%d/%d bytes)", n, g, len(b))
+	}
+	// A checkpoint attesting more records than survive is a hard error.
+	if err := RecoverLogFile(path, 5); err == nil {
+		t.Fatal("recovery to 5 records from a 2-record log succeeded")
+	}
+}
+
+// TestWriteFileAtomic: the write replaces content wholesale and leaves no
+// temp file behind.
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "second" {
+		t.Fatalf("content %q, want %q", b, "second")
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestCorruptCheckpointRejected is the regression for non-atomic
+// checkpoint writes: a truncated (torn) checkpoint file must be refused
+// with the typed bad-state code, not half-restored.
+func TestCorruptCheckpointRejected(t *testing.T) {
+	inst := testWorkload(t)
+	loop, err := New(egdfExactConfig(t, inst, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, loop, inst.Jobs[:4])
+	ck, err := loop.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(b); err != nil {
+		t.Fatalf("intact checkpoint rejected: %v", err)
+	}
+	for _, cut := range []int{len(b) / 3, len(b) - 2, 1} {
+		_, err := DecodeCheckpoint(b[:cut])
+		var rej *Rejection
+		if !errors.As(err, &rej) || rej.Code != CodeBadState {
+			t.Fatalf("truncated checkpoint (%d bytes) error = %v, want %s", cut, err, CodeBadState)
+		}
+	}
+}
+
+// TestCrashRecoveryDifferential is the fault-tolerance acceptance test: a
+// daemon writing a framed on-disk decision log is "crashed" after a synced
+// checkpoint (extra un-attested records plus a torn tail land in the log),
+// recovered by truncating to the attested records, restored from the
+// checkpoint, and resumed. The resumed decision-log suffix must be
+// byte-identical to the uninterrupted run's — the file-backed extension of
+// TestCheckpointRestoreDeterminism.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	inst := testWorkload(t)
+	jobs := inst.Jobs
+	cut := len(jobs) / 2
+
+	// Uninterrupted reference run into a plain buffer.
+	var logA bytes.Buffer
+	loopA, err := New(egdfExactConfig(t, inst, &logA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, loopA, jobs)
+	if err := loopA.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashing run: framed log on disk, checkpoint mid-stream (sync
+	// barrier), then more submissions whose records the checkpoint does not
+	// attest, then a torn tail from the "crash".
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	lf, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopB, err := New(egdfExactConfig(t, inst, lf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, loopB, jobs[:cut])
+	ck, err := loopB.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.LogRecords == 0 {
+		t.Fatal("checkpoint attests zero log records")
+	}
+	submitAll(t, loopB, jobs[cut:cut+2]) // post-checkpoint decisions, lost in the crash
+	if err := lf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("deadbeef torn rec")); err != nil { // no newline: torn
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Recovery: truncate to the attested records, restore, resume, drain.
+	if err := RecoverLogFile(path, ck.LogRecords); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf2, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopC, err := Restore(egdfExactConfig(t, inst, lf2), dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, loopC, jobs[cut:])
+	if err := loopC.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, n, err := ReadLogPayloads(b)
+	if err != nil {
+		t.Fatalf("recovered+resumed log is not fully intact: %v", err)
+	}
+	if string(payloads) != logA.String() {
+		t.Fatalf("recovered decision log diverged from uninterrupted run:\n%s",
+			firstDiff(logA.String(), string(payloads)))
+	}
+	if n <= ck.LogRecords {
+		t.Fatalf("resumed log holds %d records, no more than the checkpoint's %d", n, ck.LogRecords)
+	}
+}
+
+// panicPolicy is an FCFS-order policy whose Less panics once when armed —
+// the fault injection for the loop's panic recovery.
+type panicPolicy struct{ armed *bool }
+
+func (p panicPolicy) Name() string         { return "panic-once" }
+func (p panicPolicy) Init(*model.Instance) {}
+func (p panicPolicy) OnEvent(*sim.Ctx)     {}
+func (p panicPolicy) Less(ctx *sim.Ctx, a, b model.JobID) bool {
+	if *p.armed {
+		*p.armed = false
+		panic("injected policy panic")
+	}
+	return a < b
+}
+
+// panicSched adapts panicPolicy to the core scheduler surface New needs.
+type panicSched struct{ pol panicPolicy }
+
+func (s panicSched) Name() string { return "PanicOnce" }
+func (s panicSched) Run(inst *model.Instance) (*model.Schedule, error) {
+	return nil, errors.New("panicSched does not batch-schedule")
+}
+func (s panicSched) Policy() sim.Policy { return s.pol }
+
+// TestLoopSurvivesPanic: a panic inside a replan surfaces as a typed
+// loop_panic rejection, is counted, and the loop keeps serving.
+func TestLoopSurvivesPanic(t *testing.T) {
+	p, err := model.Uniform([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := false
+	loop, err := New(Config{Platform: p, Scheduler: panicSched{panicPolicy{&armed}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.Submit(SubmitRequest{Name: "a", Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	armed = true
+	_, err = loop.Submit(SubmitRequest{Name: "b", Size: 1})
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Code != CodePanic {
+		t.Fatalf("panicking submit error = %v, want %s", err, CodePanic)
+	}
+	// The loop survives: the token was released, state is reachable, and
+	// further submissions succeed.
+	if _, err := loop.Submit(SubmitRequest{Name: "c", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loop.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters.Panics != 1 || snap.Counters.Rejected[CodePanic] != 1 {
+		t.Fatalf("panic counters = %d/%d, want 1/1",
+			snap.Counters.Panics, snap.Counters.Rejected[CodePanic])
+	}
+	if !strings.Contains(snap.Prometheus(), "stretchd_loop_panics_total 1") {
+		t.Fatal("metrics missing stretchd_loop_panics_total")
+	}
+}
+
+// TestRetryAfterOn503: transient 503s carry a Retry-After hint, and the
+// server-side CheckpointPath persists atomically on POST /checkpoint.
+func TestRetryAfterOn503(t *testing.T) {
+	p, err := model.Uniform([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.New("FCFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "ck.json")
+	loop, err := New(Config{Platform: p, Scheduler: sched, CheckpointPath: ckPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(loop.Handler())
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/jobs", `{"name":"a","size":2}`, nil); code != 200 {
+		t.Fatalf("submit = %d", code)
+	}
+	// Server-side checkpoint persistence.
+	resp, err := http.Post(srv.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /checkpoint = %d", resp.StatusCode)
+	}
+	onDisk, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatalf("checkpoint not persisted: %v", err)
+	}
+	if _, err := DecodeCheckpoint(onDisk); err != nil {
+		t.Fatalf("persisted checkpoint corrupt: %v", err)
+	}
+
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"name":"b","size":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+}

@@ -33,6 +33,8 @@ func status(code string) int {
 		return http.StatusBadRequest
 	case CodeUnknown:
 		return http.StatusNotFound
+	case CodePanic:
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
@@ -49,7 +51,13 @@ func writeErr(w http.ResponseWriter, err error) {
 	body.Error.Code = rej.Code
 	body.Error.Reason = rej.Reason
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status(rej.Code))
+	st := status(rej.Code)
+	if st == http.StatusServiceUnavailable {
+		// Draining or loop-busy is transient; tell well-behaved clients when
+		// to come back instead of letting them hammer the admission token.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(st)
 	_ = json.NewEncoder(w).Encode(body) // client gone; nothing left to report to
 }
 
@@ -153,6 +161,15 @@ func (l *Loop) Handler() http.Handler {
 		if err != nil {
 			writeErr(w, err)
 			return
+		}
+		if path := l.cfg.CheckpointPath; path != "" {
+			// Server-side persistence: the checkpoint hits disk atomically
+			// before the client sees it, so "I have the response" implies "the
+			// daemon can crash now".
+			if err := WriteFileAtomic(path, b, 0o644); err != nil {
+				writeErr(w, err)
+				return
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if _, err := w.Write(b); err != nil {

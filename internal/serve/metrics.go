@@ -25,6 +25,7 @@ func (s Snapshot) Prometheus() string {
 	counter("stretchd_events_total", "Arrival and completion events processed.", s.Counters.Events)
 	counter("stretchd_checkpoints_total", "Checkpoints taken.", s.Counters.Checkpoints)
 	counter("stretchd_decision_log_errors_total", "Decision-log write errors (drain fails when nonzero).", uint64(s.LogErrs))
+	counter("stretchd_loop_panics_total", "Panics recovered inside loop entry points (the loop survives; each returns a typed 500).", s.Counters.Panics)
 	if s.Fallback != "" {
 		degraded := 0.0
 		if s.Degraded {

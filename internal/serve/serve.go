@@ -48,6 +48,7 @@ const (
 	CodeBadState  = "bad_checkpoint"
 	CodeLogWrite  = "log_write"
 	CodeExhausted = "drain_stalled"
+	CodePanic     = "loop_panic"
 )
 
 func (r *Rejection) Error() string { return fmt.Sprintf("serve: %s: %s", r.Code, r.Reason) }
@@ -84,6 +85,12 @@ type Config struct {
 	// Fallback is the guard's degraded-mode scheduler; it must be
 	// policy-backed. Nil defaults to SWRPT.
 	Fallback core.Scheduler
+
+	// CheckpointPath, when non-empty, makes POST /checkpoint persist the
+	// encoded checkpoint to this path (atomic temp+rename write) before
+	// returning it — the crash-safe server-side variant of client-side
+	// checkpoint capture.
+	CheckpointPath string
 }
 
 // defaultDeadline bounds how long a request may wait for the loop.
@@ -108,6 +115,7 @@ type Counters struct {
 	Events      uint64
 	Checkpoints uint64
 	Switches    uint64            // backlog-guard policy switches (both directions)
+	Panics      uint64            // panics recovered in loop entry points
 	Rejected    map[string]uint64 // by rejection code
 }
 
@@ -143,6 +151,7 @@ type Loop struct {
 	logErrs    int
 	lastLogErr error
 	logBuf     []byte
+	logLines   uint64 // decision lines emitted; checkpoints attest this count
 }
 
 // quantiles bundles the streaming estimators of one metric.
@@ -289,6 +298,22 @@ func (l *Loop) acquire(d time.Duration) error {
 
 func (l *Loop) release() { l.tok <- struct{}{} }
 
+// recoverPanic converts a panic inside a loop entry point into a typed
+// 500 rejection instead of killing the daemon: the panic is counted,
+// logged as a decision-stream event, and the caller's error is replaced.
+// It must be deferred AFTER the release defer, so it runs first and the
+// token is returned with the loop's state settled.
+func (l *Loop) recoverPanic(err *error) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	l.counters.Panics++
+	l.countReject(CodePanic)
+	l.logf("panic t=%s n=%d: %v", ftoa(l.drv.Now()), l.counters.Panics, rec)
+	*err = reject(CodePanic, "recovered: %v", rec)
+}
+
 // SubmitRequest is one job submission.
 type SubmitRequest struct {
 	Name     string
@@ -307,11 +332,12 @@ type SubmitResult struct {
 // Submit admits one job: the loop advances virtual time to the effective
 // release (committing any completions due before it), assigns a stream
 // slot, logs the arrival, and replans.
-func (l *Loop) Submit(req SubmitRequest) (SubmitResult, error) {
+func (l *Loop) Submit(req SubmitRequest) (res SubmitResult, err error) {
 	if err := l.acquire(0); err != nil {
 		return SubmitResult{}, err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
 	if l.draining {
 		l.countReject(CodeDraining)
 		return SubmitResult{}, reject(CodeDraining, "daemon is draining")
@@ -452,6 +478,7 @@ func (l *Loop) logf(format string, args ...any) {
 	}
 	l.logBuf = fmt.Appendf(l.logBuf[:0], format, args...)
 	l.logBuf = append(l.logBuf, '\n')
+	l.logLines++
 	if _, err := l.logw.Write(l.logBuf); err != nil {
 		l.logErrs++
 		l.lastLogErr = err
@@ -482,11 +509,12 @@ type JobState struct {
 
 // Job reports the state of daemon job seq, scanning the bounded recents
 // ring for completed jobs; jobs evicted from the ring are typed-unknown.
-func (l *Loop) Job(seq uint64) (JobState, error) {
+func (l *Loop) Job(seq uint64) (st JobState, err error) {
 	if err := l.acquire(0); err != nil {
 		return JobState{}, err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
 	l.syncClock()
 	if id, ok := l.activeAt[seq]; ok {
 		j := l.stream.Instance().Jobs[id]
@@ -528,13 +556,14 @@ type Schedule struct {
 }
 
 // Schedule reports the current placement.
-func (l *Loop) Schedule() (Schedule, error) {
+func (l *Loop) Schedule() (out Schedule, err error) {
 	if err := l.acquire(0); err != nil {
 		return Schedule{}, err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
 	l.syncClock()
-	out := Schedule{Now: l.drv.Now(), Policy: l.name}
+	out = Schedule{Now: l.drv.Now(), Policy: l.name}
 	out.Assign = append(out.Assign, l.drv.Assign()...)
 	for _, id := range append([]model.JobID(nil), l.drv.Ctx().Active()...) {
 		j := l.stream.Instance().Jobs[id]
@@ -570,11 +599,12 @@ type Snapshot struct {
 }
 
 // Snapshot assembles the unified stats view.
-func (l *Loop) Snapshot() (Snapshot, error) {
+func (l *Loop) Snapshot() (s Snapshot, err error) {
 	if err := l.acquire(0); err != nil {
 		return Snapshot{}, err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
 	return l.snapshotLocked(), nil
 }
 
@@ -585,7 +615,7 @@ func (l *Loop) snapshotLocked() Snapshot {
 		Counters: Counters{
 			Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
 			Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
-			Switches: l.counters.Switches,
+			Switches: l.counters.Switches, Panics: l.counters.Panics,
 			Rejected: map[string]uint64{},
 		},
 		StretchP50: l.qs.p50.Value(), StretchP90: l.qs.p90.Value(),
@@ -604,11 +634,12 @@ func (l *Loop) snapshotLocked() Snapshot {
 // Drain stops admissions, fast-forwards every pending job to completion at
 // the predicted instants, and reports any decision-log write errors. It is
 // idempotent; the first error encountered aborts the fast-forward.
-func (l *Loop) Drain() error {
+func (l *Loop) Drain() (err error) {
 	if err := l.acquire(0); err != nil {
 		return err
 	}
 	defer l.release()
+	defer l.recoverPanic(&err)
 	l.draining = true
 	for l.drv.NumActive() > 0 {
 		l.drv.Replan(l.activePolicy())
