@@ -149,6 +149,16 @@ func runDaemon(args []string) error {
 				if err := serve.RecoverLogFile(*declog, ck.LogRecords); err != nil {
 					return fmt.Errorf("recovering decision log: %w", err)
 				}
+			} else if os.IsNotExist(err) {
+				// A fresh empty log under a checkpoint attesting records would
+				// diverge from every later attestation; refuse rather than
+				// silently invalidate the resumed log.
+				if ck.LogRecords > 0 {
+					return fmt.Errorf("recovering decision log: %s does not exist but checkpoint %s attests %d records",
+						*declog, *restore, ck.LogRecords)
+				}
+			} else {
+				return fmt.Errorf("recovering decision log: %w", err)
 			}
 		} else if err := os.Remove(*declog); err != nil && !os.IsNotExist(err) {
 			return err

@@ -69,6 +69,7 @@ func (w *World) pendingPop() pendingArrival {
 			break
 		}
 		w.pending[i], w.pending[small] = w.pending[small], w.pending[i]
+		i = small
 	}
 	return top
 }

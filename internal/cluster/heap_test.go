@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stretchsched/internal/model"
+)
+
+// TestPendingHeapOrder: interleaved out-of-order pushes pop back in
+// strict (t, g) order. Regression for a sift-down that never descended
+// below the root, which let later arrivals pop before earlier ones and
+// fed runFaulty event times that ran backwards.
+func TestPendingHeapOrder(t *testing.T) {
+	w := &World{}
+	for g, rel := range []float64{1, 2, 3, 10, 11, 12, 13} {
+		w.pendingPush(pendingArrival{t: rel, g: model.JobID(g)})
+	}
+	prev := pendingArrival{t: -1}
+	for len(w.pending) > 0 {
+		p := w.pendingPop()
+		if pendingLess(p, prev) {
+			t.Fatalf("popped %v after %v: out of (t, g) order", p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestPendingHeapRandomized: pushes and pops interleave under random
+// times (retries land mid-drain, as failNode does); every pop must
+// return the minimum of what the heap holds at that instant, and the
+// popped multiset must equal the pushed one.
+func TestPendingHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := &World{}
+	var pushed, popped []pendingArrival
+	for i := 0; i < 500; i++ {
+		if len(w.pending) == 0 || rng.Intn(3) > 0 {
+			p := pendingArrival{t: float64(rng.Intn(64)), g: model.JobID(i)}
+			w.pendingPush(p)
+			pushed = append(pushed, p)
+		} else {
+			p := w.pendingPop()
+			for _, rest := range w.pending {
+				if pendingLess(rest, p) {
+					t.Fatalf("popped %v while %v was still in the heap", p, rest)
+				}
+			}
+			popped = append(popped, p)
+		}
+	}
+	for len(w.pending) > 0 {
+		p := w.pendingPop()
+		for _, rest := range w.pending {
+			if pendingLess(rest, p) {
+				t.Fatalf("popped %v while %v was still in the heap", p, rest)
+			}
+		}
+		popped = append(popped, p)
+	}
+	if len(popped) != len(pushed) {
+		t.Fatalf("popped %d of %d pushed", len(popped), len(pushed))
+	}
+	sort.Slice(pushed, func(a, b int) bool { return pendingLess(pushed[a], pushed[b]) })
+	sort.Slice(popped, func(a, b int) bool { return pendingLess(popped[a], popped[b]) })
+	for i := range pushed {
+		if pushed[i] != popped[i] {
+			t.Fatalf("multiset mismatch at %d: pushed %v, popped %v", i, pushed[i], popped[i])
+		}
+	}
+}

@@ -75,6 +75,16 @@ func (l *Loop) Checkpoint() (ck *Checkpoint, err error) {
 	}
 	defer l.release()
 	defer l.recoverPanic(&err)
+	if err := l.checkPoisoned(); err != nil {
+		return nil, err
+	}
+	if l.logErrs > 0 {
+		// Failed decision lines were never counted in logLines, but a run
+		// with holes in its log cannot honestly attest anything: a restore
+		// would replay against a stream missing decisions.
+		l.countReject(CodeLogWrite)
+		return nil, reject(CodeLogWrite, "%d decision-log write errors, last: %v", l.logErrs, l.lastLogErr)
+	}
 	if s, ok := l.logw.(interface{ Sync() error }); ok {
 		if err := s.Sync(); err != nil {
 			l.countReject(CodeLogWrite)

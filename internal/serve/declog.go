@@ -196,12 +196,20 @@ func (lf *LogFile) Close() error {
 
 // WriteFileAtomic writes data to path through a same-directory temp file,
 // fsyncs it, renames it over path and fsyncs the directory — so path holds
-// either its previous content or all of data, never a torn prefix, no
-// matter where a crash lands.
+// either its previous content or the whole of one writer's data, never a
+// torn prefix or interleaving, no matter where a crash lands. The temp
+// name is unique per call, so concurrent writers race only on the final
+// rename (last one wins, each rename atomic).
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, perm)
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
+		return fmt.Errorf("serve: atomic write: %w", err)
+	}
+	tmp := f.Name()
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("serve: atomic write: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {

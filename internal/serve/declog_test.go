@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stretchsched/internal/core"
@@ -129,8 +130,61 @@ func TestWriteFileAtomic(t *testing.T) {
 	if string(b) != "second" {
 		t.Fatalf("content %q, want %q", b, "second")
 	}
-	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
-		t.Fatalf("temp file left behind: %v", err)
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "ck.json" {
+		t.Fatalf("directory holds %d entries, want only ck.json: %v", len(ents), ents)
+	}
+}
+
+// TestWriteFileAtomicConcurrent: concurrent writers must never tear or
+// interleave — each uses its own temp file, so the final content is the
+// whole of exactly one writer's payload. Regression for a shared
+// path+".tmp" temp name that let one writer truncate another's.
+func TestWriteFileAtomicConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	const writers = 8
+	payloads := make([]string, writers)
+	for i := range payloads {
+		payloads[i] = strings.Repeat(string(rune('a'+i)), 1<<16)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = WriteFileAtomic(path, []byte(payloads[i]), 0o644)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := false
+	for _, p := range payloads {
+		if string(b) == p {
+			whole = true
+			break
+		}
+	}
+	if !whole {
+		t.Fatalf("final content (%d bytes) is not any single writer's payload", len(b))
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
 	}
 }
 
@@ -294,7 +348,9 @@ func (s panicSched) Run(inst *model.Instance) (*model.Schedule, error) {
 func (s panicSched) Policy() sim.Policy { return s.pol }
 
 // TestLoopSurvivesPanic: a panic inside a replan surfaces as a typed
-// loop_panic rejection, is counted, and the loop keeps serving.
+// loop_panic rejection and is counted; the loop survives to serve reads
+// but is poisoned — a panic can unwind mid-mutation, so every further
+// mutating entry point is refused until restart/restore.
 func TestLoopSurvivesPanic(t *testing.T) {
 	p, err := model.Uniform([]float64{1})
 	if err != nil {
@@ -314,14 +370,23 @@ func TestLoopSurvivesPanic(t *testing.T) {
 	if !errors.As(err, &rej) || rej.Code != CodePanic {
 		t.Fatalf("panicking submit error = %v, want %s", err, CodePanic)
 	}
-	// The loop survives: the token was released, state is reachable, and
-	// further submissions succeed.
-	if _, err := loop.Submit(SubmitRequest{Name: "c", Size: 1}); err != nil {
-		t.Fatal(err)
+	// The loop survives for reads, but mutations are poisoned: the panic
+	// may have left half-applied state that a checkpoint must not attest.
+	if _, err = loop.Submit(SubmitRequest{Name: "c", Size: 1}); !errors.As(err, &rej) || rej.Code != CodePoisoned {
+		t.Fatalf("post-panic submit error = %v, want %s", err, CodePoisoned)
+	}
+	if _, err = loop.Checkpoint(); !errors.As(err, &rej) || rej.Code != CodePoisoned {
+		t.Fatalf("post-panic checkpoint error = %v, want %s", err, CodePoisoned)
+	}
+	if err = loop.Drain(); !errors.As(err, &rej) || rej.Code != CodePoisoned {
+		t.Fatalf("post-panic drain error = %v, want %s", err, CodePoisoned)
 	}
 	snap, err := loop.Snapshot()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !snap.Poisoned {
+		t.Fatal("snapshot not marked poisoned after a recovered panic")
 	}
 	if snap.Counters.Panics != 1 || snap.Counters.Rejected[CodePanic] != 1 {
 		t.Fatalf("panic counters = %d/%d, want 1/1",
@@ -329,6 +394,9 @@ func TestLoopSurvivesPanic(t *testing.T) {
 	}
 	if !strings.Contains(snap.Prometheus(), "stretchd_loop_panics_total 1") {
 		t.Fatal("metrics missing stretchd_loop_panics_total")
+	}
+	if !strings.Contains(snap.Prometheus(), "stretchd_loop_poisoned 1") {
+		t.Fatal("metrics missing stretchd_loop_poisoned")
 	}
 }
 

@@ -33,7 +33,9 @@ func status(code string) int {
 		return http.StatusBadRequest
 	case CodeUnknown:
 		return http.StatusNotFound
-	case CodePanic:
+	case CodePanic, CodePoisoned:
+		// Not transient — no Retry-After: a poisoned loop stays poisoned
+		// until the operator restarts or restores.
 		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError

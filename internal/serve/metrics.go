@@ -26,6 +26,11 @@ func (s Snapshot) Prometheus() string {
 	counter("stretchd_checkpoints_total", "Checkpoints taken.", s.Counters.Checkpoints)
 	counter("stretchd_decision_log_errors_total", "Decision-log write errors (drain fails when nonzero).", uint64(s.LogErrs))
 	counter("stretchd_loop_panics_total", "Panics recovered inside loop entry points (the loop survives; each returns a typed 500).", s.Counters.Panics)
+	poisoned := 0.0
+	if s.Poisoned {
+		poisoned = 1
+	}
+	gauge("stretchd_loop_poisoned", "Loop poisoned by a recovered panic: mutations refused until restart/restore.", poisoned)
 	if s.Fallback != "" {
 		degraded := 0.0
 		if s.Degraded {
