@@ -49,6 +49,7 @@ const (
 	CodeLogWrite  = "log_write"
 	CodeExhausted = "drain_stalled"
 	CodePanic     = "loop_panic"
+	CodePoisoned  = "loop_poisoned"
 )
 
 func (r *Rejection) Error() string { return fmt.Sprintf("serve: %s: %s", r.Code, r.Reason) }
@@ -146,6 +147,7 @@ type Loop struct {
 
 	counters Counters
 	draining bool
+	poisoned bool // a recovered panic may have left half-applied state
 
 	logw       io.Writer
 	logErrs    int
@@ -303,15 +305,33 @@ func (l *Loop) release() { l.tok <- struct{}{} }
 // logged as a decision-stream event, and the caller's error is replaced.
 // It must be deferred AFTER the release defer, so it runs first and the
 // token is returned with the loop's state settled.
+//
+// A panic may have unwound mid-mutation (slot added but sequence
+// bookkeeping not yet applied, completion committed but not logged), so
+// the loop is poisoned: every subsequent mutating entry point — Submit,
+// Drain, Checkpoint — is refused with CodePoisoned until the operator
+// restarts or restores from the last good checkpoint. Read paths keep
+// serving (with the clock frozen) so /metrics can report the poisoning.
 func (l *Loop) recoverPanic(err *error) {
 	rec := recover()
 	if rec == nil {
 		return
 	}
+	l.poisoned = true
 	l.counters.Panics++
 	l.countReject(CodePanic)
 	l.logf("panic t=%s n=%d: %v", ftoa(l.drv.Now()), l.counters.Panics, rec)
 	*err = reject(CodePanic, "recovered: %v", rec)
+}
+
+// checkPoisoned refuses a mutating entry point on a poisoned loop. The
+// caller must hold the token.
+func (l *Loop) checkPoisoned() error {
+	if !l.poisoned {
+		return nil
+	}
+	l.countReject(CodePoisoned)
+	return reject(CodePoisoned, "a recovered panic left the loop state suspect; restart or restore from the last checkpoint")
 }
 
 // SubmitRequest is one job submission.
@@ -338,6 +358,9 @@ func (l *Loop) Submit(req SubmitRequest) (res SubmitResult, err error) {
 	}
 	defer l.release()
 	defer l.recoverPanic(&err)
+	if err := l.checkPoisoned(); err != nil {
+		return SubmitResult{}, err
+	}
 	if l.draining {
 		l.countReject(CodeDraining)
 		return SubmitResult{}, reject(CodeDraining, "daemon is draining")
@@ -376,9 +399,11 @@ func (l *Loop) Submit(req SubmitRequest) (res SubmitResult, err error) {
 	return SubmitResult{Seq: seq, Slot: id, Release: rel}, nil
 }
 
-// syncClock advances to the wall clock in wall-clock mode.
+// syncClock advances to the wall clock in wall-clock mode. A poisoned
+// loop's clock is frozen: advancing commits completions, which is a
+// mutation the poison gate must not let read paths smuggle in.
 func (l *Loop) syncClock() {
-	if l.cfg.Clock == nil {
+	if l.cfg.Clock == nil || l.poisoned {
 		return
 	}
 	if t := l.cfg.Clock.Now(); t > l.drv.Now() {
@@ -478,11 +503,14 @@ func (l *Loop) logf(format string, args ...any) {
 	}
 	l.logBuf = fmt.Appendf(l.logBuf[:0], format, args...)
 	l.logBuf = append(l.logBuf, '\n')
-	l.logLines++
 	if _, err := l.logw.Write(l.logBuf); err != nil {
+		// Not counted in logLines: a checkpoint must never attest a record
+		// the log does not hold, or recovery would refuse the checkpoint.
 		l.logErrs++
 		l.lastLogErr = err
+		return
 	}
+	l.logLines++
 }
 
 func (l *Loop) countReject(code string) {
@@ -589,6 +617,7 @@ type Snapshot struct {
 	Now                                                         float64
 	Policy                                                      string
 	Active                                                      int
+	Poisoned                                                    bool   // a recovered panic froze mutations until restart/restore
 	Degraded                                                    bool   // backlog guard currently in degraded mode
 	Fallback                                                    string // guard fallback policy ("" = guard off)
 	Counters                                                    Counters
@@ -611,7 +640,7 @@ func (l *Loop) Snapshot() (s Snapshot, err error) {
 func (l *Loop) snapshotLocked() Snapshot {
 	s := Snapshot{
 		Now: l.drv.Now(), Policy: l.name, Active: l.drv.NumActive(),
-		Degraded: l.guardMode(), Fallback: l.fbName,
+		Poisoned: l.poisoned, Degraded: l.guardMode(), Fallback: l.fbName,
 		Counters: Counters{
 			Submitted: l.counters.Submitted, CompletedN: l.counters.CompletedN,
 			Events: l.counters.Events, Checkpoints: l.counters.Checkpoints,
@@ -640,6 +669,9 @@ func (l *Loop) Drain() (err error) {
 	}
 	defer l.release()
 	defer l.recoverPanic(&err)
+	if err := l.checkPoisoned(); err != nil {
+		return err
+	}
 	l.draining = true
 	for l.drv.NumActive() > 0 {
 		l.drv.Replan(l.activePolicy())
